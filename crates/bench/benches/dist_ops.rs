@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the SSTA distribution operators: convolution,
+//! statistical max, percentile queries, and the max-percentile-shift
+//! computation underlying the pruning bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use statsize_dist::{max_percentile_shift, TruncatedGaussian};
+
+fn arrival_like(bins: usize) -> statsize_dist::Dist {
+    // An arrival-time-like distribution with the requested support width.
+    let sigma = bins as f64 / 6.0;
+    TruncatedGaussian::new(1000.0, sigma, 3.0).discretize(1.0)
+}
+
+fn delay_like() -> statsize_dist::Dist {
+    TruncatedGaussian::from_nominal(100.0, 0.1, 3.0).discretize(1.0)
+}
+
+fn bench_convolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolve");
+    let delay = delay_like();
+    for bins in [64usize, 256, 1024] {
+        let arrival = arrival_like(bins);
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| arrival.convolve(&delay))
+        });
+    }
+    group.finish();
+}
+
+fn bench_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_independent");
+    for bins in [64usize, 256, 1024] {
+        let a = arrival_like(bins);
+        let b2 = arrival_like(bins).shift_bins(bins as i64 / 10);
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| a.max_independent(&b2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_percentile(c: &mut Criterion) {
+    let a = arrival_like(512);
+    c.bench_function("percentile_p99", |b| b.iter(|| a.percentile(0.99)));
+}
+
+fn bench_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_percentile_shift");
+    for bins in [64usize, 256, 1024] {
+        let a = arrival_like(bins);
+        let p = a.shift_bins(-3);
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| max_percentile_shift(&a, &p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convolve, bench_max, bench_percentile, bench_shift);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks a full block-based SSTA pass and the incremental cone
+//! update, across circuit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use statsize_bench::suite;
+use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+use statsize_ssta::{ArcDelays, SstaAnalysis, TimingGraph};
+
+fn bench_full_pass(c: &mut Criterion) {
+    let lib = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+    let mut group = c.benchmark_group("ssta_full_pass");
+    group.sample_size(10);
+    for name in ["c432", "c880", "c1908"] {
+        let nl = suite::build_circuit(name, 1);
+        let model = DelayModel::new(&lib, &nl);
+        let sizes = GateSizes::minimum(&nl);
+        let graph = TimingGraph::build(&nl);
+        let delays = ArcDelays::compute(&nl, &model, &sizes, &variation, 2.0);
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| SstaAnalysis::run(&graph, &delays))
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_update(c: &mut Criterion) {
+    let lib = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+    let mut group = c.benchmark_group("ssta_incremental_update");
+    for name in ["c432", "c880", "c1908"] {
+        let nl = suite::build_circuit(name, 1);
+        let model = DelayModel::new(&lib, &nl);
+        let mut sizes = GateSizes::minimum(&nl);
+        let graph = TimingGraph::build(&nl);
+        // Resize a mid-level gate once so the update has a realistic cone.
+        let mid_gate = nl.topological_gates()[nl.gate_count() / 2];
+        sizes.resize(mid_gate, 1.0);
+        let mut delays = ArcDelays::compute(&nl, &model, &sizes, &variation, 2.0);
+        let affected = ArcDelays::affected_by_resize(&nl, mid_gate);
+        delays.update_gates(&nl, &model, &sizes, &variation, affected.iter().copied());
+        let base = SstaAnalysis::run(&graph, &delays);
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut ssta| ssta.update_after_delay_change(&graph, &delays, &affected),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pass, bench_incremental_update);
+criterion_main!(benches);

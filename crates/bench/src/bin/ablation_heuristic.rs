@@ -1,0 +1,62 @@
+//! Ablation for the paper's "future work" direction (Section 5): replace
+//! exact pruned selection with a bounded-lookahead heuristic and measure
+//! the quality/runtime trade-off.
+//!
+//! For each circuit, runs the exact pruned optimizer and heuristic
+//! optimizers with several lookaheads to the same iteration budget, and
+//! compares final 99-percentile delay and time per iteration.
+//!
+//! ```text
+//! cargo run --release -p statsize-bench --bin ablation_heuristic
+//! ```
+
+use statsize::{Objective, Optimizer, SelectorKind, TimedCircuit};
+use statsize_bench::emit::{ps_as_ns, Table};
+use statsize_bench::{suite, ExperimentConfig};
+use statsize_cells::{CellLibrary, VariationModel};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let lib = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+    let objective = Objective::percentile(0.99);
+    let selectors: [(&str, SelectorKind); 4] = [
+        ("exact (pruned)", SelectorKind::Pruned),
+        ("lookahead 0", SelectorKind::Heuristic { lookahead: 0 }),
+        ("lookahead 2", SelectorKind::Heuristic { lookahead: 2 }),
+        ("lookahead 5", SelectorKind::Heuristic { lookahead: 5 }),
+    ];
+
+    println!(
+        "Heuristic-selection ablation ({} iterations, dt = {} ps, seed {})\n",
+        cfg.iterations, cfg.dt, cfg.seed
+    );
+
+    let mut table = Table::new(["name", "selector", "T99 (ns)", "quality loss %", "s/iter"]);
+
+    for name in &cfg.circuits {
+        let nl = suite::build_circuit(name, cfg.seed);
+        let mut exact_t99 = f64::NAN;
+        for (label, kind) in selectors {
+            let mut circuit = TimedCircuit::new(&nl, &lib, variation, cfg.dt);
+            let result = Optimizer::new(objective, kind)
+                .with_max_iterations(cfg.iterations)
+                .run(&mut circuit);
+            let t99 = result.final_objective;
+            if kind == SelectorKind::Pruned {
+                exact_t99 = t99;
+            }
+            table.row([
+                name.clone(),
+                label.to_string(),
+                ps_as_ns(t99),
+                format!("{:+.2}", 100.0 * (t99 - exact_t99) / exact_t99),
+                format!("{:.3}", result.mean_iteration_time().as_secs_f64()),
+            ]);
+        }
+        eprintln!("  {name}: done");
+    }
+
+    println!("{}", table.render());
+    println!("(quality loss relative to the exact pruned optimizer at equal iterations)");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Figure 1** of the paper: the "wall of critical paths"
+//! created by deterministic optimization vs the unbalanced path
+//! distribution kept by statistical optimization, and the corresponding
+//! circuit-delay PDFs.
+//!
+//! Optimizes one benchmark both ways to the same area, then prints
+//! (a) the near-critical path-delay histograms and (b) the circuit-delay
+//! PDFs of both results as CSV series.
+//!
+//! ```text
+//! cargo run --release -p statsize-bench --bin fig1 [-- --circuits=c880 --iters=80]
+//! ```
+
+use statsize::{Objective, Optimizer, SelectorKind, TimedCircuit};
+use statsize_bench::{suite, ExperimentConfig};
+use statsize_cells::{CellLibrary, VariationModel};
+use statsize_ssta::paths::enumerate_paths;
+
+const PATH_CAP: usize = 200_000;
+const HISTOGRAM_BINS: usize = 24;
+
+fn main() {
+    let mut cfg = ExperimentConfig::from_args();
+    if cfg.circuits.len() != 1 {
+        cfg.circuits = vec!["c880".to_string()];
+    }
+    let name = cfg.circuits[0].clone();
+    let lib = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+    let objective = Objective::percentile(0.99);
+
+    eprintln!(
+        "Figure 1: path walls for {name} (dt = {} ps, {} iterations)",
+        cfg.dt, cfg.iterations
+    );
+
+    let nl = suite::build_circuit(&name, cfg.seed);
+
+    let mut det = TimedCircuit::new(&nl, &lib, variation, cfg.dt);
+    let det_result = Optimizer::new(objective, SelectorKind::Deterministic)
+        .with_max_iterations(cfg.iterations)
+        .run(&mut det);
+
+    let mut stat = TimedCircuit::new(&nl, &lib, variation, cfg.dt);
+    let _ = Optimizer::new(objective, SelectorKind::Pruned)
+        .with_width_limit(det_result.final_width)
+        .with_max_iterations(cfg.iterations)
+        .run(&mut stat);
+
+    // (a) Path-delay histograms above 80% of each circuit's critical delay.
+    println!("series,delay_ns,count");
+    for (label, circuit) in [("deterministic", &det), ("statistical", &stat)] {
+        let sta = statsize_ssta::run_sta(circuit.graph(), circuit.delays());
+        let threshold = 0.80 * sta.circuit_delay();
+        let paths = enumerate_paths(circuit.graph(), circuit.delays(), threshold, PATH_CAP);
+        let (edges, counts) = paths.histogram(HISTOGRAM_BINS);
+        for (edge, count) in edges.iter().zip(&counts) {
+            println!("paths_{label},{:.4},{count}", edge / 1000.0);
+        }
+        eprintln!(
+            "  {label}: {} paths ≥ 80% of Dmax{} | near-critical (5%): {}",
+            paths.count(),
+            if paths.truncated() { " (capped)" } else { "" },
+            paths.near_critical_count(0.05),
+        );
+    }
+
+    // (b) Circuit-delay PDFs of both optimization results.
+    for (label, circuit) in [("deterministic", &det), ("statistical", &stat)] {
+        let sink = circuit.ssta().sink_arrival();
+        for (i, &m) in sink.mass().iter().enumerate() {
+            let t = (sink.offset() + i as i64) as f64 * sink.dt();
+            println!("pdf_{label},{:.4},{:.6}", t / 1000.0, m);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 10** of the paper: the area–delay trade-off curve
+//! for `c3540` under statistical vs deterministic optimization, with the
+//! 99-percentile point evaluated both on the SSTA bound and by Monte
+//! Carlo.
+//!
+//! Prints a CSV with one row per sampled sizing iteration and series:
+//! `optimizer, iteration, total_width, t99_bound_ns, t99_mc_ns`.
+//!
+//! ```text
+//! cargo run --release -p statsize-bench --bin fig10 [-- --circuits=c3540 --iters=200]
+//! ```
+
+use statsize::{DeterministicSelector, Objective, PrunedSelector, TimedCircuit};
+use statsize_bench::{suite, ExperimentConfig};
+use statsize_cells::{CellLibrary, VariationModel};
+use statsize_ssta::{MonteCarlo, SamplingMode};
+
+fn main() {
+    let mut cfg = ExperimentConfig::from_args();
+    if cfg.circuits.len() != 1 {
+        cfg.circuits = vec!["c3540".to_string()]; // the paper's Figure 10 circuit
+    }
+    let name = cfg.circuits[0].clone();
+    let lib = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+    let objective = Objective::percentile(0.99);
+    // Sample the (slow) Monte-Carlo evaluation at ~20 points per curve.
+    let mc_every = (cfg.iterations / 20).max(1);
+
+    eprintln!(
+        "Figure 10: area-delay curves for {name} (dt = {} ps, {} iterations, MC {} samples)",
+        cfg.dt, cfg.iterations, cfg.mc_samples
+    );
+    println!("optimizer,iteration,total_width,t99_bound_ns,t99_mc_ns");
+
+    for (label, statistical) in [("statistical", true), ("deterministic", false)] {
+        let nl = suite::build_circuit(&name, cfg.seed);
+        let mut circuit = TimedCircuit::new(&nl, &lib, variation, cfg.dt);
+        let pruned = PrunedSelector::new(1.0);
+        let det = DeterministicSelector::new(1.0);
+
+        for iter in 0..=cfg.iterations {
+            if iter % mc_every == 0 || iter == cfg.iterations {
+                let mc = MonteCarlo::new(cfg.mc_samples, cfg.seed, SamplingMode::PerGate)
+                    .run(circuit.graph(), circuit.delays(), &variation);
+                println!(
+                    "{label},{iter},{:.1},{:.4},{:.4}",
+                    circuit.total_width(),
+                    circuit.objective_value(objective) / 1000.0,
+                    mc.percentile(0.99) / 1000.0,
+                );
+            }
+            if iter == cfg.iterations {
+                break;
+            }
+            let selection = if statistical {
+                pruned.select(&circuit, objective)
+            } else {
+                det.select(&circuit)
+            };
+            match selection {
+                Some(s) => circuit.commit_resize(s.gate, 1.0),
+                None => break,
+            }
+        }
+        eprintln!("  {label}: done");
+    }
+}

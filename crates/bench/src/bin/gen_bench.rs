@@ -1,0 +1,31 @@
+//! Writes the synthetic ISCAS-85-profile benchmark suite to disk as
+//! `.bench` files, so the circuits used by the experiments can be
+//! inspected, diffed, or consumed by other EDA tools.
+//!
+//! ```text
+//! cargo run --release -p statsize-bench --bin gen_bench [-- --seed=1] [out_dir]
+//! ```
+
+use statsize_bench::{suite, ExperimentConfig};
+use statsize_netlist::bench;
+
+fn main() {
+    // The last free argument (if any) is the output directory.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, dirs): (Vec<String>, Vec<String>) =
+        args.into_iter().partition(|a| a.starts_with("--"));
+    let cfg = ExperimentConfig::parse(flags);
+    let out_dir = dirs.first().cloned().unwrap_or_else(|| "benchmarks".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    for name in ExperimentConfig::paper_circuits() {
+        let nl = suite::build_circuit(&name, cfg.seed);
+        let s = nl.stats();
+        let path = format!("{out_dir}/{name}.bench");
+        std::fs::write(&path, bench::write(&nl)).expect("write bench file");
+        println!(
+            "{path}: {} gates, {} nodes / {} edges, depth {}",
+            s.gates, s.timing_nodes, s.timing_edges, s.depth
+        );
+    }
+}

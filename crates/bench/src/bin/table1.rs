@@ -1,0 +1,82 @@
+//! Regenerates **Table 1** of the paper: 99-percentile circuit delay after
+//! deterministic vs statistical optimization at equal area.
+//!
+//! Per circuit: run the deterministic optimizer for the iteration budget,
+//! then run the statistical (pruned — identical to brute force) optimizer
+//! to the *same total gate width*, and compare the resulting 99-percentile
+//! delays. Columns mirror the paper: node/edge counts, % increase in total
+//! gate size, deterministic vs statistical `T(99%)` in ns, % improvement.
+//!
+//! ```text
+//! cargo run --release -p statsize-bench --bin table1 [-- --full]
+//! ```
+
+use statsize::{Objective, Optimizer, SelectorKind, TimedCircuit};
+use statsize_bench::emit::{pct, ps_as_ns, Table};
+use statsize_bench::{suite, ExperimentConfig};
+use statsize_cells::{CellLibrary, VariationModel};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let lib = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+    let objective = Objective::percentile(0.99);
+
+    println!(
+        "Table 1: 99-percentile delay, deterministic vs statistical optimization\n\
+         (Δw = 1.0, σ = 10%, ±3σ; dt = {} ps; {} iterations; seed {})\n",
+        cfg.dt, cfg.iterations, cfg.seed
+    );
+
+    let mut table = Table::new([
+        "name",
+        "node/edge",
+        "% inc.",
+        "determ.",
+        "statist.",
+        "% impr.",
+    ]);
+
+    for name in &cfg.circuits {
+        let nl = suite::build_circuit(name, cfg.seed);
+        let stats = nl.stats();
+
+        // Deterministic optimization first; its committed width becomes the
+        // shared area budget.
+        let mut det = TimedCircuit::new(&nl, &lib, variation, cfg.dt);
+        let det_result = Optimizer::new(objective, SelectorKind::Deterministic)
+            .with_max_iterations(cfg.iterations)
+            .run(&mut det);
+
+        // Statistical optimization to the same total width.
+        let mut stat = TimedCircuit::new(&nl, &lib, variation, cfg.dt);
+        let stat_result = Optimizer::new(objective, SelectorKind::Pruned)
+            .with_width_limit(det_result.final_width)
+            .with_max_iterations(cfg.iterations)
+            .run(&mut stat);
+
+        let t_det = det_result.final_objective;
+        let t_stat = stat_result.final_objective;
+        let improvement = 100.0 * (t_det - t_stat) / t_det;
+
+        table.row([
+            name.clone(),
+            format!("{}/{}", stats.timing_nodes, stats.timing_edges),
+            pct(det_result.width_increase_percent()),
+            ps_as_ns(t_det),
+            ps_as_ns(t_stat),
+            pct(improvement),
+        ]);
+        eprintln!(
+            "  {name}: det {} ns, stat {} ns ({:+.1}%), {} det iters / {} stat iters",
+            ps_as_ns(t_det),
+            ps_as_ns(t_stat),
+            improvement,
+            det_result.iterations_run(),
+            stat_result.iterations_run(),
+        );
+    }
+
+    println!("{}", table.render());
+    println!("(delays in ns; statistical optimizer = pruned selector, identical to brute force)");
+}

@@ -1,0 +1,74 @@
+//! Validates the claim of the paper's Section 4: the discretized SSTA
+//! bound differs from Monte Carlo by an "acceptable difference, especially
+//! for the 99-percentile point (< 1%)".
+//!
+//! For every circuit in the suite, compares the SSTA sink distribution
+//! against Monte Carlo in both sampling modes, at several percentiles.
+//!
+//! ```text
+//! cargo run --release -p statsize-bench --bin validate_bounds [-- --full]
+//! ```
+
+use statsize_bench::emit::{ps_as_ns, Table};
+use statsize_bench::{suite, ExperimentConfig};
+use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+use statsize_ssta::{ArcDelays, MonteCarlo, SamplingMode, SstaAnalysis, TimingGraph};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let lib = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+
+    println!(
+        "SSTA bound vs Monte Carlo ({} samples, dt = {} ps, seed {})\n",
+        cfg.mc_samples, cfg.dt, cfg.seed
+    );
+
+    let mut table = Table::new([
+        "name",
+        "T99 bound",
+        "T99 MC/arc",
+        "diff %",
+        "T99 MC/gate",
+        "diff %",
+        "T50 diff %",
+    ]);
+
+    for name in &cfg.circuits {
+        let nl = suite::build_circuit(name, cfg.seed);
+        let model = DelayModel::new(&lib, &nl);
+        let sizes = GateSizes::minimum(&nl);
+        let graph = TimingGraph::build(&nl);
+        let delays = ArcDelays::compute(&nl, &model, &sizes, &variation, cfg.dt);
+        let ssta = SstaAnalysis::run(&graph, &delays);
+
+        let mc_arc = MonteCarlo::new(cfg.mc_samples, cfg.seed, SamplingMode::PerArc)
+            .run(&graph, &delays, &variation);
+        let mc_gate = MonteCarlo::new(cfg.mc_samples, cfg.seed, SamplingMode::PerGate)
+            .run(&graph, &delays, &variation);
+
+        let t99 = ssta.circuit_delay_percentile(0.99);
+        let t50 = ssta.circuit_delay_percentile(0.50);
+        let d99_arc = 100.0 * (t99 - mc_arc.percentile(0.99)) / mc_arc.percentile(0.99);
+        let d99_gate = 100.0 * (t99 - mc_gate.percentile(0.99)) / mc_gate.percentile(0.99);
+        let d50_arc = 100.0 * (t50 - mc_arc.percentile(0.50)) / mc_arc.percentile(0.50);
+
+        table.row([
+            name.clone(),
+            ps_as_ns(t99),
+            ps_as_ns(mc_arc.percentile(0.99)),
+            format!("{d99_arc:+.2}"),
+            ps_as_ns(mc_gate.percentile(0.99)),
+            format!("{d99_gate:+.2}"),
+            format!("{d50_arc:+.2}"),
+        ]);
+        eprintln!("  {name}: bound-vs-MC(arc) at T99 = {d99_arc:+.2}%");
+    }
+
+    println!("{}", table.render());
+    println!(
+        "(positive diff = SSTA bound is conservative, as Theorem theory requires;\n\
+         MC/arc matches the SSTA independence model — the paper's <1% claim applies there;\n\
+         MC/gate shares one sample across a gate's arcs, adding correlation the bound ignores)"
+    );
+}

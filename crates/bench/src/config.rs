@@ -1,0 +1,151 @@
+//! Command-line configuration shared by all experiment binaries.
+
+/// Configuration parsed from the command line.
+///
+/// The defaults are sized so that every experiment finishes in minutes on
+/// a laptop; `--full` switches to paper-scale budgets (all ten circuits,
+/// 1000 sizing iterations — expect hours, exactly as the 2005 experiments
+/// did).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Benchmark circuit names (ISCAS-85 profiles or `c17`).
+    pub circuits: Vec<String>,
+    /// Lattice step in picoseconds.
+    pub dt: f64,
+    /// Sizing iterations per optimizer run.
+    pub iterations: usize,
+    /// Seed for circuit generation and Monte Carlo.
+    pub seed: u64,
+    /// Monte-Carlo sample count.
+    pub mc_samples: usize,
+    /// Paper-scale mode.
+    pub full: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            circuits: vec![
+                "c432".into(),
+                "c499".into(),
+                "c880".into(),
+                "c1355".into(),
+                "c1908".into(),
+            ],
+            dt: 2.0,
+            iterations: 60,
+            seed: 1,
+            mc_samples: 20_000,
+            full: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// All ten paper circuits.
+    pub fn paper_circuits() -> Vec<String> {
+        [
+            "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
+            "c7552",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    /// Parses `std::env::args`, starting from defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = Self::default();
+        let mut explicit_circuits = false;
+        let mut explicit_iters = false;
+        for arg in args {
+            if arg == "--full" {
+                cfg.full = true;
+            } else if let Some(v) = arg.strip_prefix("--circuits=") {
+                cfg.circuits = v.split(',').map(|s| s.trim().to_string()).collect();
+                explicit_circuits = true;
+            } else if let Some(v) = arg.strip_prefix("--iters=") {
+                cfg.iterations = v.parse().unwrap_or_else(|_| usage(&arg));
+                explicit_iters = true;
+            } else if let Some(v) = arg.strip_prefix("--dt=") {
+                cfg.dt = v.parse().unwrap_or_else(|_| usage(&arg));
+            } else if let Some(v) = arg.strip_prefix("--seed=") {
+                cfg.seed = v.parse().unwrap_or_else(|_| usage(&arg));
+            } else if let Some(v) = arg.strip_prefix("--mc=") {
+                cfg.mc_samples = v.parse().unwrap_or_else(|_| usage(&arg));
+            } else {
+                usage(&arg);
+            }
+        }
+        if cfg.full {
+            if !explicit_circuits {
+                cfg.circuits = Self::paper_circuits();
+            }
+            if !explicit_iters {
+                cfg.iterations = 1000;
+            }
+            cfg.mc_samples = cfg.mc_samples.max(100_000);
+        }
+        cfg
+    }
+}
+
+fn usage(arg: &str) -> ! {
+    panic!(
+        "unrecognized argument `{arg}`\n\
+         usage: --circuits=c432,c880 --iters=N --dt=PS --seed=N --mc=N --full"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quick_scale() {
+        let cfg = ExperimentConfig::parse(std::iter::empty());
+        assert_eq!(cfg.circuits.len(), 5);
+        assert!(!cfg.full);
+    }
+
+    #[test]
+    fn full_expands_circuits_and_iterations() {
+        let cfg = ExperimentConfig::parse(["--full".to_string()]);
+        assert_eq!(cfg.circuits.len(), 10);
+        assert_eq!(cfg.iterations, 1000);
+    }
+
+    #[test]
+    fn explicit_values_override_full() {
+        let cfg = ExperimentConfig::parse(
+            ["--full", "--circuits=c17", "--iters=5"].map(String::from),
+        );
+        assert_eq!(cfg.circuits, vec!["c17"]);
+        assert_eq!(cfg.iterations, 5);
+    }
+
+    #[test]
+    fn numeric_arguments_parse() {
+        let cfg = ExperimentConfig::parse(
+            ["--dt=0.5", "--seed=9", "--mc=1234"].map(String::from),
+        );
+        assert_eq!(cfg.dt, 0.5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.mc_samples, 1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized argument")]
+    fn unknown_argument_panics() {
+        ExperimentConfig::parse(["--bogus".to_string()]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures.
+//!
+//! Each `src/bin/` binary reproduces one artefact:
+//!
+//! | binary               | paper artefact                                   |
+//! |----------------------|--------------------------------------------------|
+//! | `table1`             | Table 1 — 99-percentile delay, det vs statistical |
+//! | `table2`             | Table 2 — runtime/iteration, brute vs pruned      |
+//! | `fig1`               | Figure 1 — wall of critical paths                 |
+//! | `fig10`              | Figure 10 — area–delay curves for c3540           |
+//! | `validate_bounds`    | §4 — SSTA bound vs Monte Carlo (<1% at T99)       |
+//! | `ablation_heuristic` | §4/§5 — bounded-lookahead heuristic ablation      |
+//! | `ablation_dt`        | lattice-step sensitivity of T99 and runtime       |
+//! | `gen_bench`          | emit the synthetic suite as `.bench` files        |
+//!
+//! All binaries accept `--circuits=c432,c880`, `--iters=N`, `--dt=PS`,
+//! `--seed=N`, `--mc=N` and `--full` (paper-scale budgets; slow).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod emit;
+pub mod suite;
+
+pub use config::ExperimentConfig;

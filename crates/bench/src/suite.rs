@@ -1,0 +1,40 @@
+//! Benchmark-circuit construction.
+
+use statsize_netlist::{bench, generator, Netlist};
+
+/// Builds a benchmark circuit by name: the embedded real `c17`, or a
+/// synthetic circuit matching the paper's ISCAS-85 profile (see
+/// `DESIGN.md` for the substitution rationale).
+///
+/// # Panics
+///
+/// Panics on an unknown circuit name.
+pub fn build_circuit(name: &str, seed: u64) -> Netlist {
+    if name == "c17" {
+        return bench::c17();
+    }
+    generator::generate_iscas(name, seed)
+        .unwrap_or_else(|| panic!("unknown benchmark circuit `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_is_the_real_netlist() {
+        assert_eq!(build_circuit("c17", 0).gate_count(), 6);
+    }
+
+    #[test]
+    fn profiles_resolve() {
+        let nl = build_circuit("c880", 1);
+        assert_eq!(nl.stats().timing_nodes, 425);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark circuit")]
+    fn unknown_circuit_panics() {
+        build_circuit("c404", 0);
+    }
+}

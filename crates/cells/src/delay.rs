@@ -1,0 +1,189 @@
+//! Netlist-level delay evaluation: loads, nominal delays, and area.
+
+use crate::cell::{Cell, CellId};
+use crate::library::CellLibrary;
+use crate::sizes::GateSizes;
+use statsize_netlist::{GateId, NetId, Netlist};
+
+/// Evaluates the EQ 1 delay model over a whole netlist: binds every gate to
+/// a library cell and computes loads, nominal pin-to-pin delays, and sized
+/// area as functions of the current [`GateSizes`].
+///
+/// The model captures the two effects of upsizing gate `x` by `Δw` that
+/// drive the paper's sensitivity analysis:
+///
+/// * `x`'s own arcs speed up (`Ccell = w · Ccell_unit` grows), and
+/// * every fan-in gate of `x` slows down (its `Cload` includes `x`'s
+///   input-pin capacitance `w · Cpin_unit`).
+#[derive(Debug, Clone)]
+pub struct DelayModel<'lib> {
+    lib: &'lib CellLibrary,
+    binding: Vec<CellId>,
+    /// Fixed load on primary-output nets (fF), representing the pad or
+    /// downstream stage the paper's synthesized netlists drive.
+    po_load: f64,
+    /// Wire capacitance added per fan-out connection (fF).
+    wire_cap_per_fanout: f64,
+}
+
+impl<'lib> DelayModel<'lib> {
+    /// Binds `netlist` to `lib` with default parasitics (3 fF primary-output
+    /// load, 0.2 fF of wire per fan-out connection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some gate kind has no cell in the library.
+    pub fn new(lib: &'lib CellLibrary, netlist: &Netlist) -> Self {
+        Self::with_parasitics(lib, netlist, 3.0, 0.2)
+    }
+
+    /// Binds with explicit parasitic parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some gate kind has no cell in the library, or the
+    /// parasitics are negative.
+    pub fn with_parasitics(
+        lib: &'lib CellLibrary,
+        netlist: &Netlist,
+        po_load: f64,
+        wire_cap_per_fanout: f64,
+    ) -> Self {
+        assert!(po_load >= 0.0, "primary-output load must be non-negative");
+        assert!(
+            wire_cap_per_fanout >= 0.0,
+            "wire capacitance must be non-negative"
+        );
+        Self {
+            lib,
+            binding: lib.bind(netlist),
+            po_load,
+            wire_cap_per_fanout,
+        }
+    }
+
+    /// The library this model draws cells from.
+    pub fn library(&self) -> &'lib CellLibrary {
+        self.lib
+    }
+
+    /// The cell bound to a gate.
+    pub fn cell(&self, gate: GateId) -> &'lib Cell {
+        self.lib.cell(self.binding[gate.index()])
+    }
+
+    /// Capacitive load (fF) seen by whatever drives `net`: the sum of the
+    /// sized input-pin capacitances of all load gates, wire capacitance per
+    /// fan-out, and the fixed primary-output load if applicable.
+    pub fn load(&self, netlist: &Netlist, sizes: &GateSizes, net: NetId) -> f64 {
+        let n = netlist.net(net);
+        let mut c = 0.0;
+        for &g in n.loads() {
+            c += sizes.width(g) * self.cell(g).pin_cap_unit() + self.wire_cap_per_fanout;
+        }
+        if n.is_primary_output() {
+            c += self.po_load;
+        }
+        c
+    }
+
+    /// Nominal pin-to-pin delay (ps) of `gate` at the current sizes — the
+    /// paper's EQ 1. All input pins of a gate share one delay value, as in
+    /// the paper.
+    pub fn nominal_delay(&self, netlist: &Netlist, sizes: &GateSizes, gate: GateId) -> f64 {
+        let cell = self.cell(gate);
+        let out = netlist.gate(gate).output();
+        let c_load = self.load(netlist, sizes, out);
+        cell.delay(sizes.width(gate), c_load)
+    }
+
+    /// Total sized area: `Σ w_g · area_unit(cell_g)`.
+    pub fn area(&self, netlist: &Netlist, sizes: &GateSizes) -> f64 {
+        netlist
+            .gate_ids()
+            .map(|g| sizes.width(g) * self.cell(g).area_unit())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_netlist::shapes;
+
+    fn setup(nl: &Netlist) -> (CellLibrary, GateSizes) {
+        (CellLibrary::synthetic_180nm(), GateSizes::minimum(nl))
+    }
+
+    #[test]
+    fn upsizing_a_gate_speeds_it_up_and_slows_its_fanin() {
+        let nl = shapes::chain("c", 3);
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let mut sizes = GateSizes::minimum(&nl);
+
+        let gates = nl.topological_gates();
+        let (g0, g1) = (gates[0], gates[1]);
+        let d0_before = model.nominal_delay(&nl, &sizes, g0);
+        let d1_before = model.nominal_delay(&nl, &sizes, g1);
+
+        sizes.resize(g1, 1.0); // upsize the middle gate
+        let d0_after = model.nominal_delay(&nl, &sizes, g0);
+        let d1_after = model.nominal_delay(&nl, &sizes, g1);
+
+        assert!(d1_after < d1_before, "upsized gate must speed up");
+        assert!(d0_after > d0_before, "fan-in gate must slow down");
+    }
+
+    #[test]
+    fn load_counts_all_fanout_pins() {
+        let nl = shapes::diamond("d", 1);
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let sizes = GateSizes::minimum(&nl);
+        // "in" drives both arms' first inverters.
+        let input = nl.find_net("in").unwrap();
+        let inv_pin = 1.0; // INV pin cap at w=1
+        let expected = 2.0 * (inv_pin + 0.2);
+        assert!((model.load(&nl, &sizes, input) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primary_output_nets_carry_fixed_load() {
+        let nl = shapes::chain("c", 1);
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let sizes = GateSizes::minimum(&nl);
+        let out = nl.primary_outputs()[0];
+        assert!((model.load(&nl, &sizes, out) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_scales_with_width() {
+        let nl = shapes::chain("c", 4);
+        let (lib, mut sizes) = setup(&nl);
+        let model = DelayModel::new(&lib, &nl);
+        let a0 = model.area(&nl, &sizes);
+        assert!((a0 - 4.0).abs() < 1e-12); // 4 INVs at unit area
+        sizes.resize(nl.topological_gates()[2], 2.0);
+        assert!((model.area(&nl, &sizes) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_monotone_in_own_width_with_feedback_through_load() {
+        // Even accounting for the fan-in slowdown, the *perturbed gate's*
+        // delay is strictly decreasing in its own width.
+        let nl = shapes::chain("c", 5);
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let mut sizes = GateSizes::minimum(&nl);
+        let g = nl.topological_gates()[2];
+        let mut prev = model.nominal_delay(&nl, &sizes, g);
+        for step in 1..=8 {
+            sizes.set_width(g, 1.0 + step as f64 * 0.5);
+            let d = model.nominal_delay(&nl, &sizes, g);
+            assert!(d < prev, "delay must decrease, step {step}");
+            prev = d;
+        }
+    }
+}

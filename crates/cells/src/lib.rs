@@ -1,0 +1,58 @@
+//! Standard-cell library, delay model, and process-variation model.
+//!
+//! The DATE'05 paper uses a logical-effort-style delay model (its EQ 1):
+//!
+//! ```text
+//! De = Dint + K · Cload / Ccell
+//! ```
+//!
+//! where `Dint` is the cell's intrinsic delay, `K` a per-cell drive
+//! constant, `Cload` the capacitive load on the output net, and `Ccell`
+//! the total cell capacitance — which scales linearly with the gate width
+//! `w` chosen by the sizing optimizer. Upsizing a gate therefore speeds the
+//! gate itself up (larger `Ccell`) but slows its fan-in gates down (their
+//! `Cload` grows with this gate's input-pin capacitance, also ∝ `w`).
+//! This tension is exactly what sensitivity-driven sizing navigates.
+//!
+//! The paper determined the constants from a 180 nm commercial library,
+//! which is not redistributable; [`CellLibrary::synthetic_180nm`] provides
+//! a synthetic library with representative constants (FO4 inverter delay
+//! ≈ 100 ps). Absolute delays differ from the paper's, but all structural
+//! trends (who wins, crossovers) are preserved — see `DESIGN.md`.
+//!
+//! Intra-die process variation follows the paper's model: each timing
+//! arc's delay is a Gaussian with `σ = 10%` of nominal, truncated at `±3σ`
+//! ([`VariationModel::paper_default`]).
+//!
+//! # Example
+//!
+//! ```
+//! use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+//! use statsize_netlist::shapes;
+//!
+//! let nl = shapes::chain("c", 3);
+//! let lib = CellLibrary::synthetic_180nm();
+//! let model = DelayModel::new(&lib, &nl);
+//! let mut sizes = GateSizes::minimum(&nl);
+//!
+//! let g = nl.topological_gates()[0];
+//! let before = model.nominal_delay(&nl, &sizes, g);
+//! sizes.set_width(g, 2.0);
+//! let after = model.nominal_delay(&nl, &sizes, g);
+//! assert!(after < before, "upsizing a gate speeds it up");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cell;
+mod delay;
+mod library;
+mod sizes;
+mod variation;
+
+pub use cell::{Cell, CellId};
+pub use delay::DelayModel;
+pub use library::CellLibrary;
+pub use sizes::GateSizes;
+pub use variation::VariationModel;

@@ -1,0 +1,191 @@
+//! Cell libraries and gate→cell binding.
+
+use crate::cell::{Cell, CellId};
+use statsize_netlist::{GateKind, Netlist};
+
+/// A collection of standard-cell templates covering every
+/// ([`GateKind`], fan-in) combination a netlist may use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    name: String,
+    cells: Vec<Cell>,
+}
+
+impl CellLibrary {
+    /// Creates a library from explicit cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty.
+    pub fn new(name: impl Into<String>, cells: Vec<Cell>) -> Self {
+        assert!(!cells.is_empty(), "library must contain at least one cell");
+        Self { name: name.into(), cells }
+    }
+
+    /// The synthetic 180 nm-class library used by all experiments.
+    ///
+    /// Constants are representative of a late-1990s/early-2000s 180 nm
+    /// process: FO4 inverter delay ≈ 100 ps, logical-effort-like scaling of
+    /// `K` and pin capacitance with gate complexity, and intrinsic delays
+    /// growing with fan-in. The paper's commercial library is proprietary;
+    /// see `DESIGN.md` for the substitution rationale.
+    pub fn synthetic_180nm() -> Self {
+        let mut cells = Vec::new();
+        let mut push = |name: &str, kind, fanin, d_int, k, ccell, cpin, area| {
+            cells.push(Cell::new(name, kind, fanin, d_int, k, ccell, cpin, area));
+        };
+        //     name      kind            fanin  Dint   K     Ccell  Cpin  area
+        push("INV", GateKind::Not, 1, 20.0, 20.0, 1.0, 1.0, 1.0);
+        push("BUF", GateKind::Buf, 1, 35.0, 18.0, 1.2, 1.0, 1.3);
+        for (fi, dint_a, k_a, cc_a, cp_a, ar_a) in [
+            (2usize, 30.0, 26.0, 1.6, 1.33, 1.5),
+            (3usize, 40.0, 32.0, 2.2, 1.67, 2.0),
+            (4usize, 52.0, 38.0, 2.8, 2.0, 2.5),
+        ] {
+            push(&format!("NAND{fi}"), GateKind::Nand, fi, dint_a, k_a, cc_a, cp_a, ar_a);
+            push(&format!("NOR{fi}"), GateKind::Nor, fi, dint_a + 5.0, k_a + 4.0, cc_a, cp_a + 0.3, ar_a + 0.2);
+            push(&format!("AND{fi}"), GateKind::And, fi, dint_a + 18.0, k_a - 4.0, cc_a + 0.4, cp_a - 0.2, ar_a + 0.5);
+            push(&format!("OR{fi}"), GateKind::Or, fi, dint_a + 22.0, k_a - 2.0, cc_a + 0.4, cp_a, ar_a + 0.5);
+        }
+        push("XOR2", GateKind::Xor, 2, 60.0, 42.0, 2.4, 2.0, 2.8);
+        push("XOR3", GateKind::Xor, 3, 85.0, 50.0, 3.2, 2.4, 4.0);
+        push("XOR4", GateKind::Xor, 4, 110.0, 58.0, 4.0, 2.8, 5.2);
+        push("XNOR2", GateKind::Xnor, 2, 62.0, 43.0, 2.4, 2.0, 2.8);
+        push("XNOR3", GateKind::Xnor, 3, 87.0, 51.0, 3.2, 2.4, 4.0);
+        push("XNOR4", GateKind::Xnor, 4, 112.0, 59.0, 4.0, 2.8, 5.2);
+        Self::new("synthetic_180nm", cells)
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Looks up a cell by id.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Finds the cell implementing `kind` whose fan-in is closest to (and
+    /// at least) `fanin`; falls back to the largest available fan-in.
+    ///
+    /// Returns `None` if no cell implements `kind` at all.
+    pub fn select(&self, kind: GateKind, fanin: usize) -> Option<CellId> {
+        let mut best: Option<(usize, usize)> = None; // (cell index, its fanin)
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.kind() != kind {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bf)) => {
+                    if bf < fanin {
+                        c.fanin() > bf // both too small: prefer bigger
+                    } else {
+                        c.fanin() >= fanin && c.fanin() < bf // prefer tightest fit
+                    }
+                }
+            };
+            if better {
+                best = Some((i, c.fanin()));
+            }
+        }
+        best.map(|(i, _)| CellId(i as u32))
+    }
+
+    /// Binds every gate of a netlist to a cell, returning one [`CellId`]
+    /// per gate (indexed by gate id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some gate's kind has no cell in the library.
+    pub fn bind(&self, netlist: &Netlist) -> Vec<CellId> {
+        netlist
+            .gate_ids()
+            .map(|gid| {
+                let g = netlist.gate(gid);
+                self.select(g.kind(), g.fanin()).unwrap_or_else(|| {
+                    panic!(
+                        "no cell implements {} (fan-in {})",
+                        g.kind(),
+                        g.fanin()
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_netlist::shapes;
+
+    #[test]
+    fn synthetic_library_covers_all_kinds() {
+        let lib = CellLibrary::synthetic_180nm();
+        for kind in GateKind::ALL {
+            let max_fanin = if kind.is_single_input() { 1 } else { 4 };
+            for fi in 1..=max_fanin {
+                if !kind.is_single_input() && fi == 1 {
+                    continue;
+                }
+                assert!(
+                    lib.select(kind, fi).is_some(),
+                    "no cell for {kind} fan-in {fi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_prefers_exact_fanin() {
+        let lib = CellLibrary::synthetic_180nm();
+        let id = lib.select(GateKind::Nand, 3).unwrap();
+        assert_eq!(lib.cell(id).fanin(), 3);
+        assert_eq!(lib.cell(id).name(), "NAND3");
+    }
+
+    #[test]
+    fn select_rounds_up_then_clamps() {
+        let lib = CellLibrary::new(
+            "tiny",
+            vec![
+                Cell::new("NAND2", GateKind::Nand, 2, 30.0, 26.0, 1.6, 1.3, 1.5),
+                Cell::new("NAND4", GateKind::Nand, 4, 52.0, 38.0, 2.8, 2.0, 2.5),
+            ],
+        );
+        // fanin 3 rounds up to NAND4.
+        assert_eq!(lib.cell(lib.select(GateKind::Nand, 3).unwrap()).fanin(), 4);
+        // fanin 6 clamps down to the largest available.
+        assert_eq!(lib.cell(lib.select(GateKind::Nand, 6).unwrap()).fanin(), 4);
+        assert!(lib.select(GateKind::Xor, 2).is_none());
+    }
+
+    #[test]
+    fn bind_maps_every_gate() {
+        let lib = CellLibrary::synthetic_180nm();
+        let nl = shapes::grid("g", 3, 3);
+        let binding = lib.bind(&nl);
+        assert_eq!(binding.len(), nl.gate_count());
+        for (gid, &cid) in nl.gate_ids().zip(binding.iter()) {
+            assert_eq!(lib.cell(cid).kind(), nl.gate(gid).kind());
+        }
+    }
+
+    #[test]
+    fn complex_gates_are_slower_than_inverters() {
+        let lib = CellLibrary::synthetic_180nm();
+        let inv = lib.cell(lib.select(GateKind::Not, 1).unwrap());
+        let nand4 = lib.cell(lib.select(GateKind::Nand, 4).unwrap());
+        let xor2 = lib.cell(lib.select(GateKind::Xor, 2).unwrap());
+        let load = 4.0;
+        assert!(inv.delay(1.0, load) < nand4.delay(1.0, load));
+        assert!(inv.delay(1.0, load) < xor2.delay(1.0, load));
+    }
+}

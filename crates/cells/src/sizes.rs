@@ -1,0 +1,128 @@
+//! Per-gate width (sizing) state.
+
+use statsize_netlist::{GateId, Netlist};
+
+/// The sizing state of a circuit: one continuous width multiplier per gate.
+///
+/// The coordinate-descent optimizers of the paper start from a
+/// minimum-size implementation (all widths 1.0) and repeatedly add `Δw` to
+/// the most sensitive gate ([`GateSizes::resize`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateSizes {
+    widths: Vec<f64>,
+    min_width: f64,
+}
+
+impl GateSizes {
+    /// All gates at minimum size (width 1.0) — the optimizers' starting
+    /// point.
+    pub fn minimum(netlist: &Netlist) -> Self {
+        Self {
+            widths: vec![1.0; netlist.gate_count()],
+            min_width: 1.0,
+        }
+    }
+
+    /// Creates explicit widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is below the minimum (1.0) or non-finite.
+    pub fn from_widths(widths: Vec<f64>) -> Self {
+        assert!(
+            widths.iter().all(|w| w.is_finite() && *w >= 1.0),
+            "widths must be finite and >= 1.0"
+        );
+        Self { widths, min_width: 1.0 }
+    }
+
+    /// Width of a gate.
+    pub fn width(&self, gate: GateId) -> f64 {
+        self.widths[gate.index()]
+    }
+
+    /// Sets a gate's width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is below the minimum width or non-finite.
+    pub fn set_width(&mut self, gate: GateId, w: f64) {
+        assert!(
+            w.is_finite() && w >= self.min_width,
+            "width must be finite and >= {}, got {w}",
+            self.min_width
+        );
+        self.widths[gate.index()] = w;
+    }
+
+    /// Adds `delta` to a gate's width (the paper's `w += Δw` sizing move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting width would fall below the minimum.
+    pub fn resize(&mut self, gate: GateId, delta: f64) {
+        let w = self.widths[gate.index()] + delta;
+        self.set_width(gate, w);
+    }
+
+    /// Number of gates tracked.
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// True when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+
+    /// Sum of all widths — the "total gate size" metric of the paper's
+    /// Table 1 (column 3) and Figure 10's y-axis, before area weighting.
+    pub fn total_width(&self) -> f64 {
+        self.widths.iter().sum()
+    }
+
+    /// All widths, indexed by gate id.
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_netlist::shapes;
+
+    #[test]
+    fn minimum_sizes_are_all_one() {
+        let nl = shapes::chain("c", 4);
+        let s = GateSizes::minimum(&nl);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.total_width(), 4.0);
+    }
+
+    #[test]
+    fn resize_accumulates() {
+        let nl = shapes::chain("c", 2);
+        let mut s = GateSizes::minimum(&nl);
+        let g = nl.topological_gates()[0];
+        s.resize(g, 0.5);
+        s.resize(g, 0.5);
+        assert_eq!(s.width(g), 2.0);
+        assert_eq!(s.total_width(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be finite")]
+    fn below_minimum_rejected() {
+        let nl = shapes::chain("c", 2);
+        let mut s = GateSizes::minimum(&nl);
+        s.resize(nl.topological_gates()[0], -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must be finite")]
+    fn from_widths_validates() {
+        GateSizes::from_widths(vec![1.0, 0.5]);
+    }
+}

@@ -1,0 +1,108 @@
+//! The intra-die process-variation model.
+
+use statsize_dist::{Dist, TruncatedGaussian};
+
+/// Intra-die delay variation: each timing arc's delay is Gaussian with a
+/// standard deviation proportional to its nominal value, truncated
+/// symmetrically.
+///
+/// The paper's experiments use `σ = 10%` of nominal, truncated at `±3σ`
+/// ([`VariationModel::paper_default`]); any `(σ-fraction, truncation)`
+/// pair is supported, and `sigma_frac = 0` degenerates to deterministic
+/// timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    sigma_frac: f64,
+    trunc_sigmas: f64,
+}
+
+impl VariationModel {
+    /// Creates a variation model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_frac` is negative or `trunc_sigmas` is not
+    /// positive.
+    pub fn new(sigma_frac: f64, trunc_sigmas: f64) -> Self {
+        assert!(
+            sigma_frac.is_finite() && sigma_frac >= 0.0,
+            "sigma fraction must be finite and >= 0, got {sigma_frac}"
+        );
+        assert!(
+            trunc_sigmas.is_finite() && trunc_sigmas > 0.0,
+            "truncation must be positive, got {trunc_sigmas}"
+        );
+        Self { sigma_frac, trunc_sigmas }
+    }
+
+    /// The paper's experimental setup: `σ = 10%` of nominal, `±3σ`
+    /// truncation (Section 4).
+    pub fn paper_default() -> Self {
+        Self::new(0.10, 3.0)
+    }
+
+    /// A deterministic (zero-variance) model; SSTA then reduces to STA.
+    pub fn deterministic() -> Self {
+        Self::new(0.0, 3.0)
+    }
+
+    /// Standard deviation as a fraction of nominal delay.
+    pub fn sigma_frac(&self) -> f64 {
+        self.sigma_frac
+    }
+
+    /// Truncation point in multiples of σ.
+    pub fn trunc_sigmas(&self) -> f64 {
+        self.trunc_sigmas
+    }
+
+    /// The analytic delay distribution for a nominal delay (ps).
+    pub fn truncated(&self, nominal: f64) -> TruncatedGaussian {
+        TruncatedGaussian::from_nominal(nominal, self.sigma_frac, self.trunc_sigmas)
+    }
+
+    /// The lattice delay distribution for a nominal delay, at step `dt`.
+    pub fn delay_dist(&self, nominal: f64, dt: f64) -> Dist {
+        self.truncated(nominal).discretize(dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_parameters() {
+        let v = VariationModel::paper_default();
+        assert_eq!(v.sigma_frac(), 0.10);
+        assert_eq!(v.trunc_sigmas(), 3.0);
+    }
+
+    #[test]
+    fn delay_dist_statistics_track_nominal() {
+        let v = VariationModel::paper_default();
+        let d = v.delay_dist(100.0, 0.5);
+        assert!((d.mean() - 100.0).abs() < 0.05, "mean {}", d.mean());
+        // σ of the ±3σ-truncated Gaussian is slightly below the parent's.
+        assert!(d.std_dev() > 8.0 && d.std_dev() < 10.0, "σ {}", d.std_dev());
+        let (lo, hi) = d.support();
+        assert!(lo >= 69.0 && hi <= 131.0, "support [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn deterministic_model_gives_point_mass() {
+        let v = VariationModel::deterministic();
+        let d = v.delay_dist(42.0, 1.0);
+        assert!(d.support_len() <= 2);
+        assert!((d.mean() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_scales_with_nominal() {
+        let v = VariationModel::paper_default();
+        let d1 = v.delay_dist(50.0, 0.25);
+        let d2 = v.delay_dist(200.0, 0.25);
+        let ratio = d2.std_dev() / d1.std_dev();
+        assert!((ratio - 4.0).abs() < 0.1, "σ ratio {ratio}");
+    }
+}

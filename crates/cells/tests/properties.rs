@@ -1,0 +1,116 @@
+//! Property-based tests of the EQ 1 delay model: monotonicity and scaling
+//! laws must hold for arbitrary (valid) cell constants, widths, and loads
+//! — these laws are what gives gate sizing its structure (upsizing helps
+//! the gate, hurts its fan-in).
+
+use proptest::prelude::*;
+use statsize_cells::{Cell, CellLibrary, DelayModel, GateSizes, VariationModel};
+use statsize_netlist::{shapes, GateKind};
+
+fn cell_strategy() -> impl Strategy<Value = Cell> {
+    (
+        5.0f64..100.0,  // d_int
+        5.0f64..100.0,  // k
+        0.5f64..5.0,    // cell cap
+        0.5f64..5.0,    // pin cap
+        0.5f64..5.0,    // area
+    )
+        .prop_map(|(d_int, k, ccell, cpin, area)| {
+            Cell::new("P", GateKind::Not, 1, d_int, k, ccell, cpin, area)
+        })
+}
+
+proptest! {
+    #[test]
+    fn delay_is_strictly_decreasing_in_width(
+        cell in cell_strategy(),
+        w in 1.0f64..20.0,
+        dw in 0.1f64..5.0,
+        load in 0.1f64..50.0,
+    ) {
+        prop_assert!(cell.delay(w + dw, load) < cell.delay(w, load));
+    }
+
+    #[test]
+    fn delay_is_strictly_increasing_in_load(
+        cell in cell_strategy(),
+        w in 1.0f64..20.0,
+        load in 0.1f64..50.0,
+        dl in 0.1f64..20.0,
+    ) {
+        prop_assert!(cell.delay(w, load + dl) > cell.delay(w, load));
+    }
+
+    #[test]
+    fn delay_approaches_intrinsic_at_large_width(
+        cell in cell_strategy(),
+        load in 0.1f64..50.0,
+    ) {
+        let d = cell.delay(1e12, load);
+        prop_assert!((d - cell.intrinsic_delay()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_scale_invariance(
+        cell in cell_strategy(),
+        w in 1.0f64..20.0,
+        load in 0.1f64..50.0,
+        s in 1.1f64..10.0,
+    ) {
+        // EQ 1 depends on load and width only through load/width: scaling
+        // both leaves the delay unchanged.
+        let a = cell.delay(w, load);
+        let b = cell.delay(w * s, load * s);
+        prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn variation_sigma_is_proportional_to_nominal(
+        nominal in 10.0f64..500.0,
+        sigma_frac in 0.01f64..0.3,
+    ) {
+        let v = VariationModel::new(sigma_frac, 3.0);
+        let g = v.truncated(nominal);
+        prop_assert_eq!(g.mean(), nominal);
+        prop_assert_eq!(g.sigma(), sigma_frac * nominal);
+        prop_assert!(g.lo() >= nominal * (1.0 - 3.0 * sigma_frac) - 1e-9);
+    }
+
+    #[test]
+    fn upsizing_mid_gate_always_trades_fanin_for_self(
+        dw in 0.25f64..4.0,
+        len in 3usize..8,
+    ) {
+        let nl = shapes::chain("c", len);
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let mut sizes = GateSizes::minimum(&nl);
+        let mid = nl.topological_gates()[len / 2];
+        let prev = nl.topological_gates()[len / 2 - 1];
+        let d_mid_0 = model.nominal_delay(&nl, &sizes, mid);
+        let d_prev_0 = model.nominal_delay(&nl, &sizes, prev);
+        sizes.resize(mid, dw);
+        prop_assert!(model.nominal_delay(&nl, &sizes, mid) < d_mid_0);
+        prop_assert!(model.nominal_delay(&nl, &sizes, prev) > d_prev_0);
+    }
+
+    #[test]
+    fn area_is_linear_in_width(
+        dw1 in 0.1f64..5.0,
+        dw2 in 0.1f64..5.0,
+    ) {
+        let nl = shapes::chain("c", 4);
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let mut sizes = GateSizes::minimum(&nl);
+        let a0 = model.area(&nl, &sizes);
+        let g = nl.topological_gates()[1];
+        sizes.resize(g, dw1);
+        let a1 = model.area(&nl, &sizes);
+        sizes.resize(g, dw2);
+        let a2 = model.area(&nl, &sizes);
+        // INV has unit area: increments are exactly dw.
+        prop_assert!((a1 - a0 - dw1).abs() < 1e-9);
+        prop_assert!((a2 - a1 - dw2).abs() < 1e-9);
+    }
+}

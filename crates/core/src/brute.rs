@@ -1,0 +1,172 @@
+//! Brute-force statistical sensitivity selection (paper Section 3.1).
+
+use crate::circuit::TimedCircuit;
+use crate::objective::Objective;
+use crate::selection::Selection;
+use statsize_ssta::ConeWalk;
+
+/// The straightforward statistical selector: for every gate, propagate its
+/// trial-resize perturbation all the way to the sink and measure the exact
+/// change of the objective.
+///
+/// This is an SSTA cone-propagation per gate per sizing iteration —
+/// `O(N·E)` per iteration, the runtime bottleneck the paper's pruning
+/// algorithm removes. Kept both as the reference implementation (the
+/// pruned selector must match it *exactly*) and as the Table 2 baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BruteForceSelector {
+    delta_w: f64,
+}
+
+impl BruteForceSelector {
+    /// Creates a selector with the given trial width increment `Δw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_w` is not finite and positive.
+    pub fn new(delta_w: f64) -> Self {
+        assert!(
+            delta_w.is_finite() && delta_w > 0.0,
+            "Δw must be finite and positive, got {delta_w}"
+        );
+        Self { delta_w }
+    }
+
+    /// The trial width increment.
+    pub fn delta_w(&self) -> f64 {
+        self.delta_w
+    }
+
+    /// Finds the gate with the highest exact sensitivity
+    /// `Sx = (cost − cost′)/Δw`, or `None` when no gate improves the
+    /// objective. Ties break toward the lower gate id.
+    pub fn select(&self, circuit: &TimedCircuit<'_>, objective: Objective) -> Option<Selection> {
+        let mut top = self.select_top_k(circuit, objective, 1);
+        top.pop()
+    }
+
+    /// The exact sensitivities of every gate, unsorted (in gate-id
+    /// order). Exposed for analyses that want the full sensitivity
+    /// profile, not just the argmax.
+    pub fn all_sensitivities(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+    ) -> Vec<Selection> {
+        let base_cost = circuit.objective_value(objective);
+        circuit
+            .netlist()
+            .gate_ids()
+            .map(|gate| {
+                let overrides = circuit.overrides_for_resize(gate, self.delta_w);
+                let mut walk = ConeWalk::new(
+                    circuit.graph(),
+                    circuit.delays(),
+                    circuit.ssta(),
+                    overrides,
+                )
+                .evicting_retired();
+                walk.run_to_sink();
+                let sink = walk
+                    .sink_arrival()
+                    .expect("every gate's fan-out cone reaches the sink");
+                let sensitivity = (base_cost - objective.value(sink)) / self.delta_w;
+                Selection { gate, sensitivity }
+            })
+            .collect()
+    }
+
+    /// The `k` most sensitive gates with positive sensitivity, sorted by
+    /// descending sensitivity (ties toward lower gate ids) — the
+    /// reference for the multi-gate-per-iteration sizing variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn select_top_k(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        k: usize,
+    ) -> Vec<Selection> {
+        assert!(k > 0, "k must be positive");
+        let mut all = self.all_sensitivities(circuit, objective);
+        all.sort_by(|a, b| {
+            if a.better_than(b) {
+                std::cmp::Ordering::Less
+            } else if b.better_than(a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        all.truncate(k);
+        all.retain(|s| s.sensitivity > 0.0);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_cells::{CellLibrary, VariationModel};
+    use statsize_netlist::{bench, shapes};
+
+    #[test]
+    fn selects_a_positive_sensitivity_gate_on_c17() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let sel = BruteForceSelector::new(1.0)
+            .select(&circuit, Objective::percentile(0.99))
+            .expect("minimum-size c17 must have an improving gate");
+        assert!(sel.sensitivity > 0.0);
+    }
+
+    #[test]
+    fn committing_the_selection_improves_the_objective() {
+        let nl = shapes::path_bundle("b", &[3, 6]);
+        let lib = CellLibrary::synthetic_180nm();
+        let mut circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        let before = circuit.objective_value(obj);
+        let sel = BruteForceSelector::new(1.0).select(&circuit, obj).unwrap();
+        circuit.commit_resize(sel.gate, 1.0);
+        let after = circuit.objective_value(obj);
+        assert!(
+            after < before,
+            "objective must improve: {before} -> {after}"
+        );
+        // The measured improvement matches the predicted sensitivity.
+        assert!(
+            ((before - after) - sel.sensitivity).abs() < 1e-6,
+            "predicted {} vs measured {}",
+            sel.sensitivity,
+            before - after
+        );
+    }
+
+    #[test]
+    fn on_a_bundle_the_long_path_gate_wins() {
+        // Only gates on the longest chain can improve the 99-percentile
+        // delay meaningfully; the selector must pick one of them.
+        let nl = shapes::path_bundle("b", &[2, 9]);
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let sel = BruteForceSelector::new(1.0)
+            .select(&circuit, Objective::percentile(0.99))
+            .unwrap();
+        let out_net = nl.gate(sel.gate).output();
+        assert!(
+            nl.net(out_net).name().starts_with("p1"),
+            "expected a long-chain gate, got {}",
+            nl.net(out_net).name()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Δw must be finite and positive")]
+    fn zero_delta_w_rejected() {
+        BruteForceSelector::new(0.0);
+    }
+}

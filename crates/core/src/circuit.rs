@@ -1,0 +1,261 @@
+//! The mutable timing state shared by all optimizers.
+
+use crate::objective::Objective;
+use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+use statsize_ssta::{ArcDelays, DelayOverrides, SstaAnalysis, TimingGraph};
+use statsize_netlist::{GateId, Netlist};
+
+/// A circuit under sizing optimization: the netlist bound to a cell
+/// library, with current gate widths, per-gate delay distributions, and an
+/// always-up-to-date SSTA result.
+///
+/// Sizing moves go through [`commit_resize`](TimedCircuit::commit_resize),
+/// which refreshes the affected delays and re-propagates arrival times in
+/// the fan-out cone only — exactly equivalent to a full SSTA rerun.
+#[derive(Debug)]
+pub struct TimedCircuit<'a> {
+    netlist: &'a Netlist,
+    model: DelayModel<'a>,
+    variation: VariationModel,
+    dt: f64,
+    graph: TimingGraph,
+    sizes: GateSizes,
+    delays: ArcDelays,
+    ssta: SstaAnalysis,
+}
+
+impl<'a> TimedCircuit<'a> {
+    /// Builds the timing state at minimum sizes.
+    ///
+    /// `dt` is the lattice step (ps) used for all distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and positive, or the library lacks a
+    /// cell for some gate kind.
+    pub fn new(
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        variation: VariationModel,
+        dt: f64,
+    ) -> Self {
+        let model = DelayModel::new(library, netlist);
+        let sizes = GateSizes::minimum(netlist);
+        let graph = TimingGraph::build(netlist);
+        let delays = ArcDelays::compute(netlist, &model, &sizes, &variation, dt);
+        let ssta = SstaAnalysis::run(&graph, &delays);
+        Self { netlist, model, variation, dt, graph, sizes, delays, ssta }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The delay model binding gates to cells.
+    pub fn model(&self) -> &DelayModel<'a> {
+        &self.model
+    }
+
+    /// The variation model.
+    pub fn variation(&self) -> &VariationModel {
+        &self.variation
+    }
+
+    /// The lattice step (ps).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The timing graph.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// Current gate widths.
+    pub fn sizes(&self) -> &GateSizes {
+        &self.sizes
+    }
+
+    /// Current per-gate delay distributions.
+    pub fn delays(&self) -> &ArcDelays {
+        &self.delays
+    }
+
+    /// The SSTA result for the current sizing (kept incrementally exact).
+    pub fn ssta(&self) -> &SstaAnalysis {
+        &self.ssta
+    }
+
+    /// Current total gate width `Σ w` — the paper's "total gate size".
+    pub fn total_width(&self) -> f64 {
+        self.sizes.total_width()
+    }
+
+    /// Current total area (width × per-cell area).
+    pub fn area(&self) -> f64 {
+        self.model.area(self.netlist, &self.sizes)
+    }
+
+    /// Evaluates an objective on the current circuit-delay distribution.
+    pub fn objective_value(&self, objective: Objective) -> f64 {
+        objective.value(self.ssta.sink_arrival())
+    }
+
+    /// The delay-distribution overrides describing a *trial* resize of
+    /// `gate` by `delta_w`: new distributions for the gate itself (faster)
+    /// and its fan-in drivers (slower). The circuit state is unchanged —
+    /// this is the paper's temporary sizing of `Initialize` (Figure 7,
+    /// steps 1 and 7).
+    pub fn overrides_for_resize(&self, gate: GateId, delta_w: f64) -> DelayOverrides {
+        let mut overrides = DelayOverrides::none();
+        for (g, nominal) in self.nominal_overrides_for_resize(gate, delta_w) {
+            overrides.set(g, self.variation.delay_dist(nominal, self.dt));
+        }
+        overrides
+    }
+
+    /// The *nominal* delays that a trial resize of `gate` by `delta_w`
+    /// would give the affected gates (the gate itself and its fan-in
+    /// drivers). Used directly by the deterministic optimizer and as the
+    /// basis of [`overrides_for_resize`](Self::overrides_for_resize).
+    pub fn nominal_overrides_for_resize(
+        &self,
+        gate: GateId,
+        delta_w: f64,
+    ) -> Vec<(GateId, f64)> {
+        let g = self.netlist.gate(gate);
+        let cell_x = self.model.cell(gate);
+        let w_x = self.sizes.width(gate);
+        let mut out = Vec::with_capacity(1 + g.fanin());
+
+        // The gate itself: Ccell grows, load is unchanged (it depends on
+        // the fan-out gates' widths only).
+        let load_x = self.model.load(self.netlist, &self.sizes, g.output());
+        out.push((gate, cell_x.delay(w_x + delta_w, load_x)));
+
+        // Each distinct fan-in driver: its load grows by the resized
+        // gate's extra pin capacitance, once per connected pin.
+        for (i, &input) in g.inputs().iter().enumerate() {
+            // Handle duplicate input nets once.
+            if g.inputs()[..i].contains(&input) {
+                continue;
+            }
+            let Some(driver) = self.netlist.net(input).driver() else {
+                continue; // primary input: no driving gate to slow down
+            };
+            let pins = g.inputs().iter().filter(|&&n| n == input).count() as f64;
+            let load = self.model.load(self.netlist, &self.sizes, input)
+                + delta_w * cell_x.pin_cap_unit() * pins;
+            let cell_d = self.model.cell(driver);
+            out.push((driver, cell_d.delay(self.sizes.width(driver), load)));
+        }
+        out
+    }
+
+    /// Commits a resize: `w += Δw` on `gate`, refreshing the affected
+    /// delay distributions and re-propagating arrival times in the fan-out
+    /// cone. Equivalent to a full SSTA rerun (asserted by tests).
+    pub fn commit_resize(&mut self, gate: GateId, delta_w: f64) {
+        self.sizes.resize(gate, delta_w);
+        let affected = ArcDelays::affected_by_resize(self.netlist, gate);
+        self.delays.update_gates(
+            self.netlist,
+            &self.model,
+            &self.sizes,
+            &self.variation,
+            affected.iter().copied(),
+        );
+        self.ssta
+            .update_after_delay_change(&self.graph, &self.delays, &affected);
+    }
+
+    /// Recomputes everything from scratch (used by tests to validate the
+    /// incremental path).
+    pub fn recompute_from_scratch(&mut self) {
+        self.delays =
+            ArcDelays::compute(self.netlist, &self.model, &self.sizes, &self.variation, self.dt);
+        self.ssta = SstaAnalysis::run(&self.graph, &self.delays);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_netlist::{bench, shapes};
+
+    #[test]
+    fn commit_resize_matches_full_recompute() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 0.5);
+        let gates: Vec<GateId> = nl.gate_ids().collect();
+        for (i, &g) in gates.iter().enumerate() {
+            c.commit_resize(g, 0.5 + 0.25 * i as f64);
+        }
+        let incremental = c.ssta().clone();
+        c.recompute_from_scratch();
+        assert_eq!(&incremental, c.ssta(), "incremental SSTA must be exact");
+    }
+
+    #[test]
+    fn overrides_do_not_mutate_state() {
+        let nl = shapes::chain("c", 4);
+        let lib = CellLibrary::synthetic_180nm();
+        let c = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 0.5);
+        let before_sizes = c.sizes().clone();
+        let before_ssta = c.ssta().clone();
+        let g = nl.topological_gates()[1];
+        let o = c.overrides_for_resize(g, 1.0);
+        assert_eq!(o.len(), 2, "gate plus one fan-in driver");
+        assert_eq!(c.sizes(), &before_sizes);
+        assert_eq!(c.ssta(), &before_ssta);
+    }
+
+    #[test]
+    fn override_distributions_reflect_the_resize() {
+        let nl = shapes::chain("c", 3);
+        let lib = CellLibrary::synthetic_180nm();
+        let c = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 0.25);
+        let g1 = nl.topological_gates()[1];
+        let g0 = nl.topological_gates()[0];
+        let o = c.overrides_for_resize(g1, 1.0);
+        let faster = o.get(g1).expect("resized gate overridden");
+        let slower = o.get(g0).expect("fan-in overridden");
+        assert!(faster.mean() < c.delays().dist(g1).mean());
+        assert!(slower.mean() > c.delays().dist(g0).mean());
+    }
+
+    #[test]
+    fn nominal_overrides_match_a_committed_resize() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 0.5);
+        let n16 = nl.find_net("16").unwrap();
+        let g16 = nl.net(n16).driver().unwrap();
+        let predicted = c.nominal_overrides_for_resize(g16, 0.75);
+        c.commit_resize(g16, 0.75);
+        for (g, nominal) in predicted {
+            let actual = c.delays().nominal(g);
+            assert!(
+                (nominal - actual).abs() < 1e-9,
+                "gate {g}: predicted {nominal} vs committed {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn resize_improves_the_objective_on_a_chain() {
+        let nl = shapes::chain("c", 5);
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 0.5);
+        let obj = Objective::percentile(0.99);
+        let before = c.objective_value(obj);
+        // Upsize the last gate (no fan-out penalty beyond the PO load).
+        let last = *nl.topological_gates().last().unwrap();
+        c.commit_resize(last, 1.0);
+        assert!(c.objective_value(obj) < before);
+        assert!(c.total_width() > 5.0);
+        assert!(c.area() > 5.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The deterministic-optimization baseline (paper Sections 3.1 and 4).
+//!
+//! Deterministic coordinate descent: any gate that can improve the
+//! deterministic circuit delay must lie on the critical path, so only
+//! critical-path gates are evaluated. The sensitivity is the change of the
+//! nominal circuit delay per unit width. This is the optimizer whose
+//! output the statistical optimizer beats by 5–10.5% at the 99-percentile
+//! (Table 1) — precisely because it balances paths into a "wall" that is
+//! fragile under variation (Figure 1).
+
+use crate::circuit::TimedCircuit;
+use crate::selection::Selection;
+use statsize_ssta::{run_sta, run_sta_with};
+
+/// The deterministic selector: critical-path candidates, nominal-delay
+/// sensitivities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeterministicSelector {
+    delta_w: f64,
+}
+
+impl DeterministicSelector {
+    /// Creates a selector with the given trial width increment `Δw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_w` is not finite and positive.
+    pub fn new(delta_w: f64) -> Self {
+        assert!(
+            delta_w.is_finite() && delta_w > 0.0,
+            "Δw must be finite and positive, got {delta_w}"
+        );
+        Self { delta_w }
+    }
+
+    /// The trial width increment.
+    pub fn delta_w(&self) -> f64 {
+        self.delta_w
+    }
+
+    /// Finds the critical-path gate with the highest deterministic
+    /// sensitivity `(D − D′)/Δw`, or `None` when no critical-path gate
+    /// improves the nominal circuit delay. Ties break toward the lower
+    /// gate id.
+    pub fn select(&self, circuit: &TimedCircuit<'_>) -> Option<Selection> {
+        let sta = run_sta(circuit.graph(), circuit.delays());
+        let d0 = sta.circuit_delay();
+        let mut best: Option<Selection> = None;
+        for gate in sta.critical_gates() {
+            let overrides = circuit.nominal_overrides_for_resize(gate, self.delta_w);
+            let trial = run_sta_with(circuit.graph(), circuit.delays(), &overrides);
+            let sensitivity = (d0 - trial.circuit_delay()) / self.delta_w;
+            let candidate = Selection { gate, sensitivity };
+            if best.map_or(true, |b| candidate.better_than(&b)) {
+                best = Some(candidate);
+            }
+        }
+        best.filter(|b| b.sensitivity > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_cells::{CellLibrary, VariationModel};
+    use statsize_netlist::{bench, shapes};
+
+    #[test]
+    fn selects_a_critical_path_gate() {
+        let nl = shapes::path_bundle("b", &[2, 8]);
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let sel = DeterministicSelector::new(1.0).select(&circuit).unwrap();
+        let out = nl.gate(sel.gate).output();
+        assert!(
+            nl.net(out).name().starts_with("p1"),
+            "critical path is the 8-chain, got gate driving {}",
+            nl.net(out).name()
+        );
+    }
+
+    #[test]
+    fn committing_improves_nominal_delay() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let before = run_sta(circuit.graph(), circuit.delays()).circuit_delay();
+        let sel = DeterministicSelector::new(1.0).select(&circuit).unwrap();
+        circuit.commit_resize(sel.gate, 1.0);
+        let after = run_sta(circuit.graph(), circuit.delays()).circuit_delay();
+        assert!(after < before, "nominal delay must improve: {before} -> {after}");
+        // Measured improvement equals the predicted sensitivity.
+        assert!(
+            ((before - after) - sel.sensitivity).abs() < 1e-9,
+            "predicted {} vs measured {}",
+            sel.sensitivity,
+            before - after
+        );
+    }
+
+    #[test]
+    fn sensitivity_shrinks_as_the_chain_is_upsized() {
+        // Upsizing has diminishing returns: the best sensitivity after
+        // many moves must be far below the first one. (It never reaches
+        // exactly zero for primary-input gates — their drivers are not
+        // modeled — which is why the optimizer offers a threshold.)
+        let nl = shapes::chain("c", 2);
+        let lib = CellLibrary::synthetic_180nm();
+        let mut circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let sel = DeterministicSelector::new(1.0);
+        let first = sel.select(&circuit).unwrap().sensitivity;
+        for _ in 0..30 {
+            let s = sel.select(&circuit).unwrap();
+            circuit.commit_resize(s.gate, 1.0);
+        }
+        let late = sel.select(&circuit).unwrap().sensitivity;
+        assert!(
+            late < first / 10.0,
+            "sensitivity must shrink: first {first}, late {late}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Bounded-lookahead heuristic selection (the paper's "future work").
+//!
+//! Section 4 observes that when many gates have similar sensitivities,
+//! exact identification of the argmax is expensive *and* unimportant for
+//! optimization quality, and proposes "fast heuristics for finding the
+//! most sensitive gate" as future work. This selector implements the
+//! natural such heuristic: propagate each candidate's perturbation front
+//! only a fixed number of levels past initialization and select on the
+//! front bound `Smx` (an upper bound on the exact sensitivity). With
+//! `lookahead = ∞` it degenerates to exact brute force; with `lookahead =
+//! 0` it ranks gates by their local perturbation only.
+
+use crate::circuit::TimedCircuit;
+use crate::objective::Objective;
+use crate::selection::Selection;
+use statsize_dist::lattice_shift_bound;
+use statsize_ssta::{ConeWalk, TimingNode};
+use std::collections::HashMap;
+
+/// Approximate selector: rank candidates by the perturbation-front bound
+/// after a fixed number of propagation levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeuristicSelector {
+    delta_w: f64,
+    lookahead: usize,
+}
+
+impl HeuristicSelector {
+    /// Creates a selector propagating each front at most `lookahead`
+    /// levels beyond its initialization before scoring it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_w` is not finite and positive.
+    pub fn new(delta_w: f64, lookahead: usize) -> Self {
+        assert!(
+            delta_w.is_finite() && delta_w > 0.0,
+            "Δw must be finite and positive, got {delta_w}"
+        );
+        Self { delta_w, lookahead }
+    }
+
+    /// The trial width increment.
+    pub fn delta_w(&self) -> f64 {
+        self.delta_w
+    }
+
+    /// The lookahead depth in levels.
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+
+    /// Selects the gate with the best bounded-lookahead score. The
+    /// reported sensitivity is the front bound (exact if the front reached
+    /// the sink within the lookahead). Returns `None` when no candidate
+    /// scores positive.
+    pub fn select(&self, circuit: &TimedCircuit<'_>, objective: Objective) -> Option<Selection> {
+        let base = circuit.ssta();
+        let base_cost = circuit.objective_value(objective);
+        let mut best: Option<Selection> = None;
+
+        for gate in circuit.netlist().gate_ids() {
+            let overrides = circuit.overrides_for_resize(gate, self.delta_w);
+            let mut walk = ConeWalk::new(circuit.graph(), circuit.delays(), base, overrides)
+                .evicting_retired();
+            let own_level = circuit
+                .graph()
+                .level(circuit.graph().out_node_of_gate(gate));
+
+            let mut deltas: HashMap<TimingNode, f64> = HashMap::new();
+            let mut budget = self.lookahead;
+            let mut exact: Option<f64> = None;
+            while let Some(level) = walk.next_level() {
+                if level > own_level {
+                    if budget == 0 {
+                        break;
+                    }
+                    budget -= 1;
+                }
+                let report = walk.step_level().expect("level observed pending");
+                for &node in &report.computed {
+                    if node == TimingNode::SINK {
+                        continue;
+                    }
+                    let p = walk.perturbed(node).expect("just computed");
+                    deltas.insert(node, lattice_shift_bound(base.arrival(node), p));
+                }
+                for &node in &report.retired {
+                    deltas.remove(&node);
+                }
+                if let Some(sink) = walk.sink_arrival() {
+                    exact = Some((base_cost - objective.value(sink)) / self.delta_w);
+                    break;
+                }
+            }
+            let score = exact.unwrap_or_else(|| {
+                deltas.values().fold(f64::NEG_INFINITY, |a, &b| a.max(b)) / self.delta_w
+            });
+            let candidate = Selection { gate, sensitivity: score };
+            if best.map_or(true, |b| candidate.better_than(&b)) {
+                best = Some(candidate);
+            }
+        }
+        best.filter(|b| b.sensitivity > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceSelector;
+    use statsize_cells::{CellLibrary, VariationModel};
+    use statsize_netlist::{bench, shapes};
+
+    #[test]
+    fn huge_lookahead_matches_brute_force_choice() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        let h = HeuristicSelector::new(1.0, usize::MAX).select(&circuit, obj).unwrap();
+        let b = BruteForceSelector::new(1.0).select(&circuit, obj).unwrap();
+        assert_eq!(h.gate, b.gate);
+        assert_eq!(h.sensitivity, b.sensitivity);
+    }
+
+    #[test]
+    fn zero_lookahead_still_selects_usefully() {
+        let nl = shapes::path_bundle("b", &[2, 8]);
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let sel = HeuristicSelector::new(1.0, 0)
+            .select(&circuit, Objective::percentile(0.99))
+            .unwrap();
+        // The score is a bound: at least the exact sensitivity of the gate.
+        assert!(sel.sensitivity > 0.0);
+    }
+
+    #[test]
+    fn score_bounds_exact_sensitivity_from_above() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        let h = HeuristicSelector::new(1.0, 1).select(&circuit, obj).unwrap();
+        let b = BruteForceSelector::new(1.0).select(&circuit, obj).unwrap();
+        assert!(
+            h.sensitivity >= b.sensitivity - 1e-12,
+            "bound {} must dominate exact max {}",
+            h.sensitivity,
+            b.sensitivity
+        );
+    }
+}

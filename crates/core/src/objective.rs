@@ -1,0 +1,121 @@
+//! Optimization objectives defined on the circuit-delay distribution.
+
+use statsize_dist::Dist;
+use std::fmt;
+
+/// A scalar cost function over the circuit-delay distribution at the sink.
+/// Lower is better; the optimizers minimize it.
+///
+/// The paper uses the `p`-percentile point with `p = 0.99`
+/// ([`Objective::percentile`]) but notes that "other objective functions
+/// could be equally well supported by the proposed framework". Objectives
+/// for which an improvement is bounded by the maximum percentile shift `Δ`
+/// ([`Objective::shift_bounded`]) are safe for the exact pruning
+/// algorithm; the others can still be optimized by brute force.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// The `p`-percentile circuit delay `T(A, p)` — the paper's objective.
+    ///
+    /// Shift-bounded: `δ(p) ≤ Δ` by definition of `Δ = max_p δ(p)`.
+    Percentile(f64),
+    /// The mean circuit delay.
+    ///
+    /// Shift-bounded: the mean is the integral of `T(A, p)` over `p`, so
+    /// its improvement is the average of `δ(p)` and cannot exceed `Δ`.
+    Mean,
+    /// `mean + k·σ` of the circuit delay.
+    ///
+    /// **Not** shift-bounded in general (σ can shrink under a
+    /// perturbation, producing an improvement larger than `Δ`), so the
+    /// pruned selector rejects it; use brute force.
+    MeanPlusSigma(f64),
+    /// Negative timing yield at a target delay: `-P(delay ≤ target)`.
+    ///
+    /// **Not** shift-bounded (it is a vertical CDF difference, not a
+    /// horizontal one); use brute force.
+    YieldAt(f64),
+}
+
+impl Objective {
+    /// The paper's objective: the `p`-percentile delay point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn percentile(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "probability must lie in (0, 1), got {p}");
+        Objective::Percentile(p)
+    }
+
+    /// Evaluates the cost on a circuit-delay distribution.
+    pub fn value(&self, dist: &Dist) -> f64 {
+        match *self {
+            Objective::Percentile(p) => dist.percentile(p),
+            Objective::Mean => dist.mean(),
+            Objective::MeanPlusSigma(k) => dist.mean() + k * dist.std_dev(),
+            Objective::YieldAt(target) => -dist.cdf_at(target),
+        }
+    }
+
+    /// True when any improvement of this objective under a perturbation is
+    /// bounded by the maximum percentile shift `Δ` — the soundness
+    /// condition of the paper's pruning theory (Theorems 1–4).
+    pub fn shift_bounded(&self) -> bool {
+        matches!(self, Objective::Percentile(_) | Objective::Mean)
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Objective::Percentile(p) => write!(f, "T({:.0}%)", p * 100.0),
+            Objective::Mean => write!(f, "mean"),
+            Objective::MeanPlusSigma(k) => write!(f, "mean+{k}σ"),
+            Objective::YieldAt(t) => write!(f, "yield@{t:.0}ps"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_dist::TruncatedGaussian;
+
+    fn dist() -> Dist {
+        TruncatedGaussian::from_nominal(100.0, 0.1, 3.0).discretize(0.5)
+    }
+
+    #[test]
+    fn percentile_objective_matches_dist() {
+        let d = dist();
+        let o = Objective::percentile(0.99);
+        assert_eq!(o.value(&d), d.percentile(0.99));
+    }
+
+    #[test]
+    fn mean_plus_sigma_exceeds_mean() {
+        let d = dist();
+        assert!(Objective::MeanPlusSigma(3.0).value(&d) > Objective::Mean.value(&d));
+    }
+
+    #[test]
+    fn yield_cost_decreases_with_target() {
+        let d = dist();
+        // A looser target gives higher yield, i.e. lower (more negative) cost.
+        assert!(Objective::YieldAt(130.0).value(&d) < Objective::YieldAt(100.0).value(&d));
+    }
+
+    #[test]
+    fn shift_bounded_classification() {
+        assert!(Objective::percentile(0.99).shift_bounded());
+        assert!(Objective::Mean.shift_bounded());
+        assert!(!Objective::MeanPlusSigma(3.0).shift_bounded());
+        assert!(!Objective::YieldAt(100.0).shift_bounded());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie in (0, 1)")]
+    fn percentile_validates() {
+        Objective::percentile(1.0);
+    }
+}

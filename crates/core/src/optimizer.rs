@@ -1,0 +1,421 @@
+//! The coordinate-descent sizing driver (paper Figure 6, outer loop).
+
+use crate::brute::BruteForceSelector;
+use crate::circuit::TimedCircuit;
+use crate::det_opt::DeterministicSelector;
+use crate::heuristic::HeuristicSelector;
+use crate::objective::Objective;
+use crate::pruned::{PruneStats, PrunedSelector};
+use crate::selection::Selection;
+use statsize_netlist::GateId;
+use std::time::{Duration, Instant};
+
+/// Which gate-selection algorithm the optimizer uses per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorKind {
+    /// Deterministic STA sensitivities on the critical path (baseline).
+    Deterministic,
+    /// Exact statistical sensitivities by full perturbation propagation.
+    BruteForce,
+    /// The paper's pruned algorithm — identical results to brute force.
+    Pruned,
+    /// Bounded-lookahead heuristic (the paper's future-work direction).
+    Heuristic {
+        /// Levels each front is propagated beyond initialization.
+        lookahead: usize,
+    },
+}
+
+/// Why an optimization run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No gate had positive sensitivity (`Max_S ≤ 0`, the paper's
+    /// termination condition).
+    Converged,
+    /// The configured iteration budget was exhausted.
+    MaxIterations,
+    /// The configured total-width budget was reached.
+    WidthLimit,
+}
+
+/// One committed sizing move and the circuit state after it — a point on
+/// the paper's area–delay trajectory (Figure 10).
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// The gate that was sized up.
+    pub gate: GateId,
+    /// Its sensitivity at selection time.
+    pub sensitivity: f64,
+    /// Objective value after the commit.
+    pub objective_after: f64,
+    /// Total gate width after the commit.
+    pub total_width_after: f64,
+    /// Total area after the commit.
+    pub area_after: f64,
+    /// Wall-clock time of the iteration (selection + commit).
+    pub elapsed: Duration,
+    /// Pruning statistics (pruned selector only).
+    pub prune: Option<PruneStats>,
+}
+
+/// The outcome of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizationResult {
+    /// Objective value before any sizing.
+    pub initial_objective: f64,
+    /// Objective value after the last commit.
+    pub final_objective: f64,
+    /// Total gate width before any sizing.
+    pub initial_width: f64,
+    /// Total gate width after the last commit.
+    pub final_width: f64,
+    /// Total area before any sizing.
+    pub initial_area: f64,
+    /// Total area after the last commit.
+    pub final_area: f64,
+    /// Every committed iteration, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+impl OptimizationResult {
+    /// Number of sizing moves committed.
+    pub fn iterations_run(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Objective improvement in percent of the initial value.
+    pub fn improvement_percent(&self) -> f64 {
+        100.0 * (self.initial_objective - self.final_objective) / self.initial_objective
+    }
+
+    /// Total-width increase in percent of the initial value (the paper's
+    /// Table 1, column 3).
+    pub fn width_increase_percent(&self) -> f64 {
+        100.0 * (self.final_width - self.initial_width) / self.initial_width
+    }
+
+    /// Mean wall-clock time per iteration.
+    pub fn mean_iteration_time(&self) -> Duration {
+        if self.iterations.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.iterations.iter().map(|r| r.elapsed).sum();
+        total / self.iterations.len() as u32
+    }
+}
+
+/// The coordinate-descent gate sizer: repeatedly select the most sensitive
+/// gate with the configured selector and size it up by `Δw`, until no gate
+/// improves the objective or a budget is hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Optimizer {
+    objective: Objective,
+    selector: SelectorKind,
+    delta_w: f64,
+    max_iterations: usize,
+    width_limit: Option<f64>,
+    min_sensitivity: f64,
+    moves_per_iteration: usize,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the paper's defaults: `Δw = 1.0`,
+    /// at most 1000 iterations, no width budget, and the paper's strict
+    /// `Max_S > 0` termination.
+    pub fn new(objective: Objective, selector: SelectorKind) -> Self {
+        Self {
+            objective,
+            selector,
+            delta_w: 1.0,
+            max_iterations: 1000,
+            width_limit: None,
+            min_sensitivity: 0.0,
+            moves_per_iteration: 1,
+        }
+    }
+
+    /// Commits up to `moves` sizing moves per selection round — the
+    /// paper's "size multiple gates in the same iteration" variant
+    /// (Section 3.3). Selection cost is amortized over the batch;
+    /// sensitivities within a batch are approximations for every move
+    /// after the first (the commits interact). Supported by the
+    /// brute-force and pruned selectors; the others always make one move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `moves` is zero.
+    #[must_use]
+    pub fn with_moves_per_iteration(mut self, moves: usize) -> Self {
+        assert!(moves > 0, "moves per iteration must be positive");
+        self.moves_per_iteration = moves;
+        self
+    }
+
+    /// Treats sensitivities at or below `threshold` as converged. The
+    /// continuous EQ 1 delay model keeps sensitivities of primary-input
+    /// gates positive forever (their drivers are not modeled, so upsizing
+    /// them has gain but no fan-in penalty); a small threshold gives the
+    /// descent a well-defined fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite.
+    #[must_use]
+    pub fn with_min_sensitivity(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be finite and non-negative, got {threshold}"
+        );
+        self.min_sensitivity = threshold;
+        self
+    }
+
+    /// Sets the per-move width increment `Δw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_w` is not finite and positive.
+    #[must_use]
+    pub fn with_delta_w(mut self, delta_w: f64) -> Self {
+        assert!(
+            delta_w.is_finite() && delta_w > 0.0,
+            "Δw must be finite and positive, got {delta_w}"
+        );
+        self.delta_w = delta_w;
+        self
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Stops once total gate width reaches this value — how the Table 1
+    /// comparison holds area equal between optimizers.
+    #[must_use]
+    pub fn with_width_limit(mut self, limit: f64) -> Self {
+        self.width_limit = Some(limit);
+        self
+    }
+
+    /// The objective being minimized.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The selector in use.
+    pub fn selector(&self) -> SelectorKind {
+        self.selector
+    }
+
+    /// The width increment per move.
+    pub fn delta_w(&self) -> f64 {
+        self.delta_w
+    }
+
+    /// Runs coordinate descent to convergence or budget exhaustion.
+    pub fn run(&self, circuit: &mut TimedCircuit<'_>) -> OptimizationResult {
+        let initial_objective = circuit.objective_value(self.objective);
+        let initial_width = circuit.total_width();
+        let initial_area = circuit.area();
+        let mut iterations = Vec::new();
+        let stop;
+
+        loop {
+            if iterations.len() >= self.max_iterations {
+                stop = StopReason::MaxIterations;
+                break;
+            }
+            if let Some(limit) = self.width_limit {
+                if circuit.total_width() + self.delta_w > limit + 1e-9 {
+                    stop = StopReason::WidthLimit;
+                    break;
+                }
+            }
+            let t0 = Instant::now();
+            let k = self.moves_per_iteration;
+            let (selections, prune): (Vec<Selection>, Option<PruneStats>) = match self.selector
+            {
+                SelectorKind::Deterministic => (
+                    DeterministicSelector::new(self.delta_w)
+                        .select(circuit)
+                        .into_iter()
+                        .collect(),
+                    None,
+                ),
+                SelectorKind::BruteForce => (
+                    BruteForceSelector::new(self.delta_w).select_top_k(
+                        circuit,
+                        self.objective,
+                        k,
+                    ),
+                    None,
+                ),
+                SelectorKind::Pruned => {
+                    let (s, stats) = PrunedSelector::new(self.delta_w)
+                        .select_top_k_with_stats(circuit, self.objective, k);
+                    (s, Some(stats))
+                }
+                SelectorKind::Heuristic { lookahead } => (
+                    HeuristicSelector::new(self.delta_w, lookahead)
+                        .select(circuit, self.objective)
+                        .into_iter()
+                        .collect(),
+                    None,
+                ),
+            };
+            if selections.is_empty()
+                || selections[0].sensitivity <= self.min_sensitivity
+            {
+                stop = StopReason::Converged;
+                break;
+            }
+            let mut stopped = None;
+            let mut first_in_batch = true;
+            for selection in selections {
+                if iterations.len() >= self.max_iterations {
+                    stopped = Some(StopReason::MaxIterations);
+                    break;
+                }
+                if let Some(limit) = self.width_limit {
+                    if circuit.total_width() + self.delta_w > limit + 1e-9 {
+                        stopped = Some(StopReason::WidthLimit);
+                        break;
+                    }
+                }
+                if selection.sensitivity <= self.min_sensitivity {
+                    break; // tail of the batch no longer qualifies
+                }
+                circuit.commit_resize(selection.gate, self.delta_w);
+                iterations.push(IterationRecord {
+                    iteration: iterations.len(),
+                    gate: selection.gate,
+                    sensitivity: selection.sensitivity,
+                    objective_after: circuit.objective_value(self.objective),
+                    total_width_after: circuit.total_width(),
+                    area_after: circuit.area(),
+                    elapsed: if first_in_batch { t0.elapsed() } else { Duration::ZERO },
+                    prune: if first_in_batch { prune } else { None },
+                });
+                first_in_batch = false;
+            }
+            if let Some(reason) = stopped {
+                stop = reason;
+                break;
+            }
+        }
+
+        OptimizationResult {
+            initial_objective,
+            final_objective: iterations
+                .last()
+                .map_or(initial_objective, |r| r.objective_after),
+            initial_width,
+            final_width: circuit.total_width(),
+            initial_area,
+            final_area: circuit.area(),
+            iterations,
+            stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_cells::{CellLibrary, VariationModel};
+    use statsize_netlist::{bench, shapes};
+
+    fn circuit_of<'a>(
+        nl: &'a statsize_netlist::Netlist,
+        lib: &'a CellLibrary,
+    ) -> TimedCircuit<'a> {
+        TimedCircuit::new(nl, lib, VariationModel::paper_default(), 1.0)
+    }
+
+    #[test]
+    fn statistical_run_improves_and_records_trajectory() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = circuit_of(&nl, &lib);
+        let result = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_max_iterations(8)
+            .run(&mut c);
+        assert!(result.final_objective < result.initial_objective);
+        assert!(result.improvement_percent() > 0.0);
+        assert_eq!(result.iterations_run(), result.iterations.len());
+        // Objective is non-increasing along the trajectory.
+        let mut prev = result.initial_objective;
+        for r in &result.iterations {
+            assert!(r.objective_after <= prev + 1e-9, "iteration {}", r.iteration);
+            prev = r.objective_after;
+            assert!(r.prune.is_some());
+        }
+        // Width grows by Δw each iteration.
+        assert!(
+            (result.final_width - result.initial_width
+                - result.iterations_run() as f64 * 1.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn width_limit_stops_the_run() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = circuit_of(&nl, &lib);
+        let result = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_width_limit(8.0) // 6 gates at width 1 + two moves of Δw=1
+            .run(&mut c);
+        assert_eq!(result.stop, StopReason::WidthLimit);
+        assert_eq!(result.iterations_run(), 2);
+    }
+
+    #[test]
+    fn deterministic_run_converges_with_threshold() {
+        let nl = shapes::chain("c", 3);
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = circuit_of(&nl, &lib);
+        let result = Optimizer::new(Objective::percentile(0.99), SelectorKind::Deterministic)
+            .with_max_iterations(400)
+            .with_min_sensitivity(0.1)
+            .run(&mut c);
+        assert_eq!(result.stop, StopReason::Converged);
+        assert!(result.final_objective < result.initial_objective);
+    }
+
+    #[test]
+    fn max_iterations_is_respected() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = circuit_of(&nl, &lib);
+        let result = Optimizer::new(Objective::percentile(0.99), SelectorKind::BruteForce)
+            .with_max_iterations(3)
+            .run(&mut c);
+        assert!(result.iterations_run() <= 3);
+        if result.iterations_run() == 3 {
+            assert_eq!(result.stop, StopReason::MaxIterations);
+        }
+    }
+
+    #[test]
+    fn heuristic_run_improves() {
+        let nl = shapes::path_bundle("b", &[3, 7, 5]);
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = circuit_of(&nl, &lib);
+        let result = Optimizer::new(
+            Objective::percentile(0.99),
+            SelectorKind::Heuristic { lookahead: 2 },
+        )
+        .with_max_iterations(10)
+        .run(&mut c);
+        assert!(result.final_objective <= result.initial_objective);
+    }
+}

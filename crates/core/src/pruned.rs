@@ -1,0 +1,413 @@
+//! The paper's accelerated selector: perturbation fronts with exact
+//! pruning (Figures 6–9).
+//!
+//! For every candidate gate a **perturbation front** is initialized
+//! (`Initialize`, Figure 7) and its sensitivity bound `Smx = Δmx/Δw`
+//! computed, where `Δmx` is the maximum percentile shift over the active
+//! front — by Theorems 1–4 an upper bound on the candidate's exact
+//! sensitivity `Sx`. Fronts are then advanced best-bound-first, one level
+//! at a time (`PropagateOneLevel`, Figure 9); whenever a front reaches the
+//! sink its exact `Sx` is known and every candidate with `Smx < Max_S` is
+//! pruned without further propagation (Figure 6, step 20). Because bounds
+//! only shrink as fronts advance, the surviving argmax is exactly the
+//! brute-force argmax.
+//!
+//! Soundness note: past the front, propagation merges with *unperturbed*
+//! side inputs (shift 0), so the usable guarantee is
+//! `Sx ≤ max(Smx, 0)`. Pruning only ever compares against `Max_S ≥ 0`,
+//! for which this is exactly sufficient: `Smx < Max_S` implies
+//! `max(Smx, 0) < Max_S` whenever `Max_S > 0`, and with `Max_S = 0` a
+//! pruned candidate provably has no positive sensitivity.
+
+use crate::circuit::TimedCircuit;
+use crate::objective::Objective;
+use crate::selection::Selection;
+use statsize_dist::lattice_shift_bound;
+use statsize_netlist::GateId;
+use statsize_ssta::{ConeWalk, SstaAnalysis, StepReport, TimingNode};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Work statistics of one pruned selection, quantifying how effective the
+/// perturbation bounds were (the paper reports "as many as 55 out of 56
+/// candidate nodes are pruned").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Number of candidate gates considered (all gates in the circuit).
+    pub candidates: usize,
+    /// Candidates whose front reached the sink (exact `Sx` computed).
+    pub completed: usize,
+    /// Candidates eliminated by the bound before reaching the sink.
+    pub pruned: usize,
+    /// Total `PropagateOneLevel` calls, including initialization steps.
+    pub levels_propagated: usize,
+    /// Total perturbed arrival distributions computed across all fronts.
+    pub nodes_computed: usize,
+}
+
+impl PruneStats {
+    /// Fraction of candidates pruned before full propagation.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// The paper's pruned statistical selector. Produces results identical to
+/// [`BruteForceSelector`](crate::BruteForceSelector) (same gate, same
+/// sensitivity, bit for bit), typically at a fraction of the work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrunedSelector {
+    delta_w: f64,
+}
+
+/// Safety slack (ps per unit width) applied to the pruning comparison.
+///
+/// The whole-bin front bound is preserved *exactly* by the lattice
+/// operators, except for one nuisance term: tail trimming renormalizes
+/// mass by factors of `1 ± 1e-12`, which perturbs objective evaluations
+/// by well under `1e-9` ps at any percentile with real mass. Pruning only
+/// when the bound is below `Max_S` by more than this slack absorbs that
+/// noise; it is about six orders of magnitude below any sensitivity that
+/// matters, so pruning effectiveness is unaffected.
+const PRUNE_SLACK: f64 = 1e-6;
+
+/// One candidate gate's partially propagated perturbation front.
+struct Candidate<'a> {
+    gate: GateId,
+    walk: ConeWalk<'a>,
+    /// `Δi` per active front node.
+    deltas: HashMap<TimingNode, f64>,
+    /// Current bound `Smx = Δmx/Δw` (valid once initialization finished).
+    smx: f64,
+}
+
+impl<'a> Candidate<'a> {
+    /// Folds one propagation step into the front: compute `Δi` for newly
+    /// computed nodes, drop retired ones, refresh the bound.
+    fn absorb(&mut self, report: &StepReport, base: &SstaAnalysis, delta_w: f64) {
+        for &node in &report.computed {
+            if node == TimingNode::SINK {
+                continue; // the sink's exact δ is handled by the caller
+            }
+            let perturbed = self
+                .walk
+                .perturbed(node)
+                .expect("just-computed nodes are retained");
+            // Whole-bin shift bound: at most one lattice step looser than
+            // the interpolated shift, but provably preserved by every
+            // downstream lattice operation — this is what keeps the
+            // pruning exact on the discretized representation.
+            let delta = lattice_shift_bound(base.arrival(node), perturbed);
+            self.deltas.insert(node, delta);
+        }
+        for &node in &report.retired {
+            self.deltas.remove(&node);
+        }
+        let delta_mx = self
+            .deltas
+            .values()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        self.smx = delta_mx / delta_w;
+    }
+}
+
+/// Max-heap entry ordered by bound (descending), ties toward the lower
+/// gate index, using the IEEE total order for determinism.
+struct HeapEntry {
+    smx: f64,
+    idx: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.smx
+            .total_cmp(&other.smx)
+            .then(other.idx.cmp(&self.idx))
+    }
+}
+
+impl PrunedSelector {
+    /// Creates a selector with the given trial width increment `Δw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_w` is not finite and positive.
+    pub fn new(delta_w: f64) -> Self {
+        assert!(
+            delta_w.is_finite() && delta_w > 0.0,
+            "Δw must be finite and positive, got {delta_w}"
+        );
+        Self { delta_w }
+    }
+
+    /// The trial width increment.
+    pub fn delta_w(&self) -> f64 {
+        self.delta_w
+    }
+
+    /// Finds the most sensitive gate — identical to brute force — or
+    /// `None` when no gate improves the objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective is not
+    /// [`shift_bounded`](Objective::shift_bounded): the pruning theory
+    /// only covers objectives whose improvement is bounded by the maximum
+    /// percentile shift.
+    pub fn select(&self, circuit: &TimedCircuit<'_>, objective: Objective) -> Option<Selection> {
+        self.select_with_stats(circuit, objective).0
+    }
+
+    /// The `k` most sensitive gates — see
+    /// [`select_top_k_with_stats`](Self::select_top_k_with_stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the objective is not
+    /// [`shift_bounded`](Objective::shift_bounded).
+    pub fn select_top_k(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        k: usize,
+    ) -> Vec<Selection> {
+        self.select_top_k_with_stats(circuit, objective, k).0
+    }
+
+    /// Like [`select`](Self::select), also returning pruning statistics.
+    pub fn select_with_stats(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+    ) -> (Option<Selection>, PruneStats) {
+        let (mut top, stats) = self.select_top_k_with_stats(circuit, objective, 1);
+        (top.pop(), stats)
+    }
+
+    /// The `k` most sensitive gates — the paper's "size multiple gates in
+    /// the same iteration" variant (Section 3.3), still exact: candidates
+    /// are pruned against the *k-th best* completed sensitivity, so the
+    /// returned set matches brute force. Gates with non-positive
+    /// sensitivity are never returned; the result is sorted by descending
+    /// sensitivity (ties toward lower gate ids) and may be shorter than
+    /// `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the objective is not
+    /// [`shift_bounded`](Objective::shift_bounded).
+    pub fn select_top_k_with_stats(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        k: usize,
+    ) -> (Vec<Selection>, PruneStats) {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            objective.shift_bounded(),
+            "pruned selection requires a shift-bounded objective; \
+             use BruteForceSelector for {objective}"
+        );
+        let base = circuit.ssta();
+        let base_cost = circuit.objective_value(objective);
+        let mut stats = PruneStats {
+            candidates: circuit.netlist().gate_count(),
+            ..PruneStats::default()
+        };
+
+        // --- Initialize every candidate (Figure 7): temporary resize,
+        // propagate the seed perturbations up to the gate's own level,
+        // compute the initial bound. ---
+        let mut candidates: Vec<Option<Candidate<'_>>> = Vec::new();
+        for gate in circuit.netlist().gate_ids() {
+            let overrides = circuit.overrides_for_resize(gate, self.delta_w);
+            let walk = ConeWalk::new(circuit.graph(), circuit.delays(), base, overrides)
+                .evicting_retired();
+            let mut cand = Candidate {
+                gate,
+                walk,
+                deltas: HashMap::new(),
+                smx: f64::NEG_INFINITY,
+            };
+            let own_level = circuit
+                .graph()
+                .level(circuit.graph().out_node_of_gate(gate));
+            while cand.walk.next_level().is_some_and(|l| l <= own_level) {
+                let report = cand.walk.step_level().expect("level observed pending");
+                stats.levels_propagated += 1;
+                stats.nodes_computed += report.computed.len();
+                cand.absorb(&report, base, self.delta_w);
+            }
+            candidates.push(Some(cand));
+        }
+
+        // --- Best-bound-first propagation with pruning (Figure 6). ---
+        let mut heap: BinaryHeap<HeapEntry> = candidates
+            .iter()
+            .enumerate()
+            .map(|(idx, c)| HeapEntry {
+                smx: c.as_ref().expect("just created").smx,
+                idx,
+            })
+            .collect();
+        // Completed selections, kept sorted best-first. The pruning
+        // threshold is the k-th best completed sensitivity (the paper's
+        // `Max_S` when k = 1), never below 0.
+        let mut completed: Vec<Selection> = Vec::new();
+        let threshold = |completed: &Vec<Selection>| -> f64 {
+            if completed.len() < k {
+                0.0
+            } else {
+                completed[k - 1].sensitivity.max(0.0)
+            }
+        };
+
+        while let Some(entry) = heap.pop() {
+            let slot = &mut candidates[entry.idx];
+            let Some(cand) = slot.as_mut() else {
+                continue; // finished or pruned earlier (stale heap entry)
+            };
+            if entry.smx != cand.smx {
+                continue; // stale key: a fresher entry exists
+            }
+            // Prune: the bound says this candidate can never enter the
+            // top k (minus the floating-point safety slack).
+            if cand.smx < threshold(&completed) - PRUNE_SLACK {
+                stats.pruned += 1;
+                *slot = None;
+                continue;
+            }
+            let report = cand
+                .walk
+                .step_level()
+                .expect("unfinished candidates always have pending levels");
+            stats.levels_propagated += 1;
+            stats.nodes_computed += report.computed.len();
+            cand.absorb(&report, base, self.delta_w);
+
+            if let Some(sink) = cand.walk.sink_arrival() {
+                // Front reached the sink: exact sensitivity.
+                let sensitivity = (base_cost - objective.value(sink)) / self.delta_w;
+                stats.completed += 1;
+                let selection = Selection { gate: cand.gate, sensitivity };
+                let pos = completed
+                    .partition_point(|existing| existing.better_than(&selection));
+                completed.insert(pos, selection);
+                *slot = None;
+            } else {
+                heap.push(HeapEntry { smx: cand.smx, idx: entry.idx });
+            }
+        }
+
+        completed.truncate(k);
+        completed.retain(|s| s.sensitivity > 0.0);
+        (completed, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceSelector;
+    use statsize_cells::{CellLibrary, VariationModel};
+    use statsize_netlist::{bench, generator, shapes, Netlist};
+
+    fn check_matches_brute_force(nl: &Netlist, dt: f64, steps: usize) {
+        let lib = CellLibrary::synthetic_180nm();
+        let mut circuit = TimedCircuit::new(nl, &lib, VariationModel::paper_default(), dt);
+        let obj = Objective::percentile(0.99);
+        let brute = BruteForceSelector::new(1.0);
+        let pruned = PrunedSelector::new(1.0);
+        for step in 0..steps {
+            let b = brute.select(&circuit, obj);
+            let (p, stats) = pruned.select_with_stats(&circuit, obj);
+            match (b, p) {
+                (None, None) => break,
+                (Some(b), Some(p)) => {
+                    assert_eq!(b.gate, p.gate, "step {step}: gate mismatch");
+                    assert_eq!(
+                        b.sensitivity, p.sensitivity,
+                        "step {step}: sensitivity mismatch"
+                    );
+                    assert!(stats.completed + stats.pruned <= stats.candidates);
+                    circuit.commit_resize(b.gate, 1.0);
+                }
+                (b, p) => panic!("step {step}: brute {b:?} vs pruned {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_c17() {
+        check_matches_brute_force(&bench::c17(), 1.0, 6);
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_reconvergent_grid() {
+        check_matches_brute_force(&shapes::grid("g", 3, 4), 1.0, 4);
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_symmetric_diamond() {
+        // Perfectly symmetric arms produce exact sensitivity ties: the
+        // deterministic tie-break must keep both selectors aligned.
+        check_matches_brute_force(&shapes::diamond("d", 3), 1.0, 4);
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_generated_circuit() {
+        let nl = generator::generate_iscas("c432", 17).unwrap();
+        check_matches_brute_force(&nl, 2.0, 2);
+    }
+
+    #[test]
+    fn pruning_actually_prunes() {
+        let nl = generator::generate_iscas("c432", 3).unwrap();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 2.0);
+        let (sel, stats) =
+            PrunedSelector::new(1.0).select_with_stats(&circuit, Objective::percentile(0.99));
+        assert!(sel.is_some());
+        assert!(
+            stats.pruned_fraction() > 0.5,
+            "expected most candidates pruned, got {:?}",
+            stats
+        );
+        // Pruned fronts must do far less work than full propagation for
+        // every candidate would.
+        assert!(stats.completed >= 1);
+    }
+
+    #[test]
+    fn mean_objective_is_accepted() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let sel = PrunedSelector::new(1.0).select(&circuit, Objective::Mean);
+        assert!(sel.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "shift-bounded")]
+    fn non_bounded_objective_rejected() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let _ = PrunedSelector::new(1.0).select(&circuit, Objective::MeanPlusSigma(3.0));
+    }
+}

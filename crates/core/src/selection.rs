@@ -1,0 +1,47 @@
+//! The outcome of one sizing-candidate selection.
+
+use statsize_netlist::GateId;
+
+/// The gate chosen by a selector in one coordinate-descent iteration,
+/// together with its sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The selected gate.
+    pub gate: GateId,
+    /// Its sensitivity: objective improvement per unit width
+    /// (`Sx = δnf(p)/Δw` in the paper). Always positive for a returned
+    /// selection — selectors return `None` when no gate improves the
+    /// objective.
+    pub sensitivity: f64,
+}
+
+impl Selection {
+    /// Prefers the higher sensitivity; breaks exact ties toward the lower
+    /// gate id so that every selector (brute force, pruned) makes the same
+    /// deterministic choice.
+    pub fn better_than(&self, other: &Selection) -> bool {
+        self.sensitivity > other.sensitivity
+            || (self.sensitivity == other.sensitivity && self.gate < other.gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_sensitivity_wins() {
+        let a = Selection { gate: GateId::from_index(5), sensitivity: 2.0 };
+        let b = Selection { gate: GateId::from_index(1), sensitivity: 1.0 };
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+    }
+
+    #[test]
+    fn ties_break_toward_lower_gate_id() {
+        let a = Selection { gate: GateId::from_index(1), sensitivity: 1.0 };
+        let b = Selection { gate: GateId::from_index(2), sensitivity: 1.0 };
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+    }
+}

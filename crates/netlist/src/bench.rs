@@ -1,0 +1,239 @@
+//! ISCAS-85 `.bench` format support.
+//!
+//! The `.bench` format is the neutral netlist format introduced with the
+//! ISCAS'85 benchmark suite (Brglez & Fujiwara, ISCAS 1985 — reference [10]
+//! of the paper). A file consists of comments (`#`), `INPUT(net)` and
+//! `OUTPUT(net)` declarations, and gate definitions of the form
+//! `net = KIND(in1, in2, ...)`.
+//!
+//! # Example
+//!
+//! ```
+//! let nl = statsize_netlist::bench::parse("majority", "
+//!     ## 2-of-3 majority
+//!     INPUT(a)
+//!     INPUT(b)
+//!     INPUT(c)
+//!     OUTPUT(m)
+//!     t1 = AND(a, b)
+//!     t2 = AND(b, c)
+//!     t3 = AND(a, c)
+//!     m = OR(t1, t2, t3)
+//! ").unwrap();
+//! assert_eq!(nl.gate_count(), 4);
+//! ```
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use crate::GateKind;
+use std::fmt::Write as _;
+
+/// The real ISCAS-85 `c17` benchmark (6 NAND gates), embedded for tests and
+/// examples that want a tiny genuine circuit.
+pub const C17: &str = "\
+# c17 — ISCAS-85 benchmark (Brglez & Fujiwara 1985)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// Parses `.bench` source text into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for malformed lines,
+/// or any structural validation error from
+/// [`NetlistBuilder::build`](crate::NetlistBuilder::build).
+pub fn parse(name: &str, source: &str) -> Result<Netlist, NetlistError> {
+    let mut builder = NetlistBuilder::new(name);
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            builder.input(rest)?;
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            builder.output(rest)?;
+        } else if let Some(eq) = line.find('=') {
+            let out = line[..eq].trim();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: format!("expected `KIND(inputs)` after `=`, got `{rhs}`"),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "missing closing parenthesis".to_string(),
+                });
+            }
+            let kind: GateKind =
+                rhs[..open].trim().parse().map_err(|e| NetlistError::Parse {
+                    line: line_no,
+                    message: format!("{e}"),
+                })?;
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let inputs: Vec<&str> = args
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if inputs.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("gate `{out}` has no inputs"),
+                });
+            }
+            builder.gate(kind, out, &inputs)?;
+        } else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unrecognized line `{line}`"),
+            });
+        }
+    }
+    builder.build()
+}
+
+/// Serializes a netlist back into `.bench` text.
+///
+/// The output is canonical: inputs first, then outputs, then gates in
+/// topological order, so `write(parse(x))` is a normal form.
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &pi in netlist.primary_inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.net(pi).name());
+    }
+    for &po in netlist.primary_outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.net(po).name());
+    }
+    for &gid in netlist.topological_gates() {
+        let gate = netlist.gate(gid);
+        let inputs: Vec<&str> = gate
+            .inputs()
+            .iter()
+            .map(|&n| netlist.net(n).name())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            netlist.net(gate.output()).name(),
+            gate.kind().bench_keyword(),
+            inputs.join(", ")
+        );
+    }
+    out
+}
+
+/// Parses the embedded [`C17`] benchmark.
+pub fn c17() -> Netlist {
+    parse("c17", C17).expect("embedded c17 must parse")
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if !upper.starts_with(keyword) {
+        return None;
+    }
+    let rest = line[keyword.len()..].trim();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn c17_parses_with_expected_structure() {
+        let nl = c17();
+        assert_eq!(nl.gate_count(), 6);
+        assert_eq!(nl.primary_inputs().len(), 5);
+        assert_eq!(nl.primary_outputs().len(), 2);
+        assert_eq!(nl.depth(), 3);
+        let s = nl.stats();
+        assert_eq!(s.arcs, 12);
+        assert_eq!(s.timing_nodes, 11 + 2);
+        assert_eq!(s.timing_edges, 12 + 5 + 2);
+    }
+
+    #[test]
+    fn c17_function_spot_check() {
+        // With all inputs 0, every NAND of zeros is 1: 10=1, 11=1, 16=NAND(0,1)=1,
+        // 19=NAND(1,0)=1, 22=NAND(1,1)=0, 23=NAND(1,1)=0.
+        let nl = c17();
+        let mut inputs = HashMap::new();
+        for &pi in nl.primary_inputs() {
+            inputs.insert(pi, false);
+        }
+        let vals = nl.evaluate(&inputs);
+        let n22 = nl.find_net("22").unwrap();
+        let n23 = nl.find_net("23").unwrap();
+        assert!(!vals[n22.index()]);
+        assert!(!vals[n23.index()]);
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let nl = c17();
+        let text = write(&nl);
+        let nl2 = parse("c17", &text).unwrap();
+        assert_eq!(nl.stats(), nl2.stats());
+        // Second serialization is identical (canonical form).
+        assert_eq!(text, write(&nl2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let nl = parse(
+            "t",
+            "# header\n\nINPUT(a) # trailing comment\n\nOUTPUT(b)\nb = NOT(a)\n",
+        )
+        .unwrap();
+        assert_eq!(nl.gate_count(), 1);
+    }
+
+    #[test]
+    fn lowercase_keywords_accepted() {
+        let nl = parse("t", "input(a)\noutput(b)\nb = not(a)\n").unwrap();
+        assert_eq!(nl.gate_count(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let err = parse("t", "INPUT(a)\nwhat is this\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+
+        let err = parse("t", "INPUT(a)\nb = NOT(a\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+
+        let err = parse("t", "INPUT(a)\nb = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn structural_errors_surface() {
+        let err = parse("t", "INPUT(a)\nOUTPUT(b)\nb = NOT(ghost)\n").unwrap_err();
+        assert_eq!(err, NetlistError::UnknownNet("ghost".to_string()));
+    }
+}

@@ -1,0 +1,363 @@
+//! Incremental netlist construction with validation.
+
+use crate::error::NetlistError;
+use crate::id::{GateId, NetId};
+use crate::netlist::{Gate, Net, Netlist};
+use crate::GateKind;
+use std::collections::HashMap;
+
+/// Builds a [`Netlist`] incrementally, validating as it goes.
+///
+/// Nets may be referenced before they are defined (forward references are
+/// resolved at [`build`](NetlistBuilder::build) time), matching how the
+/// `.bench` format lists `OUTPUT(...)` declarations before gate
+/// definitions.
+///
+/// # Example
+///
+/// ```
+/// use statsize_netlist::{GateKind, NetlistBuilder};
+/// # fn main() -> Result<(), statsize_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("buf_chain");
+/// b.input("in")?;
+/// b.gate(GateKind::Buf, "mid", &["in"])?;
+/// b.gate(GateKind::Buf, "out", &["mid"])?;
+/// b.output("out")?;
+/// let nl = b.build()?;
+/// assert_eq!(nl.depth(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    net_ids: HashMap<String, NetId>,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    /// Nets referenced as gate inputs but not yet defined.
+    pending: HashMap<String, NetId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            net_ids: HashMap::new(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.net_ids.get(name) {
+            return id;
+        }
+        let id = NetId::from_index(self.nets.len());
+        self.nets.push(Net {
+            name: name.to_string(),
+            driver: None,
+            loads: Vec::new(),
+            is_output: false,
+        });
+        self.net_ids.insert(name.to_string(), id);
+        self.pending.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares a primary input net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNet`] if the name is already defined
+    /// as an input or gate output.
+    pub fn input(&mut self, name: &str) -> Result<NetId, NetlistError> {
+        let id = self.intern(name);
+        if self.pending.remove(name).is_none() {
+            return Err(NetlistError::DuplicateNet(name.to_string()));
+        }
+        self.primary_inputs.push(id);
+        Ok(id)
+    }
+
+    /// Marks a net as a primary output. The net may be defined later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNet`] if the net is already marked
+    /// as an output.
+    pub fn output(&mut self, name: &str) -> Result<NetId, NetlistError> {
+        let id = self.intern(name);
+        // `intern` adds unknown names to pending; an output reference alone
+        // does not define the net, so leave pending as is.
+        if self.nets[id.index()].is_output {
+            return Err(NetlistError::DuplicateNet(name.to_string()));
+        }
+        self.nets[id.index()].is_output = true;
+        self.primary_outputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a gate driving net `output` from the named input nets.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::NoInputs`] if `inputs` is empty.
+    /// * [`NetlistError::FaninMismatch`] if a single-input kind gets ≠ 1
+    ///   inputs.
+    /// * [`NetlistError::MultipleDrivers`] if `output` is already driven or
+    ///   is a primary input.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        output: &str,
+        inputs: &[&str],
+    ) -> Result<GateId, NetlistError> {
+        if inputs.is_empty() {
+            return Err(NetlistError::NoInputs(output.to_string()));
+        }
+        if kind.is_single_input() && inputs.len() != 1 {
+            return Err(NetlistError::FaninMismatch {
+                gate: output.to_string(),
+                got: inputs.len(),
+            });
+        }
+        let out_id = self.intern(output);
+        let already_driven = self.nets[out_id.index()].driver.is_some()
+            || self.primary_inputs.contains(&out_id);
+        if already_driven {
+            return Err(NetlistError::MultipleDrivers(output.to_string()));
+        }
+        self.pending.remove(output);
+
+        let gid = GateId::from_index(self.gates.len());
+        let in_ids: Vec<NetId> = inputs.iter().map(|n| self.intern(n)).collect();
+        for &iid in &in_ids {
+            self.nets[iid.index()].loads.push(gid);
+        }
+        self.nets[out_id.index()].driver = Some(gid);
+        self.gates.push(Gate {
+            kind,
+            inputs: in_ids,
+            output: out_id,
+        });
+        Ok(gid)
+    }
+
+    /// Number of gates added so far.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Finalizes and validates the netlist.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UnknownNet`] — a referenced net was never defined.
+    /// * [`NetlistError::NoPrimaryInputs`] / [`NetlistError::NoPrimaryOutputs`].
+    /// * [`NetlistError::Cycle`] — the gate graph has a combinational cycle.
+    /// * [`NetlistError::DanglingNet`] — a net is neither consumed nor a
+    ///   primary output.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        if let Some(name) = self.pending.keys().next() {
+            return Err(NetlistError::UnknownNet(name.clone()));
+        }
+        if self.primary_inputs.is_empty() {
+            return Err(NetlistError::NoPrimaryInputs);
+        }
+        if self.primary_outputs.is_empty() {
+            return Err(NetlistError::NoPrimaryOutputs);
+        }
+        for net in &self.nets {
+            if net.loads.is_empty() && !net.is_output {
+                return Err(NetlistError::DanglingNet(net.name.clone()));
+            }
+        }
+        // Cycle check via Kahn's algorithm on gates.
+        let mut remaining: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| {
+                g.inputs
+                    .iter()
+                    .filter(|n| self.nets[n.index()].driver.is_some())
+                    .count()
+            })
+            .collect();
+        let mut queue: Vec<GateId> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == 0)
+            .map(|(i, _)| GateId::from_index(i))
+            .collect();
+        let mut visited = 0usize;
+        while let Some(gid) = queue.pop() {
+            visited += 1;
+            let out = self.gates[gid.index()].output;
+            for &load in &self.nets[out.index()].loads {
+                remaining[load.index()] -= 1;
+                if remaining[load.index()] == 0 {
+                    queue.push(load);
+                }
+            }
+        }
+        if visited != self.gates.len() {
+            // Find a gate that never became ready for a useful message.
+            let stuck = self
+                .gates
+                .iter()
+                .enumerate()
+                .find(|(i, _)| remaining[*i] > 0)
+                .map(|(_, g)| self.nets[g.output.index()].name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::Cycle(stuck));
+        }
+
+        let (levels, topo_gates) = Netlist::compute_levels(&self.nets, &self.gates);
+        Ok(Netlist {
+            name: self.name,
+            nets: self.nets,
+            gates: self.gates,
+            primary_inputs: self.primary_inputs,
+            primary_outputs: self.primary_outputs,
+            levels,
+            topo_gates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = NetlistBuilder::new("fwd");
+        b.input("a").unwrap();
+        // `mid` referenced before definition.
+        b.gate(GateKind::Not, "out", &["mid"]).unwrap();
+        b.gate(GateKind::Buf, "mid", &["a"]).unwrap();
+        b.output("out").unwrap();
+        let nl = b.build().unwrap();
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.depth(), 2);
+    }
+
+    #[test]
+    fn undefined_net_is_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a").unwrap();
+        b.gate(GateKind::And, "out", &["a", "ghost"]).unwrap();
+        b.output("out").unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetlistError::UnknownNet("ghost".to_string())
+        );
+    }
+
+    #[test]
+    fn double_drive_is_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate(GateKind::Buf, "x", &["a"]).unwrap();
+        assert_eq!(
+            b.gate(GateKind::Buf, "x", &["b"]).unwrap_err(),
+            NetlistError::MultipleDrivers("x".to_string())
+        );
+    }
+
+    #[test]
+    fn driving_an_input_is_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        assert_eq!(
+            b.gate(GateKind::Buf, "a", &["b"]).unwrap_err(),
+            NetlistError::MultipleDrivers("a".to_string())
+        );
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = NetlistBuilder::new("cyclic");
+        b.input("a").unwrap();
+        b.gate(GateKind::And, "x", &["a", "y"]).unwrap();
+        b.gate(GateKind::And, "y", &["a", "x"]).unwrap();
+        b.output("x").unwrap();
+        b.output("y").unwrap();
+        assert!(matches!(b.build().unwrap_err(), NetlistError::Cycle(_)));
+    }
+
+    #[test]
+    fn dangling_net_is_rejected() {
+        let mut b = NetlistBuilder::new("dangle");
+        b.input("a").unwrap();
+        b.gate(GateKind::Not, "x", &["a"]).unwrap();
+        b.gate(GateKind::Not, "out", &["a"]).unwrap();
+        b.output("out").unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetlistError::DanglingNet("x".to_string())
+        );
+    }
+
+    #[test]
+    fn missing_ios_are_rejected() {
+        let b = NetlistBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), NetlistError::NoPrimaryInputs);
+
+        let mut b = NetlistBuilder::new("no_out");
+        b.input("a").unwrap();
+        assert_eq!(b.build().unwrap_err(), NetlistError::NoPrimaryOutputs);
+    }
+
+    #[test]
+    fn single_input_kind_fanin_checked() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        assert!(matches!(
+            b.gate(GateKind::Not, "x", &["a", "b"]).unwrap_err(),
+            NetlistError::FaninMismatch { got: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_input_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a").unwrap();
+        assert_eq!(
+            b.input("a").unwrap_err(),
+            NetlistError::DuplicateNet("a".to_string())
+        );
+    }
+
+    #[test]
+    fn duplicate_output_mark_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a").unwrap();
+        b.gate(GateKind::Buf, "o", &["a"]).unwrap();
+        b.output("o").unwrap();
+        assert_eq!(
+            b.output("o").unwrap_err(),
+            NetlistError::DuplicateNet("o".to_string())
+        );
+    }
+
+    #[test]
+    fn input_can_be_primary_output_too() {
+        // A feed-through: PI marked as PO.
+        let mut b = NetlistBuilder::new("feed");
+        b.input("a").unwrap();
+        b.output("a").unwrap();
+        let nl = b.build().unwrap();
+        assert_eq!(nl.gate_count(), 0);
+        assert_eq!(nl.depth(), 0);
+    }
+}

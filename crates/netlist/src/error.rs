@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing, or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net name was declared twice (as input or gate output).
+    DuplicateNet(String),
+    /// A gate input or output declaration referenced a net that was never
+    /// defined.
+    UnknownNet(String),
+    /// A net would be driven by more than one gate (or by a gate and a
+    /// primary input).
+    MultipleDrivers(String),
+    /// A gate was declared with no inputs.
+    NoInputs(String),
+    /// A single-input gate kind was given more than one input.
+    FaninMismatch {
+        /// Output net name of the offending gate.
+        gate: String,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// The netlist contains a combinational cycle through the named net.
+    Cycle(String),
+    /// The netlist has no primary inputs.
+    NoPrimaryInputs,
+    /// The netlist has no primary outputs.
+    NoPrimaryOutputs,
+    /// A net is neither a primary output nor consumed by any gate.
+    DanglingNet(String),
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(n) => write!(f, "net `{n}` declared more than once"),
+            NetlistError::UnknownNet(n) => write!(f, "reference to undefined net `{n}`"),
+            NetlistError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            NetlistError::NoInputs(g) => write!(f, "gate `{g}` has no inputs"),
+            NetlistError::FaninMismatch { gate, got } => {
+                write!(f, "single-input gate `{gate}` was given {got} inputs")
+            }
+            NetlistError::Cycle(n) => {
+                write!(f, "combinational cycle detected through net `{n}`")
+            }
+            NetlistError::NoPrimaryInputs => write!(f, "netlist has no primary inputs"),
+            NetlistError::NoPrimaryOutputs => write!(f, "netlist has no primary outputs"),
+            NetlistError::DanglingNet(n) => {
+                write!(f, "net `{n}` is neither consumed nor a primary output")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}

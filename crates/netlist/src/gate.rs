@@ -1,0 +1,162 @@
+//! Logic-gate kinds supported by the netlist and the ISCAS-85 format.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The logic function of a gate.
+///
+/// Only the timing-relevant structure matters for SSTA (fan-in count and
+/// drive characteristics); the boolean function is retained so netlists can
+/// be round-tripped through the `.bench` format and simulated if desired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Single-input buffer.
+    Buf,
+    /// Single-input inverter.
+    Not,
+    /// Multi-input AND.
+    And,
+    /// Multi-input NAND.
+    Nand,
+    /// Multi-input OR.
+    Or,
+    /// Multi-input NOR.
+    Nor,
+    /// Multi-input XOR.
+    Xor,
+    /// Multi-input XNOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// All gate kinds, in a fixed order.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// True for kinds that take exactly one input.
+    pub fn is_single_input(self) -> bool {
+        matches!(self, GateKind::Buf | GateKind::Not)
+    }
+
+    /// The `.bench` keyword for this kind (upper case).
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Evaluates the boolean function on the given inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or if a single-input kind receives more
+    /// than one input.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(!inputs.is_empty(), "gate must have at least one input");
+        if self.is_single_input() {
+            assert_eq!(inputs.len(), 1, "{self} takes exactly one input");
+        }
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// Error returned when parsing an unknown gate keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError(pub(crate) String);
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            other => Err(ParseGateKindError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kind in GateKind::ALL {
+            let parsed: GateKind = kind.bench_keyword().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_with_aliases() {
+        assert_eq!("nand".parse::<GateKind>().unwrap(), GateKind::Nand);
+        assert_eq!("Buff".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert_eq!("inv".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert!("MAJ".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(!GateKind::Nand.eval(&[true, true]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(!GateKind::Nor.eval(&[false, true]));
+        assert!(GateKind::Xor.eval(&[true, false, false]));
+        assert!(!GateKind::Xor.eval(&[true, true, false, false]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buf.eval(&[true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one input")]
+    fn single_input_kind_rejects_fanin_two() {
+        GateKind::Not.eval(&[true, false]);
+    }
+}

@@ -1,0 +1,375 @@
+//! Deterministic synthetic-benchmark generation.
+//!
+//! The paper evaluates on *synthesized* versions of the ISCAS-85 circuits
+//! (Table 1, column 2, reports their timing-graph node/edge counts). The
+//! original gate-level syntheses and the 180 nm commercial library are not
+//! available, so this module generates levelized combinational DAGs that
+//! match each circuit's published node/edge count, its real primary
+//! input/output counts, and a representative logic depth. The optimization
+//! and pruning algorithms only observe the timing graph, so matching these
+//! structural statistics reproduces the computational shape of each
+//! benchmark (fanout structure, front widths, pruning behaviour, runtime
+//! scaling).
+//!
+//! Generation is fully deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use statsize_netlist::generator;
+//!
+//! let nl = generator::generate_iscas("c432", 1).unwrap();
+//! let s = nl.stats();
+//! // Node/edge counts track the paper's Table 1 profile (214 / 379).
+//! assert!((s.timing_nodes as i64 - 214).abs() < 10);
+//! ```
+
+use crate::builder::NetlistBuilder;
+use crate::netlist::Netlist;
+use crate::GateKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Structural profile of a benchmark circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Circuit name (e.g. `"c432"`).
+    pub name: &'static str,
+    /// Primary-input count (from the real ISCAS-85 circuit).
+    pub inputs: usize,
+    /// Primary-output count (from the real ISCAS-85 circuit).
+    pub outputs: usize,
+    /// Target timing-graph node count (paper Table 1, column 2).
+    pub nodes: usize,
+    /// Target timing-graph edge count (paper Table 1, column 2).
+    pub edges: usize,
+    /// Target logic depth (levels of gates on the longest path).
+    pub depth: usize,
+}
+
+/// The ten ISCAS-85 profiles used in the paper's experiments.
+///
+/// Node/edge counts are exactly those of Table 1; input/output counts are
+/// the real ISCAS-85 values; depths are representative of the synthesized
+/// circuits (c6288, the multiplier, is far deeper than the rest).
+pub const ISCAS85_PROFILES: [Profile; 10] = [
+    Profile { name: "c432", inputs: 36, outputs: 7, nodes: 214, edges: 379, depth: 20 },
+    Profile { name: "c499", inputs: 41, outputs: 32, nodes: 561, edges: 978, depth: 14 },
+    Profile { name: "c880", inputs: 60, outputs: 26, nodes: 425, edges: 804, depth: 20 },
+    Profile { name: "c1355", inputs: 41, outputs: 32, nodes: 570, edges: 1071, depth: 20 },
+    Profile { name: "c1908", inputs: 33, outputs: 25, nodes: 466, edges: 858, depth: 27 },
+    Profile { name: "c2670", inputs: 157, outputs: 64, nodes: 1059, edges: 1731, depth: 26 },
+    Profile { name: "c3540", inputs: 50, outputs: 22, nodes: 991, edges: 1972, depth: 34 },
+    Profile { name: "c5315", inputs: 178, outputs: 123, nodes: 1806, edges: 3311, depth: 33 },
+    Profile { name: "c6288", inputs: 32, outputs: 32, nodes: 2503, edges: 4999, depth: 89 },
+    Profile { name: "c7552", inputs: 207, outputs: 108, nodes: 2202, edges: 3945, depth: 30 },
+];
+
+/// Looks up one of the [`ISCAS85_PROFILES`] by name.
+pub fn profile(name: &str) -> Option<&'static Profile> {
+    ISCAS85_PROFILES.iter().find(|p| p.name == name)
+}
+
+/// Generates a synthetic circuit matching one of the [`ISCAS85_PROFILES`].
+///
+/// Returns `None` for an unknown circuit name.
+pub fn generate_iscas(name: &str, seed: u64) -> Option<Netlist> {
+    profile(name).map(|p| generate(p, seed))
+}
+
+/// Generates a synthetic circuit from an explicit profile.
+///
+/// The result is a valid levelized DAG whose timing-graph node count
+/// matches `profile.nodes` exactly and whose edge count lands within a few
+/// percent of `profile.edges` (exact arc placement is constrained by
+/// fan-in limits and dangling-net repair).
+///
+/// # Panics
+///
+/// Panics if the profile is internally inconsistent (fewer nodes than
+/// inputs + depth, or an edge target below one arc per gate).
+pub fn generate(profile: &Profile, seed: u64) -> Netlist {
+    let n_nets = profile
+        .nodes
+        .checked_sub(2)
+        .expect("profile.nodes must include source and sink");
+    let n_gates = n_nets
+        .checked_sub(profile.inputs)
+        .expect("profile.nodes too small for input count");
+    assert!(
+        n_gates >= profile.depth,
+        "profile needs at least one gate per level"
+    );
+    let max_fanin_cap = 4usize;
+    let arc_budget = profile
+        .edges
+        .saturating_sub(profile.inputs + profile.outputs)
+        .clamp(n_gates, n_gates * max_fanin_cap);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5743_5049_u64);
+    let max_fanin = 4usize;
+
+    // --- Level assignment: a spine guarantees every level is populated. ---
+    let mut gate_level = vec![0usize; n_gates];
+    for (i, lvl) in gate_level.iter_mut().enumerate().take(profile.depth) {
+        *lvl = i + 1;
+    }
+    for lvl in gate_level.iter_mut().skip(profile.depth) {
+        *lvl = rng.gen_range(1..=profile.depth);
+    }
+    gate_level.sort_unstable();
+
+    // --- Fan-in assignment: one input minimum, spread the rest. ---
+    let mut fanin = vec![1usize; n_gates];
+    let mut extra = arc_budget - n_gates;
+    while extra > 0 {
+        let g = rng.gen_range(0..n_gates);
+        if fanin[g] < max_fanin && gate_level[g] > 0 {
+            fanin[g] += 1;
+            extra -= 1;
+        }
+    }
+
+    // --- Net bookkeeping. Nets 0..inputs are PIs at level 0; gate k's
+    // output is net inputs + k. ---
+    let total_nets = profile.inputs + n_gates;
+    let mut net_level = vec![0usize; total_nets];
+    let mut net_loads = vec![0usize; total_nets];
+    let mut nets_by_level: Vec<Vec<usize>> = vec![Vec::new(); profile.depth + 1];
+    for pi in 0..profile.inputs {
+        nets_by_level[0].push(pi);
+    }
+    for (k, &lvl) in gate_level.iter().enumerate() {
+        let net = profile.inputs + k;
+        net_level[net] = lvl;
+        nets_by_level[lvl].push(net);
+    }
+
+    // --- Wiring. ---
+    let mut gate_inputs: Vec<Vec<usize>> = Vec::with_capacity(n_gates);
+    for k in 0..n_gates {
+        let lvl = gate_level[k];
+        let mut chosen: Vec<usize> = Vec::with_capacity(fanin[k]);
+        // First input comes from the previous level (pins the gate's level),
+        // preferring a net that nothing consumes yet.
+        let first = pick_net(&mut rng, &nets_by_level[lvl - 1], &net_loads, &chosen);
+        chosen.push(first);
+        for _ in 1..fanin[k] {
+            // Bias the remaining inputs toward nearby earlier levels.
+            let mut src_lvl = lvl - 1;
+            while src_lvl > 0 && rng.gen_bool(0.35) {
+                src_lvl -= 1;
+            }
+            // Only gate outputs below the first populated level are PIs.
+            let candidates = &nets_by_level[src_lvl];
+            let pick = pick_net(&mut rng, candidates, &net_loads, &chosen);
+            chosen.push(pick);
+        }
+        for &n in &chosen {
+            net_loads[n] += 1;
+        }
+        gate_inputs.push(chosen);
+    }
+
+    // --- Repair dangling primary inputs: feed them into existing gates or
+    // mark them as primary outputs below. ---
+    for pi in 0..profile.inputs {
+        if net_loads[pi] > 0 {
+            continue;
+        }
+        // Find a gate (any level) with spare fan-in capacity.
+        if let Some(k) = (0..n_gates)
+            .filter(|&k| gate_inputs[k].len() < max_fanin && !gate_inputs[k].contains(&pi))
+            .min_by_key(|&k| gate_inputs[k].len())
+        {
+            gate_inputs[k].push(pi);
+            net_loads[pi] += 1;
+        }
+    }
+
+    // --- Choose primary outputs: all sinks, then top up / trim toward the
+    // profile's output count. ---
+    let mut sinks: Vec<usize> = (0..total_nets).filter(|&n| net_loads[n] == 0).collect();
+    if sinks.len() > profile.outputs {
+        // Keep the highest-level sinks as POs and consume the rest as extra
+        // gate inputs. Each conversion trades one PO→sink edge for one arc,
+        // so the timing-edge total is unchanged.
+        sinks.sort_by_key(|&n| net_level[n]);
+        let excess = sinks.len() - profile.outputs;
+        let mut still_sinks = Vec::new();
+        for (i, &n) in sinks.iter().enumerate() {
+            if i >= excess {
+                still_sinks.push(n);
+                continue;
+            }
+            let taker = (0..n_gates)
+                .filter(|&k| {
+                    gate_level[k] > net_level[n]
+                        && gate_inputs[k].len() < max_fanin
+                        && !gate_inputs[k].contains(&n)
+                })
+                .min_by_key(|&k| gate_inputs[k].len());
+            match taker {
+                Some(k) => {
+                    gate_inputs[k].push(n);
+                    net_loads[n] += 1;
+                }
+                None => still_sinks.push(n),
+            }
+        }
+        sinks = still_sinks;
+    }
+    let mut outputs = sinks;
+    if outputs.len() < profile.outputs {
+        // Promote additional high-level nets to POs.
+        let mut candidates: Vec<usize> =
+            (0..total_nets).filter(|n| !outputs.contains(n)).collect();
+        candidates.sort_by_key(|&n| std::cmp::Reverse(net_level[n]));
+        for n in candidates {
+            if outputs.len() >= profile.outputs {
+                break;
+            }
+            outputs.push(n);
+        }
+    }
+    outputs.sort_unstable();
+
+    // --- Emit through the validating builder. ---
+    let names: Vec<String> = (0..total_nets)
+        .map(|n| {
+            if n < profile.inputs {
+                format!("pi{n}")
+            } else {
+                format!("n{}", n - profile.inputs)
+            }
+        })
+        .collect();
+    let mut b = NetlistBuilder::new(profile.name);
+    for pi in 0..profile.inputs {
+        b.input(&names[pi]).expect("generated PI names are unique");
+    }
+    for (k, inputs) in gate_inputs.iter().enumerate() {
+        let kind = pick_kind(&mut rng, inputs.len());
+        let input_names: Vec<&str> = inputs.iter().map(|&n| names[n].as_str()).collect();
+        b.gate(kind, &names[profile.inputs + k], &input_names)
+            .expect("generated gate wiring is valid");
+    }
+    for &o in &outputs {
+        b.output(&names[o]).expect("generated output marks are unique");
+    }
+    b.build().expect("generated netlist must validate")
+}
+
+/// Picks a source net, preferring nets that nothing consumes yet and
+/// avoiding duplicates within one gate where possible.
+fn pick_net(rng: &mut StdRng, candidates: &[usize], loads: &[usize], taken: &[usize]) -> usize {
+    debug_assert!(!candidates.is_empty(), "levels are populated by the spine");
+    let unloaded: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|n| loads[*n] == 0 && !taken.contains(n))
+        .collect();
+    if !unloaded.is_empty() && rng.gen_bool(0.8) {
+        return *unloaded.choose(rng).expect("non-empty");
+    }
+    let fresh: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|n| !taken.contains(n))
+        .collect();
+    if fresh.is_empty() {
+        *candidates.choose(rng).expect("non-empty")
+    } else {
+        *fresh.choose(rng).expect("non-empty")
+    }
+}
+
+fn pick_kind(rng: &mut StdRng, fanin: usize) -> GateKind {
+    match fanin {
+        1 => {
+            if rng.gen_bool(0.75) {
+                GateKind::Not
+            } else {
+                GateKind::Buf
+            }
+        }
+        2 => *[
+            GateKind::Nand,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+        ]
+        .choose(rng)
+        .expect("non-empty"),
+        _ => *[GateKind::Nand, GateKind::Nor, GateKind::And, GateKind::Or]
+            .choose(rng)
+            .expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_generate_valid_netlists() {
+        for p in &ISCAS85_PROFILES {
+            let nl = generate(p, 42);
+            let s = nl.stats();
+            assert_eq!(s.timing_nodes, p.nodes, "{}: node count", p.name);
+            assert_eq!(s.depth, p.depth, "{}: depth", p.name);
+            let edge_err = (s.timing_edges as f64 - p.edges as f64).abs() / p.edges as f64;
+            assert!(
+                edge_err < 0.06,
+                "{}: edges {} vs target {} ({:.1}% off)",
+                p.name,
+                s.timing_edges,
+                p.edges,
+                edge_err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile("c880").unwrap();
+        let a = generate(p, 7);
+        let b = generate(p, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = profile("c432").unwrap();
+        let a = generate(p, 1);
+        let b = generate(p, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(generate_iscas("c9999", 0).is_none());
+    }
+
+    #[test]
+    fn generated_circuits_round_trip_through_bench_format() {
+        let nl = generate_iscas("c432", 3).unwrap();
+        let text = crate::bench::write(&nl);
+        let nl2 = crate::bench::parse("c432", &text).unwrap();
+        assert_eq!(nl.stats(), nl2.stats());
+    }
+
+    #[test]
+    fn every_level_is_populated() {
+        let nl = generate_iscas("c1908", 5).unwrap();
+        let depth = nl.depth();
+        let mut seen = vec![false; depth + 1];
+        for n in nl.net_ids() {
+            seen[nl.level(n)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some level has no nets");
+    }
+}

@@ -1,0 +1,56 @@
+//! Typed identifiers for nets and gates.
+
+use std::fmt;
+
+/// Identifier of a net within one [`Netlist`](crate::Netlist).
+///
+/// Nets are the nodes of the paper's timing graph (Definition 1); ids are
+/// dense indices assigned in creation order, so they can index side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a gate within one [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub(crate) u32);
+
+impl NetId {
+    /// The dense index of this net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a net id from a dense index.
+    ///
+    /// Only meaningful when the index came from the same netlist's
+    /// [`index`](NetId::index).
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl GateId {
+    /// The dense index of this gate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a gate id from a dense index.
+    ///
+    /// Only meaningful when the index came from the same netlist's
+    /// [`index`](GateId::index).
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}

@@ -1,0 +1,54 @@
+//! Gate-level combinational netlists for statistical timing optimization.
+//!
+//! This crate provides the circuit substrate of the `statsize` workspace:
+//!
+//! * [`Netlist`] — a validated, acyclic gate-level netlist with named nets,
+//!   primary inputs/outputs, and logic levels;
+//! * [`NetlistBuilder`] — incremental construction with full validation
+//!   (single driver per net, no cycles, no dangling references);
+//! * [`bench`](crate::bench) — an ISCAS-85 `.bench` format parser and
+//!   writer, with the real `c17` benchmark embedded;
+//! * [`generator`](crate::generator) — a deterministic synthetic-benchmark
+//!   generator reproducing the node/edge profile of the synthesized
+//!   ISCAS-85 circuits used in the DATE'05 paper (`c432` … `c7552`);
+//! * [`shapes`](crate::shapes) — canonical circuit shapes (chains, trees,
+//!   reconvergent diamonds, parallel path bundles) used by tests and by the
+//!   "wall of critical paths" experiment (paper Figure 1).
+//!
+//! # Example
+//!
+//! ```
+//! use statsize_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), statsize_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("half_adder");
+//! b.input("a")?;
+//! b.input("b")?;
+//! b.gate(GateKind::Xor, "sum", &["a", "b"])?;
+//! b.gate(GateKind::And, "carry", &["a", "b"])?;
+//! b.output("sum")?;
+//! b.output("carry")?;
+//! let nl = b.build()?;
+//! assert_eq!(nl.gate_count(), 2);
+//! assert_eq!(nl.depth(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bench;
+mod builder;
+mod error;
+mod gate;
+pub mod generator;
+mod id;
+mod netlist;
+pub mod shapes;
+
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use id::{GateId, NetId};
+pub use netlist::{Gate, Net, Netlist, NetlistStats};

@@ -1,0 +1,225 @@
+//! Canonical circuit shapes for tests, examples, and experiments.
+//!
+//! These builders construct small parametric circuits with known structure:
+//! chains (single path), path bundles (the paper's Figure 1 "wall of
+//! critical paths" setup), reconvergent diamonds (exercise the
+//! independence-bound of the max operator), balanced trees, and grids
+//! (dense reconvergence).
+
+use crate::builder::NetlistBuilder;
+use crate::netlist::Netlist;
+use crate::GateKind;
+
+/// A chain of `length` inverters: `in → NOT → NOT → … → out`.
+///
+/// # Panics
+///
+/// Panics if `length` is zero.
+///
+/// # Example
+///
+/// ```
+/// let nl = statsize_netlist::shapes::chain("c", 5);
+/// assert_eq!(nl.depth(), 5);
+/// assert_eq!(nl.gate_count(), 5);
+/// ```
+pub fn chain(name: &str, length: usize) -> Netlist {
+    assert!(length > 0, "chain length must be positive");
+    let mut b = NetlistBuilder::new(name);
+    b.input("in").expect("fresh name");
+    let mut prev = "in".to_string();
+    for i in 0..length {
+        let out = format!("s{i}");
+        b.gate(GateKind::Not, &out, &[&prev]).expect("fresh name");
+        prev = out;
+    }
+    b.output(&prev).expect("fresh mark");
+    b.build().expect("chain is structurally valid")
+}
+
+/// A bundle of independent inverter chains, one per entry of `lengths`;
+/// path `i` runs from `in{i}` to `out-of-chain{i}` and is marked as a
+/// primary output.
+///
+/// With equal lengths this is the "wall of critical paths" of the paper's
+/// Figure 1(a); with one long chain and shorter others it is the
+/// unbalanced distribution of Figure 1(b). The circuit delay is the
+/// statistical max over the bundle.
+///
+/// # Panics
+///
+/// Panics if `lengths` is empty or contains a zero.
+pub fn path_bundle(name: &str, lengths: &[usize]) -> Netlist {
+    assert!(!lengths.is_empty(), "bundle must contain at least one path");
+    let mut b = NetlistBuilder::new(name);
+    for (p, &len) in lengths.iter().enumerate() {
+        assert!(len > 0, "path length must be positive");
+        let pi = format!("in{p}");
+        b.input(&pi).expect("fresh name");
+        let mut prev = pi;
+        for i in 0..len {
+            let out = format!("p{p}s{i}");
+            b.gate(GateKind::Not, &out, &[&prev]).expect("fresh name");
+            prev = out;
+        }
+        b.output(&prev).expect("fresh mark");
+    }
+    b.build().expect("bundle is structurally valid")
+}
+
+/// A reconvergent diamond: one input fans out into two inverter chains of
+/// `arm_length`, which reconverge in a NAND. The two arrival times at the
+/// NAND are perfectly correlated, so the independence assumption of the
+/// statistical max is maximally stressed.
+///
+/// # Panics
+///
+/// Panics if `arm_length` is zero.
+pub fn diamond(name: &str, arm_length: usize) -> Netlist {
+    assert!(arm_length > 0, "arm length must be positive");
+    let mut b = NetlistBuilder::new(name);
+    b.input("in").expect("fresh name");
+    let mut arms = Vec::new();
+    for arm in 0..2 {
+        let mut prev = "in".to_string();
+        for i in 0..arm_length {
+            let out = format!("a{arm}s{i}");
+            b.gate(GateKind::Not, &out, &[&prev]).expect("fresh name");
+            prev = out;
+        }
+        arms.push(prev);
+    }
+    b.gate(GateKind::Nand, "out", &[&arms[0], &arms[1]])
+        .expect("fresh name");
+    b.output("out").expect("fresh mark");
+    b.build().expect("diamond is structurally valid")
+}
+
+/// A balanced reduction tree of 2-input gates over `2^depth` inputs.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero or exceeds 20.
+pub fn balanced_tree(name: &str, depth: usize, kind: GateKind) -> Netlist {
+    assert!(depth > 0 && depth <= 20, "depth must be in 1..=20");
+    assert!(!kind.is_single_input(), "tree nodes need two inputs");
+    let mut b = NetlistBuilder::new(name);
+    let n_leaves = 1usize << depth;
+    let mut frontier: Vec<String> = (0..n_leaves)
+        .map(|i| {
+            let n = format!("in{i}");
+            b.input(&n).expect("fresh name");
+            n
+        })
+        .collect();
+    let mut next_id = 0usize;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len() / 2);
+        for pair in frontier.chunks(2) {
+            let out = format!("t{next_id}");
+            next_id += 1;
+            b.gate(kind, &out, &[&pair[0], &pair[1]]).expect("fresh name");
+            next.push(out);
+        }
+        frontier = next;
+    }
+    b.output(&frontier[0]).expect("fresh mark");
+    b.build().expect("tree is structurally valid")
+}
+
+/// A `rows × cols` grid where cell `(r, c)` is a NAND of its north and west
+/// neighbours (border cells take primary inputs). Creates dense
+/// reconvergent fanout, the worst case for the independence bound.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn grid(name: &str, rows: usize, cols: usize) -> Netlist {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = NetlistBuilder::new(name);
+    // Border inputs: one per row and one per column.
+    for r in 0..rows {
+        b.input(&format!("row{r}")).expect("fresh name");
+    }
+    for c in 0..cols {
+        b.input(&format!("col{c}")).expect("fresh name");
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let west = if c == 0 {
+                format!("row{r}")
+            } else {
+                format!("g{r}_{}", c - 1)
+            };
+            let north = if r == 0 {
+                format!("col{c}")
+            } else {
+                format!("g{}_{c}", r - 1)
+            };
+            b.gate(GateKind::Nand, &format!("g{r}_{c}"), &[&west, &north])
+                .expect("fresh name");
+        }
+    }
+    // The last row and column are outputs.
+    for r in 0..rows {
+        b.output(&format!("g{r}_{}", cols - 1)).expect("fresh mark");
+    }
+    for c in 0..cols.saturating_sub(1) {
+        b.output(&format!("g{}_{c}", rows - 1)).expect("fresh mark");
+    }
+    b.build().expect("grid is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let nl = chain("c", 8);
+        assert_eq!(nl.gate_count(), 8);
+        assert_eq!(nl.depth(), 8);
+        assert_eq!(nl.primary_outputs().len(), 1);
+        assert_eq!(nl.stats().arcs, 8);
+    }
+
+    #[test]
+    fn bundle_has_one_path_per_length() {
+        let nl = path_bundle("b", &[3, 5, 7]);
+        assert_eq!(nl.primary_inputs().len(), 3);
+        assert_eq!(nl.primary_outputs().len(), 3);
+        assert_eq!(nl.gate_count(), 15);
+        assert_eq!(nl.depth(), 7);
+    }
+
+    #[test]
+    fn diamond_reconverges() {
+        let nl = diamond("d", 4);
+        assert_eq!(nl.gate_count(), 9);
+        assert_eq!(nl.depth(), 5);
+        let input = nl.find_net("in").unwrap();
+        assert_eq!(nl.net(input).loads().len(), 2);
+    }
+
+    #[test]
+    fn tree_counts() {
+        let nl = balanced_tree("t", 4, GateKind::And);
+        assert_eq!(nl.primary_inputs().len(), 16);
+        assert_eq!(nl.gate_count(), 15);
+        assert_eq!(nl.depth(), 4);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let nl = grid("g", 3, 4);
+        assert_eq!(nl.gate_count(), 12);
+        assert_eq!(nl.primary_inputs().len(), 7);
+        assert_eq!(nl.depth(), 3 + 4 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain length must be positive")]
+    fn chain_rejects_zero() {
+        chain("c", 0);
+    }
+}

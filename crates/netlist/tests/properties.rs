@@ -1,0 +1,168 @@
+//! Property-based tests of netlist construction, generation, and the
+//! `.bench` round-trip: for arbitrary profiles and seeds, every generated
+//! circuit must be a valid levelized DAG, and serialization must preserve
+//! both structure and logic function.
+
+use proptest::prelude::*;
+use statsize_netlist::generator::{generate, Profile};
+use statsize_netlist::{bench, shapes, GateKind, Netlist};
+use std::collections::HashMap;
+
+/// A random but internally consistent generator profile.
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    (2usize..12, 1usize..8, 3usize..12, 20usize..120).prop_flat_map(
+        |(inputs, outputs, depth, extra_gates)| {
+            let gates = depth + extra_gates;
+            let nodes = inputs + gates + 2;
+            let min_edges = gates + inputs + outputs;
+            (Just((inputs, outputs, depth, nodes)), min_edges..(min_edges + 3 * gates))
+        },
+    )
+    .prop_map(|((inputs, outputs, depth, nodes), edges)| Profile {
+        name: "prop",
+        inputs,
+        outputs,
+        nodes,
+        edges,
+        depth,
+    })
+}
+
+fn assert_structurally_valid(nl: &Netlist) {
+    // Levels strictly increase along gate edges.
+    for gid in nl.gate_ids() {
+        let g = nl.gate(gid);
+        let out_level = nl.level(g.output());
+        let max_in = g.inputs().iter().map(|&n| nl.level(n)).max().unwrap();
+        assert_eq!(out_level, max_in + 1, "level law violated");
+    }
+    // Every net is consumed or is a primary output.
+    for net in nl.net_ids() {
+        let n = nl.net(net);
+        assert!(
+            !n.loads().is_empty() || n.is_primary_output(),
+            "dangling net {}",
+            n.name()
+        );
+    }
+    // Loads mirror gate inputs.
+    let mut load_count: HashMap<usize, usize> = HashMap::new();
+    for gid in nl.gate_ids() {
+        for &inp in nl.gate(gid).inputs() {
+            *load_count.entry(inp.index()).or_default() += 1;
+        }
+    }
+    for net in nl.net_ids() {
+        assert_eq!(
+            nl.net(net).loads().len(),
+            load_count.get(&net.index()).copied().unwrap_or(0),
+            "load list mismatch on {}",
+            nl.net(net).name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_circuits_are_valid(profile in profile_strategy(), seed in 0u64..1_000) {
+        let nl = generate(&profile, seed);
+        assert_structurally_valid(&nl);
+        let s = nl.stats();
+        prop_assert_eq!(s.timing_nodes, profile.nodes);
+        prop_assert_eq!(s.depth, profile.depth);
+        prop_assert_eq!(s.primary_inputs, profile.inputs);
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_structure(profile in profile_strategy(), seed in 0u64..200) {
+        let nl = generate(&profile, seed);
+        let text = bench::write(&nl);
+        // Re-parse under the same name (the name appears in the header
+        // comment of the canonical form).
+        let back = bench::parse(nl.name(), &text).expect("canonical text parses");
+        prop_assert_eq!(nl.stats(), back.stats());
+        // Canonical form is a fixpoint.
+        prop_assert_eq!(text, bench::write(&back));
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_function(
+        profile in profile_strategy(),
+        seed in 0u64..100,
+        input_bits in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let nl = generate(&profile, seed);
+        let back = bench::parse("rt", &bench::write(&nl)).expect("parses");
+
+        let assign = |n: &Netlist| {
+            let mut m = HashMap::new();
+            for (i, &pi) in n.primary_inputs().iter().enumerate() {
+                m.insert(pi, input_bits[i % input_bits.len()]);
+            }
+            m
+        };
+        let va = nl.evaluate(&assign(&nl));
+        let vb = back.evaluate(&assign(&back));
+        // Primary outputs (matched by name) must agree.
+        for &po in nl.primary_outputs() {
+            let name = nl.net(po).name();
+            let po_b = back.find_net(name).expect("net survives round trip");
+            prop_assert_eq!(va[po.index()], vb[po_b.index()], "output {} differs", name);
+        }
+    }
+
+    #[test]
+    fn generation_is_pure(profile in profile_strategy(), seed in 0u64..100) {
+        prop_assert_eq!(generate(&profile, seed), generate(&profile, seed));
+    }
+
+    #[test]
+    fn chains_have_linear_structure(len in 1usize..40) {
+        let nl = shapes::chain("c", len);
+        prop_assert_eq!(nl.gate_count(), len);
+        prop_assert_eq!(nl.depth(), len);
+        prop_assert_eq!(nl.stats().arcs, len);
+        assert_structurally_valid(&nl);
+    }
+
+    #[test]
+    fn bundles_have_independent_paths(lengths in proptest::collection::vec(1usize..10, 1..8)) {
+        let nl = shapes::path_bundle("b", &lengths);
+        prop_assert_eq!(nl.gate_count(), lengths.iter().sum::<usize>());
+        prop_assert_eq!(nl.depth(), *lengths.iter().max().unwrap());
+        prop_assert_eq!(nl.primary_outputs().len(), lengths.len());
+        assert_structurally_valid(&nl);
+    }
+
+    #[test]
+    fn grids_have_expected_depth(rows in 1usize..7, cols in 1usize..7) {
+        let nl = shapes::grid("g", rows, cols);
+        prop_assert_eq!(nl.gate_count(), rows * cols);
+        prop_assert_eq!(nl.depth(), rows + cols - 1);
+        assert_structurally_valid(&nl);
+    }
+
+    #[test]
+    fn gate_eval_against_truth_table_model(
+        kind_idx in 0usize..8,
+        inputs in proptest::collection::vec(any::<bool>(), 1..5),
+    ) {
+        let kind = GateKind::ALL[kind_idx];
+        let inputs = if kind.is_single_input() { &inputs[..1] } else { &inputs[..] };
+        let got = kind.eval(inputs);
+        let ones = inputs.iter().filter(|&&b| b).count();
+        let want = match kind {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => ones == inputs.len(),
+            GateKind::Nand => ones != inputs.len(),
+            GateKind::Or => ones > 0,
+            GateKind::Nor => ones == 0,
+            GateKind::Xor => ones % 2 == 1,
+            GateKind::Xnor => ones % 2 == 0,
+        };
+        prop_assert_eq!(got, want);
+    }
+}

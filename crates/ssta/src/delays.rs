@@ -1,0 +1,174 @@
+//! Per-gate arc-delay distributions.
+
+use statsize_cells::{DelayModel, GateSizes, VariationModel};
+use statsize_dist::Dist;
+use statsize_netlist::{GateId, Netlist};
+
+/// Lattice delay distributions for every gate of a circuit at the current
+/// sizing, plus the nominal values they were derived from.
+///
+/// All input pins of a gate share one pin-to-pin delay (as in the paper's
+/// EQ 1), so one distribution per gate suffices; timing-graph arcs look
+/// their delay up by gate id. Source→PI and PO→sink edges are zero-delay
+/// and carry no entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcDelays {
+    dt: f64,
+    nominal: Vec<f64>,
+    dists: Vec<Dist>,
+}
+
+impl ArcDelays {
+    /// Computes delay distributions for every gate.
+    ///
+    /// `dt` is the lattice step (ps); the paper's experiments discretize
+    /// arrival-time PDFs, and all distributions in one analysis must share
+    /// the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and positive.
+    pub fn compute(
+        netlist: &Netlist,
+        model: &DelayModel<'_>,
+        sizes: &GateSizes,
+        variation: &VariationModel,
+        dt: f64,
+    ) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "lattice step must be positive, got {dt}");
+        let mut nominal = Vec::with_capacity(netlist.gate_count());
+        let mut dists = Vec::with_capacity(netlist.gate_count());
+        for g in netlist.gate_ids() {
+            let d = model.nominal_delay(netlist, sizes, g);
+            nominal.push(d);
+            dists.push(variation.delay_dist(d, dt));
+        }
+        Self { dt, nominal, dists }
+    }
+
+    /// Recomputes the delay of selected gates in place (after their width
+    /// or load changed).
+    pub fn update_gates(
+        &mut self,
+        netlist: &Netlist,
+        model: &DelayModel<'_>,
+        sizes: &GateSizes,
+        variation: &VariationModel,
+        gates: impl IntoIterator<Item = GateId>,
+    ) {
+        for g in gates {
+            let d = model.nominal_delay(netlist, sizes, g);
+            self.nominal[g.index()] = d;
+            self.dists[g.index()] = variation.delay_dist(d, self.dt);
+        }
+    }
+
+    /// The lattice step shared by all distributions.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Nominal (mean) delay of a gate's arcs (ps).
+    pub fn nominal(&self, gate: GateId) -> f64 {
+        self.nominal[gate.index()]
+    }
+
+    /// Delay distribution of a gate's arcs.
+    pub fn dist(&self, gate: GateId) -> &Dist {
+        &self.dists[gate.index()]
+    }
+
+    /// Number of gates covered.
+    pub fn len(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// True when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.dists.is_empty()
+    }
+
+    /// The gates whose delays change when `gate` is resized: the gate
+    /// itself (its `Ccell` changes) and every gate driving one of its
+    /// inputs (their `Cload` includes this gate's input-pin capacitance).
+    ///
+    /// This is the "`x` & fanin(`x`)" set of the paper's `Initialize`
+    /// procedure (Figure 7, step 1).
+    pub fn affected_by_resize(netlist: &Netlist, gate: GateId) -> Vec<GateId> {
+        let mut affected = vec![gate];
+        for &input in netlist.gate(gate).inputs() {
+            if let Some(driver) = netlist.net(input).driver() {
+                if !affected.contains(&driver) {
+                    affected.push(driver);
+                }
+            }
+        }
+        affected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_cells::CellLibrary;
+    use statsize_netlist::{bench, shapes};
+
+    fn setup(nl: &Netlist) -> (CellLibrary, GateSizes, VariationModel) {
+        (
+            CellLibrary::synthetic_180nm(),
+            GateSizes::minimum(nl),
+            VariationModel::paper_default(),
+        )
+    }
+
+    #[test]
+    fn distributions_track_nominal_delays() {
+        let nl = bench::c17();
+        let (lib, sizes, var) = setup(&nl);
+        let model = DelayModel::new(&lib, &nl);
+        let delays = ArcDelays::compute(&nl, &model, &sizes, &var, 0.5);
+        assert_eq!(delays.len(), nl.gate_count());
+        assert!(!delays.is_empty());
+        for g in nl.gate_ids() {
+            let nom = delays.nominal(g);
+            assert!((delays.dist(g).mean() - nom).abs() < 0.05);
+            assert!((delays.dist(g).std_dev() / nom - 0.097).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn update_gates_refreshes_only_selected() {
+        let nl = shapes::chain("c", 3);
+        let (lib, mut sizes, var) = setup(&nl);
+        let model = DelayModel::new(&lib, &nl);
+        let mut delays = ArcDelays::compute(&nl, &model, &sizes, &var, 0.5);
+        let before: Vec<f64> = nl.gate_ids().map(|g| delays.nominal(g)).collect();
+
+        let g1 = nl.topological_gates()[1];
+        sizes.resize(g1, 1.0);
+        let affected = ArcDelays::affected_by_resize(&nl, g1);
+        delays.update_gates(&nl, &model, &sizes, &var, affected.iter().copied());
+
+        let g0 = nl.topological_gates()[0];
+        let g2 = nl.topological_gates()[2];
+        assert!(delays.nominal(g1) < before[g1.index()], "resized gate faster");
+        assert!(delays.nominal(g0) > before[g0.index()], "fan-in slower");
+        assert_eq!(delays.nominal(g2), before[g2.index()], "fan-out untouched");
+    }
+
+    #[test]
+    fn affected_by_resize_is_gate_plus_fanin_drivers() {
+        let nl = bench::c17();
+        // Gate driving net 22 has inputs 10 and 16, both gate-driven.
+        let n22 = nl.find_net("22").unwrap();
+        let g22 = nl.net(n22).driver().unwrap();
+        let affected = ArcDelays::affected_by_resize(&nl, g22);
+        assert_eq!(affected.len(), 3);
+        assert!(affected.contains(&g22));
+
+        // First-level gate (inputs are PIs): only itself.
+        let n10 = nl.find_net("10").unwrap();
+        let g10 = nl.net(n10).driver().unwrap();
+        assert_eq!(ArcDelays::affected_by_resize(&nl, g10), vec![g10]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Monte-Carlo validation of the SSTA bound.
+//!
+//! The paper validates its discretized SSTA bound against Monte-Carlo
+//! simulation (Section 4: "< 1%" difference at the 99-percentile;
+//! Figure 10 plots both). Each trial samples every gate's delay from the
+//! truncated-Gaussian variation model and computes the deterministic
+//! longest path; the empirical distribution of the sink arrival is the
+//! reference circuit-delay distribution.
+
+use crate::delays::ArcDelays;
+use crate::graph::TimingGraph;
+use crate::node::TimingNode;
+use statsize_cells::VariationModel;
+use statsize_dist::Empirical;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How delay samples are shared between the timing arcs of one gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// One sample per gate, applied to all of its arcs — the physical
+    /// reading of the paper's "truncated Gaussian gate delay
+    /// distribution".
+    PerGate,
+    /// An independent sample per arc — mirrors the SSTA engine's
+    /// independence treatment exactly, isolating the reconvergence error
+    /// of the bound from arc-correlation effects.
+    PerArc,
+}
+
+/// A Monte-Carlo circuit-delay simulation.
+///
+/// Trials are partitioned into fixed-size blocks, each seeded
+/// independently from the base seed, so results are bit-for-bit
+/// reproducible regardless of thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    samples: usize,
+    seed: u64,
+    mode: SamplingMode,
+    threads: usize,
+}
+
+impl MonteCarlo {
+    /// Block size for seeding; fixed so parallel and serial runs agree.
+    const BLOCK: usize = 4096;
+
+    /// Creates a simulation of `samples` trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(samples: usize, seed: u64, mode: SamplingMode) -> Self {
+        assert!(samples > 0, "sample count must be positive");
+        Self {
+            samples,
+            seed,
+            mode,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Overrides the worker-thread count (the result is unaffected).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of trials.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Runs the simulation, additionally estimating each gate's
+    /// **criticality**: the fraction of trials in which the gate lies on
+    /// the critical (longest) path. This is the sampled ground truth of
+    /// the "wall of critical paths" phenomenon — a deterministically
+    /// balanced circuit spreads criticality thinly across many gates,
+    /// while an unbalanced one concentrates it.
+    ///
+    /// Returns the circuit-delay distribution and per-gate criticality
+    /// (indexed by gate id).
+    pub fn run_with_criticality(
+        &self,
+        graph: &TimingGraph,
+        delays: &ArcDelays,
+        variation: &VariationModel,
+    ) -> (Empirical, Vec<f64>) {
+        let empirical = self.run(graph, delays, variation);
+        // Re-run the trials serially for the path trace (the RNG stream
+        // per block is identical to `run`, so the delays match).
+        let mut counts = vec![0u64; delays.len()];
+        let blocks = self.samples.div_ceil(Self::BLOCK);
+        let mut gate_delay = vec![0.0f64; delays.len()];
+        let mut arrival = vec![0.0f64; graph.node_count()];
+        let mut pred: Vec<Option<(TimingNode, Option<statsize_netlist::GateId>)>> =
+            vec![None; graph.node_count()];
+        for b in 0..blocks {
+            let start = b * Self::BLOCK;
+            let len = Self::BLOCK.min(self.samples - start);
+            let block_seed = self.seed.wrapping_add(b as u64);
+            let mut rng = StdRng::seed_from_u64(block_seed ^ 0x4d43_u64.rotate_left(32));
+            for _ in 0..len {
+                if self.mode == SamplingMode::PerGate {
+                    for (g, d) in gate_delay.iter_mut().enumerate() {
+                        let nominal =
+                            delays.nominal(statsize_netlist::GateId::from_index(g));
+                        *d = variation.truncated(nominal).sample(&mut rng);
+                    }
+                }
+                // Longest path with predecessor tracking.
+                arrival[TimingNode::SOURCE.index()] = 0.0;
+                for node in graph.nodes_in_level_order() {
+                    if node == TimingNode::SOURCE {
+                        continue;
+                    }
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_pred = None;
+                    for e in graph.in_edges(node) {
+                        let d = match e.gate {
+                            Some(g) => match self.mode {
+                                SamplingMode::PerGate => gate_delay[g.index()],
+                                SamplingMode::PerArc => {
+                                    variation.truncated(delays.nominal(g)).sample(&mut rng)
+                                }
+                            },
+                            None => 0.0,
+                        };
+                        let t = arrival[e.from.index()] + d;
+                        if t > best {
+                            best = t;
+                            best_pred = Some((e.from, e.gate));
+                        }
+                    }
+                    arrival[node.index()] = best;
+                    pred[node.index()] = best_pred;
+                }
+                // Trace the critical path back from the sink.
+                let mut cur = TimingNode::SINK;
+                while let Some((p, gate)) = pred[cur.index()] {
+                    if let Some(g) = gate {
+                        counts[g.index()] += 1;
+                    }
+                    cur = p;
+                }
+            }
+        }
+        let criticality = counts
+            .into_iter()
+            .map(|c| c as f64 / self.samples as f64)
+            .collect();
+        (empirical, criticality)
+    }
+
+    /// Runs the simulation and returns the empirical circuit-delay
+    /// distribution (sink arrival over all trials).
+    pub fn run(
+        &self,
+        graph: &TimingGraph,
+        delays: &ArcDelays,
+        variation: &VariationModel,
+    ) -> Empirical {
+        let blocks: Vec<(u64, usize)> = (0..self.samples.div_ceil(Self::BLOCK))
+            .map(|b| {
+                let start = b * Self::BLOCK;
+                let len = Self::BLOCK.min(self.samples - start);
+                (self.seed.wrapping_add(b as u64), len)
+            })
+            .collect();
+
+        let run_block = |&(block_seed, len): &(u64, usize)| -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(block_seed ^ 0x4d43_u64.rotate_left(32));
+            let mut out = Vec::with_capacity(len);
+            let mut gate_delay = vec![0.0f64; delays.len()];
+            let mut arrival = vec![0.0f64; graph.node_count()];
+            for _ in 0..len {
+                if self.mode == SamplingMode::PerGate {
+                    for (g, d) in gate_delay.iter_mut().enumerate() {
+                        let nominal = delays.nominal(statsize_netlist::GateId::from_index(g));
+                        *d = variation.truncated(nominal).sample(&mut rng);
+                    }
+                }
+                out.push(self.one_trial(graph, delays, variation, &gate_delay, &mut arrival, &mut rng));
+            }
+            out
+        };
+
+        let samples: Vec<f64> = if self.threads <= 1 || blocks.len() <= 1 {
+            blocks.iter().flat_map(|b| run_block(b)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let chunk = blocks.len().div_ceil(self.threads);
+                let handles: Vec<_> = blocks
+                    .chunks(chunk)
+                    .map(|bs| scope.spawn(move || bs.iter().flat_map(run_block).collect::<Vec<f64>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("monte-carlo worker panicked"))
+                    .collect()
+            })
+        };
+        Empirical::new(samples)
+    }
+
+    fn one_trial(
+        &self,
+        graph: &TimingGraph,
+        delays: &ArcDelays,
+        variation: &VariationModel,
+        gate_delay: &[f64],
+        arrival: &mut [f64],
+        rng: &mut StdRng,
+    ) -> f64 {
+        arrival[TimingNode::SOURCE.index()] = 0.0;
+        for node in graph.nodes_in_level_order() {
+            if node == TimingNode::SOURCE {
+                continue;
+            }
+            let mut best = f64::NEG_INFINITY;
+            for e in graph.in_edges(node) {
+                let d = match e.gate {
+                    Some(g) => match self.mode {
+                        SamplingMode::PerGate => gate_delay[g.index()],
+                        SamplingMode::PerArc => {
+                            variation.truncated(delays.nominal(g)).sample(rng)
+                        }
+                    },
+                    None => 0.0,
+                };
+                let t = arrival[e.from.index()] + d;
+                if t > best {
+                    best = t;
+                }
+            }
+            arrival[node.index()] = best;
+        }
+        arrival[TimingNode::SINK.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_cells::{CellLibrary, DelayModel, GateSizes};
+    use statsize_netlist::{bench, shapes, Netlist};
+
+    fn setup(nl: &Netlist, dt: f64) -> (TimingGraph, ArcDelays, VariationModel) {
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, nl);
+        let sizes = GateSizes::minimum(nl);
+        let var = VariationModel::paper_default();
+        let graph = TimingGraph::build(nl);
+        let delays = ArcDelays::compute(nl, &model, &sizes, &var, dt);
+        (graph, delays, var)
+    }
+
+    #[test]
+    fn mc_is_reproducible_across_thread_counts() {
+        let nl = bench::c17();
+        let (graph, delays, var) = setup(&nl, 0.5);
+        let a = MonteCarlo::new(10_000, 11, SamplingMode::PerGate)
+            .with_threads(1)
+            .run(&graph, &delays, &var);
+        let b = MonteCarlo::new(10_000, 11, SamplingMode::PerGate)
+            .with_threads(4)
+            .run(&graph, &delays, &var);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chain_mc_matches_ssta_closely() {
+        // A pure chain has no reconvergence and no max: PerArc == PerGate
+        // up to sampling noise, and SSTA is exact up to discretization.
+        let nl = shapes::chain("c", 8);
+        let (graph, delays, var) = setup(&nl, 0.25);
+        let ssta = crate::analysis::SstaAnalysis::run(&graph, &delays);
+        let mc = MonteCarlo::new(60_000, 3, SamplingMode::PerGate).run(&graph, &delays, &var);
+        let t99_ssta = ssta.circuit_delay_percentile(0.99);
+        let t99_mc = mc.percentile(0.99);
+        let rel = (t99_ssta - t99_mc).abs() / t99_mc;
+        assert!(rel < 0.01, "chain: SSTA {t99_ssta} vs MC {t99_mc} ({rel:.3})");
+    }
+
+    #[test]
+    fn ssta_bound_is_conservative_under_per_arc_sampling() {
+        // On a reconvergent circuit, ignoring correlations makes the SSTA
+        // sink distribution stochastically larger: its percentiles bound
+        // the per-arc Monte-Carlo percentiles from above.
+        let nl = shapes::grid("g", 4, 4);
+        let (graph, delays, var) = setup(&nl, 0.5);
+        let ssta = crate::analysis::SstaAnalysis::run(&graph, &delays);
+        let mc = MonteCarlo::new(40_000, 5, SamplingMode::PerArc).run(&graph, &delays, &var);
+        for p in [0.5, 0.9, 0.99] {
+            let bound = ssta.circuit_delay_percentile(p);
+            let sampled = mc.percentile(p);
+            assert!(
+                bound >= sampled - 1.0,
+                "bound {bound} must dominate MC {sampled} at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_gate_and_per_arc_agree_without_shared_gates() {
+        // In a path bundle, no gate is shared between paths, so the two
+        // sampling modes describe the same process.
+        let nl = shapes::path_bundle("b", &[4, 4, 4]);
+        let (graph, delays, var) = setup(&nl, 0.5);
+        let a = MonteCarlo::new(40_000, 7, SamplingMode::PerGate).run(&graph, &delays, &var);
+        let b = MonteCarlo::new(40_000, 9, SamplingMode::PerArc).run(&graph, &delays, &var);
+        let rel = (a.percentile(0.99) - b.percentile(0.99)).abs() / a.percentile(0.99);
+        assert!(rel < 0.01, "modes differ: {rel:.4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be positive")]
+    fn zero_samples_rejected() {
+        MonteCarlo::new(0, 1, SamplingMode::PerGate);
+    }
+
+    #[test]
+    fn criticality_concentrates_on_the_long_path() {
+        let nl = shapes::path_bundle("b", &[3, 10]);
+        let (graph, delays, var) = setup(&nl, 0.5);
+        let (emp, crit) =
+            MonteCarlo::new(5_000, 21, SamplingMode::PerGate).run_with_criticality(
+                &graph, &delays, &var,
+            );
+        assert_eq!(emp.len(), 5_000);
+        assert_eq!(crit.len(), nl.gate_count());
+        for g in nl.gate_ids() {
+            let name = nl.net(nl.gate(g).output()).name().to_string();
+            if name.starts_with("p1") {
+                assert!(crit[g.index()] > 0.95, "{name}: criticality {}", crit[g.index()]);
+            } else {
+                assert!(crit[g.index()] < 0.05, "{name}: criticality {}", crit[g.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn criticality_splits_between_symmetric_arms() {
+        let nl = shapes::diamond("d", 4);
+        let (graph, delays, var) = setup(&nl, 0.5);
+        let (_, crit) = MonteCarlo::new(8_000, 5, SamplingMode::PerGate)
+            .run_with_criticality(&graph, &delays, &var);
+        // Arm gates should each be critical about half the time; the
+        // reconvergence NAND is always critical.
+        let nand = nl.net(nl.find_net("out").unwrap()).driver().unwrap();
+        assert!((crit[nand.index()] - 1.0).abs() < 1e-9);
+        let arm_gate = nl.net(nl.find_net("a0s0").unwrap()).driver().unwrap();
+        assert!(
+            (crit[arm_gate.index()] - 0.5).abs() < 0.05,
+            "arm criticality {}",
+            crit[arm_gate.index()]
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Timing-graph node identifiers.
+
+use std::fmt;
+
+/// A node of the [`TimingGraph`](crate::TimingGraph): the virtual source,
+/// the virtual sink, or one of the circuit's nets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimingNode(pub(crate) u32);
+
+impl TimingNode {
+    /// The virtual source node `ns` (Definition 1 of the paper).
+    pub const SOURCE: TimingNode = TimingNode(0);
+
+    /// The virtual sink node `nf` (Definition 1 of the paper).
+    pub const SINK: TimingNode = TimingNode(1);
+
+    /// Dense index of this node (source = 0, sink = 1, nets follow).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TimingNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TimingNode::SOURCE => write!(f, "source"),
+            TimingNode::SINK => write!(f, "sink"),
+            TimingNode(i) => write!(f, "t{i}"),
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Path enumeration and path-delay histograms.
+//!
+//! The paper's Figure 1 contrasts a *balanced* path-delay distribution
+//! (deterministic optimization's "wall" of near-critical paths) with an
+//! *unbalanced* one (fewer near-critical paths), and shows the resulting
+//! circuit-delay PDFs. This module enumerates the nominal delays of all
+//! paths above a threshold — with longest-path-to-sink bound pruning so
+//! only relevant paths are visited — and bins them into histograms.
+
+use crate::delays::ArcDelays;
+use crate::graph::TimingGraph;
+use crate::node::TimingNode;
+
+/// The nominal delays of all source→sink paths above a threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathEnumeration {
+    delays: Vec<f64>,
+    truncated: bool,
+    threshold: f64,
+}
+
+impl PathEnumeration {
+    /// Path delays, unsorted.
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Number of paths found (capped if [`truncated`](Self::truncated)).
+    pub fn count(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// True when enumeration stopped at the cap; the count is then a lower
+    /// bound.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The enumeration threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The largest path delay seen (the deterministic critical delay when
+    /// the threshold is below it).
+    pub fn max_delay(&self) -> f64 {
+        self.delays.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Number of paths within `frac` of the maximum delay — the "wall"
+    /// metric: deterministically optimized circuits pile paths up here.
+    pub fn near_critical_count(&self, frac: f64) -> usize {
+        let dmax = self.max_delay();
+        let cut = dmax * (1.0 - frac);
+        self.delays.iter().filter(|&&d| d >= cut).count()
+    }
+
+    /// Bins the path delays into `bins` equal-width buckets spanning
+    /// `[threshold, max_delay]`, returning `(bucket upper edges, counts)` —
+    /// the "# paths vs delay" series of Figure 1(a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or no paths were enumerated.
+    pub fn histogram(&self, bins: usize) -> (Vec<f64>, Vec<usize>) {
+        assert!(bins > 0, "bin count must be positive");
+        assert!(!self.delays.is_empty(), "no paths to bin");
+        let lo = self.threshold;
+        let hi = self.max_delay();
+        let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &d in &self.delays {
+            let idx = (((d - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let edges = (1..=bins).map(|i| lo + i as f64 * width).collect();
+        (edges, counts)
+    }
+}
+
+/// Enumerates all source→sink paths whose nominal delay is at least
+/// `min_delay`, stopping after `cap` paths.
+///
+/// Uses depth-first search with an exact longest-path-to-sink bound: a
+/// prefix is abandoned as soon as even its best completion falls below the
+/// threshold, so the cost is proportional to the number of *reported*
+/// paths, not all paths.
+pub fn enumerate_paths(
+    graph: &TimingGraph,
+    delays: &ArcDelays,
+    min_delay: f64,
+    cap: usize,
+) -> PathEnumeration {
+    // Longest completion from each node to the sink, over out-edges.
+    let mut to_sink = vec![f64::NEG_INFINITY; graph.node_count()];
+    to_sink[TimingNode::SINK.index()] = 0.0;
+    let order: Vec<TimingNode> = graph.nodes_in_level_order().collect();
+    for &node in order.iter().rev() {
+        if node == TimingNode::SINK {
+            continue;
+        }
+        // Out-edges are the in-edges of fan-out nodes; recompute via
+        // in-edge scan of each fan-out (arc delay depends on the edge).
+        let mut best = f64::NEG_INFINITY;
+        for &out in graph.out_nodes(node) {
+            for e in graph.in_edges(out) {
+                if e.from != node {
+                    continue;
+                }
+                let d = e.gate.map_or(0.0, |g| delays.nominal(g));
+                best = best.max(d + to_sink[out.index()]);
+            }
+        }
+        to_sink[node.index()] = best;
+    }
+
+    let mut result = Vec::new();
+    let mut truncated = false;
+    // Iterative DFS: (node, accumulated delay).
+    let mut stack: Vec<(TimingNode, f64)> = vec![(TimingNode::SOURCE, 0.0)];
+    while let Some((node, acc)) = stack.pop() {
+        if result.len() >= cap {
+            truncated = true;
+            break;
+        }
+        if node == TimingNode::SINK {
+            result.push(acc);
+            continue;
+        }
+        for &out in graph.out_nodes(node) {
+            for e in graph.in_edges(out) {
+                if e.from != node {
+                    continue;
+                }
+                let d = e.gate.map_or(0.0, |g| delays.nominal(g));
+                let next = acc + d;
+                if next + to_sink[out.index()] >= min_delay {
+                    stack.push((out, next));
+                }
+            }
+        }
+    }
+    PathEnumeration { delays: result, truncated, threshold: min_delay }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+    use statsize_netlist::{shapes, Netlist};
+
+    fn setup(nl: &Netlist) -> (TimingGraph, ArcDelays) {
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, nl);
+        let sizes = GateSizes::minimum(nl);
+        let var = VariationModel::paper_default();
+        let graph = TimingGraph::build(nl);
+        let delays = ArcDelays::compute(nl, &model, &sizes, &var, 1.0);
+        (graph, delays)
+    }
+
+    #[test]
+    fn bundle_has_one_path_per_chain() {
+        let nl = shapes::path_bundle("b", &[3, 5, 7]);
+        let (graph, delays) = setup(&nl);
+        let paths = enumerate_paths(&graph, &delays, 0.0, 1000);
+        assert_eq!(paths.count(), 3);
+        assert!(!paths.truncated());
+        // Path delays are ordered like chain lengths.
+        let mut sorted = paths.delays().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(sorted[0] < sorted[1] && sorted[1] < sorted[2]);
+    }
+
+    #[test]
+    fn threshold_prunes_short_paths() {
+        let nl = shapes::path_bundle("b", &[3, 5, 7]);
+        let (graph, delays) = setup(&nl);
+        let all = enumerate_paths(&graph, &delays, 0.0, 1000);
+        let dmax = all.max_delay();
+        let near = enumerate_paths(&graph, &delays, dmax - 1.0, 1000);
+        assert_eq!(near.count(), 1, "only the 7-chain is within 1 ps of max");
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let nl = shapes::diamond("d", 4);
+        let (graph, delays) = setup(&nl);
+        let paths = enumerate_paths(&graph, &delays, 0.0, 1000);
+        assert_eq!(paths.count(), 2);
+        // Symmetric arms: both paths have equal delay.
+        assert!((paths.delays()[0] - paths.delays()[1]).abs() < 1e-9);
+        assert_eq!(paths.near_critical_count(0.01), 2);
+    }
+
+    #[test]
+    fn grid_path_count_is_binomial() {
+        // Paths source→sink in an r×c grid ending at the bottom-right
+        // corner: each interior path picks when to go down vs right.
+        let nl = shapes::grid("g", 3, 3);
+        let (graph, delays) = setup(&nl);
+        let paths = enumerate_paths(&graph, &delays, 0.0, 100_000);
+        assert!(!paths.truncated());
+        assert!(paths.count() > 10, "grid must be path-rich, got {}", paths.count());
+    }
+
+    #[test]
+    fn cap_truncates_enumeration() {
+        let nl = shapes::grid("g", 4, 4);
+        let (graph, delays) = setup(&nl);
+        let paths = enumerate_paths(&graph, &delays, 0.0, 5);
+        assert!(paths.truncated());
+        assert_eq!(paths.count(), 5);
+    }
+
+    #[test]
+    fn histogram_covers_all_paths() {
+        let nl = shapes::path_bundle("b", &[2, 4, 6, 8]);
+        let (graph, delays) = setup(&nl);
+        let paths = enumerate_paths(&graph, &delays, 0.0, 1000);
+        let (edges, counts) = paths.histogram(10);
+        assert_eq!(edges.len(), 10);
+        assert_eq!(counts.iter().sum::<usize>(), paths.count());
+    }
+}

@@ -1,0 +1,492 @@
+//! Level-by-level propagation of perturbed arrival times through a
+//! fan-out cone.
+//!
+//! [`ConeWalk`] is the machinery beneath both sides of the paper's
+//! Section 3:
+//!
+//! * the **brute-force** statistical sensitivity (propagate a gate's
+//!   perturbation all the way to the sink: [`ConeWalk::run_to_sink`]), and
+//! * the **pruned** algorithm's perturbation fronts, which advance one
+//!   level at a time ([`ConeWalk::step_level`], the paper's
+//!   `PropagateOneLevel` of Figure 9) and may stop early when the front's
+//!   sensitivity bound falls below the best exact sensitivity seen so far.
+//!
+//! The walk also powers exact incremental SSTA after a sizing commit
+//! (with the new delays installed and no overrides).
+
+use crate::analysis::SstaAnalysis;
+use crate::delays::ArcDelays;
+use crate::graph::TimingGraph;
+use crate::node::TimingNode;
+use statsize_dist::Dist;
+use statsize_netlist::GateId;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A small set of per-gate delay replacements, representing the effect of
+/// a trial sizing move: the resized gate's (faster) arcs and its fan-in
+/// gates' (slower) arcs.
+///
+/// Stored as a vector because a resize touches at most `1 + fanin` gates;
+/// iteration order is insertion order, keeping walks fully deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DelayOverrides {
+    entries: Vec<(GateId, Dist)>,
+}
+
+impl DelayOverrides {
+    /// No overrides (used for incremental re-analysis with committed
+    /// delays).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds or replaces an override for a gate.
+    pub fn set(&mut self, gate: GateId, dist: Dist) {
+        if let Some(entry) = self.entries.iter_mut().find(|(g, _)| *g == gate) {
+            entry.1 = dist;
+        } else {
+            self.entries.push((gate, dist));
+        }
+    }
+
+    /// The override for a gate, if any.
+    pub fn get(&self, gate: GateId) -> Option<&Dist> {
+        self.entries
+            .iter()
+            .find(|(g, _)| *g == gate)
+            .map(|(_, d)| d)
+    }
+
+    /// The overridden gates, in insertion order.
+    pub fn gates(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.entries.iter().map(|(g, _)| *g)
+    }
+
+    /// Number of overridden gates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no gate is overridden.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Computes one node's arrival distribution from its fan-in arrivals:
+/// convolution along gate arcs (with per-gate overrides applied) and the
+/// independent statistical max across incoming edges.
+pub(crate) fn node_arrival<'a, F>(
+    graph: &TimingGraph,
+    node: TimingNode,
+    delays: &ArcDelays,
+    overrides: &DelayOverrides,
+    resolve: F,
+) -> Dist
+where
+    F: Fn(TimingNode) -> &'a Dist,
+{
+    let ins = graph.in_edges(node);
+    debug_assert!(!ins.is_empty(), "only the source has no in-edges");
+    let mut acc: Option<Dist> = None;
+    for e in ins {
+        let upstream = resolve(e.from);
+        let candidate = match e.gate {
+            Some(g) => {
+                let delay = overrides.get(g).unwrap_or_else(|| delays.dist(g));
+                upstream.convolve(delay)
+            }
+            None => upstream.clone(),
+        };
+        acc = Some(match acc {
+            None => candidate,
+            Some(a) => a.max_independent(&candidate),
+        });
+    }
+    acc.expect("at least one in-edge")
+}
+
+/// What one call to [`ConeWalk::step_level`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// The level that was processed.
+    pub level: u32,
+    /// Nodes whose perturbed arrival was computed at this level.
+    pub computed: Vec<TimingNode>,
+    /// Previously computed nodes whose entire fan-out is now computed;
+    /// they no longer lie on the perturbation front (the paper's
+    /// `fo_count = 0` retirement, Figure 9 steps 13–18).
+    pub retired: Vec<TimingNode>,
+}
+
+/// A breadth-first, level-by-level walk of a perturbation's fan-out cone.
+///
+/// Seeded at the output nodes of the overridden gates, the walk computes
+/// perturbed arrival-time distributions level by level. At any moment the
+/// set of *active* nodes (computed, with uncomputed fan-outs) is a cut
+/// separating the perturbed region from the sink — the paper's
+/// **perturbation front** `Pk`, over which Theorem 4 bounds the eventual
+/// sink perturbation.
+#[derive(Debug)]
+pub struct ConeWalk<'a> {
+    graph: &'a TimingGraph,
+    delays: &'a ArcDelays,
+    base: &'a SstaAnalysis,
+    overrides: DelayOverrides,
+    /// Perturbed arrivals of computed nodes. With `retain_all = false`,
+    /// retired nodes' entries are dropped to keep memory proportional to
+    /// the front width rather than the cone size.
+    perturbed: HashMap<TimingNode, Dist>,
+    /// All nodes ever computed (survives retirement).
+    computed: HashSet<TimingNode>,
+    /// Scheduled-or-computed marker preventing duplicate scheduling.
+    scheduled: HashSet<TimingNode>,
+    /// Pending nodes, keyed by level.
+    pending: BTreeMap<u32, Vec<TimingNode>>,
+    /// Remaining uncomputed fan-out arcs per computed node.
+    fo_remaining: HashMap<TimingNode, usize>,
+    retain_all: bool,
+}
+
+impl<'a> ConeWalk<'a> {
+    /// Starts a walk seeded at the output nodes of the overridden gates —
+    /// the initial perturbation set `{x} ∪ fanin(x)` of the paper's
+    /// `Initialize` (Figure 7), expressed on nets.
+    pub fn new(
+        graph: &'a TimingGraph,
+        delays: &'a ArcDelays,
+        base: &'a SstaAnalysis,
+        overrides: DelayOverrides,
+    ) -> Self {
+        let seeds: Vec<TimingNode> = overrides
+            .gates()
+            .map(|g| graph.out_node_of_gate(g))
+            .collect();
+        Self::with_seeds(graph, delays, base, overrides, &seeds)
+    }
+
+    /// Starts a walk with explicit seed nodes (used for incremental SSTA,
+    /// where the changed delays are already installed in `delays` and no
+    /// overrides are needed).
+    pub fn with_seeds(
+        graph: &'a TimingGraph,
+        delays: &'a ArcDelays,
+        base: &'a SstaAnalysis,
+        overrides: DelayOverrides,
+        seeds: &[TimingNode],
+    ) -> Self {
+        let mut walk = Self {
+            graph,
+            delays,
+            base,
+            overrides,
+            perturbed: HashMap::new(),
+            computed: HashSet::new(),
+            scheduled: HashSet::new(),
+            pending: BTreeMap::new(),
+            fo_remaining: HashMap::new(),
+            retain_all: true,
+        };
+        for &s in seeds {
+            walk.schedule(s);
+        }
+        walk
+    }
+
+    /// Drops retired nodes' distributions as the walk advances, keeping
+    /// memory proportional to the front width (the paper's `A'set`
+    /// bookkeeping). The walk's results are unchanged; only
+    /// [`into_perturbed`](ConeWalk::into_perturbed) sees fewer entries.
+    #[must_use]
+    pub fn evicting_retired(mut self) -> Self {
+        self.retain_all = false;
+        self
+    }
+
+    fn schedule(&mut self, node: TimingNode) {
+        if self.scheduled.insert(node) {
+            self.pending
+                .entry(self.graph.level(node))
+                .or_default()
+                .push(node);
+        }
+    }
+
+    /// The level the next [`step_level`](ConeWalk::step_level) will
+    /// process, or `None` when the walk is complete.
+    pub fn next_level(&self) -> Option<u32> {
+        self.pending.keys().next().copied()
+    }
+
+    /// True once every scheduled node has been computed (the sink has been
+    /// reached, or the cone was empty).
+    pub fn is_done(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Processes every pending node at the lowest pending level — the
+    /// paper's `PropagateOneLevel` (Figure 9). Returns `None` when done.
+    pub fn step_level(&mut self) -> Option<StepReport> {
+        let (&level, _) = self.pending.iter().next()?;
+        let nodes = self.pending.remove(&level).expect("key just observed");
+
+        let mut computed = Vec::with_capacity(nodes.len());
+        let mut retired = Vec::new();
+        for node in nodes {
+            let arrival = {
+                let perturbed = &self.perturbed;
+                let base = self.base;
+                node_arrival(self.graph, node, self.delays, &self.overrides, |n| {
+                    perturbed.get(&n).unwrap_or_else(|| base.arrival(n))
+                })
+            };
+            self.perturbed.insert(node, arrival);
+            self.computed.insert(node);
+            let fanout = self.graph.out_nodes(node).len();
+            if fanout == 0 {
+                // Only the sink has no fan-outs: it leaves the front
+                // immediately, but its distribution is always retained —
+                // it is the result of the walk.
+                retired.push(node);
+            } else {
+                self.fo_remaining.insert(node, fanout);
+            }
+
+            // Retire fan-in nodes whose last uncomputed fan-out this was
+            // (Figure 9, steps 13–18).
+            for e in self.graph.in_edges(node) {
+                if let Some(r) = self.fo_remaining.get_mut(&e.from) {
+                    *r -= 1;
+                    if *r == 0 {
+                        self.fo_remaining.remove(&e.from);
+                        if !self.retain_all {
+                            self.perturbed.remove(&e.from);
+                        }
+                        retired.push(e.from);
+                    }
+                }
+            }
+
+            for &out in self.graph.out_nodes(node) {
+                self.schedule(out);
+            }
+            computed.push(node);
+        }
+        Some(StepReport { level, computed, retired })
+    }
+
+    /// Runs the walk to completion (the brute-force propagation of
+    /// Section 3.1).
+    pub fn run_to_sink(&mut self) {
+        while self.step_level().is_some() {}
+    }
+
+    /// The perturbed arrival at a node, falling back to the unperturbed
+    /// baseline outside the computed cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was computed and subsequently evicted (see
+    /// [`evicting_retired`](ConeWalk::evicting_retired)).
+    pub fn arrival(&self, node: TimingNode) -> &Dist {
+        if let Some(d) = self.perturbed.get(&node) {
+            return d;
+        }
+        assert!(
+            self.retain_all || !self.computed.contains(&node),
+            "arrival of {node} was evicted after retirement"
+        );
+        self.base.arrival(node)
+    }
+
+    /// The perturbed arrival at a node, if it has been computed (and not
+    /// evicted).
+    pub fn perturbed(&self, node: TimingNode) -> Option<&Dist> {
+        self.perturbed.get(&node)
+    }
+
+    /// The perturbed sink arrival, once the walk has reached the sink.
+    pub fn sink_arrival(&self) -> Option<&Dist> {
+        self.perturbed.get(&TimingNode::SINK)
+    }
+
+    /// True if the node's perturbed arrival has been computed (even if
+    /// since evicted).
+    pub fn is_computed(&self, node: TimingNode) -> bool {
+        self.computed.contains(&node)
+    }
+
+    /// Number of nodes computed so far.
+    pub fn computed_count(&self) -> usize {
+        self.computed.len()
+    }
+
+    /// The active front: computed nodes that still have uncomputed
+    /// fan-outs. Together they form the cut `Pk` of Theorem 4.
+    pub fn active_nodes(&self) -> impl Iterator<Item = TimingNode> + '_ {
+        self.fo_remaining.keys().copied()
+    }
+
+    /// Consumes the walk and returns all retained perturbed arrivals.
+    pub fn into_perturbed(self) -> HashMap<TimingNode, Dist> {
+        self.perturbed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+    use statsize_netlist::{bench, shapes, Netlist};
+
+    struct Ctx {
+        nl: Netlist,
+        graph: TimingGraph,
+        delays: ArcDelays,
+        base: SstaAnalysis,
+    }
+
+    fn ctx(nl: Netlist, dt: f64) -> Ctx {
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let sizes = GateSizes::minimum(&nl);
+        let var = VariationModel::paper_default();
+        let graph = TimingGraph::build(&nl);
+        let delays = ArcDelays::compute(&nl, &model, &sizes, &var, dt);
+        let base = SstaAnalysis::run(&graph, &delays);
+        Ctx { nl, graph, delays, base }
+    }
+
+    /// Overrides that shift one gate's delay distribution earlier by
+    /// `bins` lattice steps.
+    fn shift_override(c: &Ctx, gate: GateId, bins: i64) -> DelayOverrides {
+        let mut o = DelayOverrides::none();
+        o.set(gate, c.delays.dist(gate).shift_bins(-bins));
+        o
+    }
+
+    #[test]
+    fn walk_covers_exactly_the_fanout_cone() {
+        let c = ctx(bench::c17(), 0.5);
+        let n11 = c.nl.find_net("11").unwrap();
+        let g11 = c.nl.net(n11).driver().unwrap();
+        let mut walk = ConeWalk::new(&c.graph, &c.delays, &c.base, shift_override(&c, g11, 4));
+        walk.run_to_sink();
+        // Cone of gate 11: nets 11, 16, 19, 22, 23, and the sink.
+        for name in ["11", "16", "19", "22", "23"] {
+            let node = c.graph.node_of_net(c.nl.find_net(name).unwrap());
+            assert!(walk.is_computed(node), "net {name} should be in the cone");
+        }
+        assert!(walk.sink_arrival().is_some());
+        // Net 10 is outside the cone.
+        let n10 = c.graph.node_of_net(c.nl.find_net("10").unwrap());
+        assert!(!walk.is_computed(n10));
+    }
+
+    #[test]
+    fn speeding_up_a_gate_improves_or_preserves_the_sink() {
+        let c = ctx(bench::c17(), 0.5);
+        let n16 = c.nl.find_net("16").unwrap();
+        let g16 = c.nl.net(n16).driver().unwrap();
+        let mut walk = ConeWalk::new(&c.graph, &c.delays, &c.base, shift_override(&c, g16, 6));
+        walk.run_to_sink();
+        let sink = walk.sink_arrival().unwrap();
+        let base_t99 = c.base.sink_arrival().percentile(0.99);
+        let new_t99 = sink.percentile(0.99);
+        assert!(new_t99 <= base_t99 + 1e-9, "{new_t99} vs {base_t99}");
+    }
+
+    #[test]
+    fn empty_overrides_reproduce_baseline_exactly() {
+        let c = ctx(shapes::grid("g", 3, 3), 0.5);
+        // Seed at a mid-grid node with no delay changes: recomputed
+        // arrivals must equal the baseline bit for bit.
+        let seed = c.graph.node_of_net(c.nl.find_net("g1_1").unwrap());
+        let mut walk = ConeWalk::with_seeds(
+            &c.graph,
+            &c.delays,
+            &c.base,
+            DelayOverrides::none(),
+            &[seed],
+        );
+        walk.run_to_sink();
+        for (node, dist) in walk.into_perturbed() {
+            assert_eq!(
+                &dist,
+                c.base.arrival(node),
+                "recomputation must be deterministic at {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn levels_are_processed_in_order() {
+        let c = ctx(shapes::grid("g", 4, 4), 1.0);
+        let seed = c.graph.node_of_net(c.nl.find_net("g0_0").unwrap());
+        let mut walk = ConeWalk::with_seeds(
+            &c.graph,
+            &c.delays,
+            &c.base,
+            DelayOverrides::none(),
+            &[seed],
+        );
+        let mut prev = 0;
+        while let Some(report) = walk.step_level() {
+            assert!(report.level > prev || prev == 0);
+            for &n in &report.computed {
+                assert_eq!(c.graph.level(n), report.level);
+            }
+            prev = report.level;
+        }
+        assert!(walk.is_done());
+        assert!(walk.next_level().is_none());
+    }
+
+    #[test]
+    fn retirement_keeps_the_front_a_cut() {
+        let c = ctx(bench::c17(), 0.5);
+        let n11 = c.nl.find_net("11").unwrap();
+        let g11 = c.nl.net(n11).driver().unwrap();
+        let mut walk =
+            ConeWalk::new(&c.graph, &c.delays, &c.base, shift_override(&c, g11, 3))
+                .evicting_retired();
+        let mut total_retired = 0;
+        while let Some(report) = walk.step_level() {
+            total_retired += report.retired.len();
+            // Active nodes were all computed and not retired.
+            for n in walk.active_nodes() {
+                assert!(walk.is_computed(n));
+            }
+        }
+        // Everything but the sink eventually retires (the sink has no
+        // fan-outs and retires the moment it is computed).
+        assert_eq!(total_retired, walk.computed_count());
+    }
+
+    #[test]
+    fn eviction_does_not_change_the_sink_result() {
+        let c = ctx(shapes::diamond("d", 3), 0.5);
+        let input_gate = {
+            let first = c.nl.find_net("a0s0").unwrap();
+            c.nl.net(first).driver().unwrap()
+        };
+        let overrides = shift_override(&c, input_gate, 5);
+        let mut keep = ConeWalk::new(&c.graph, &c.delays, &c.base, overrides.clone());
+        keep.run_to_sink();
+        let mut evict = ConeWalk::new(&c.graph, &c.delays, &c.base, overrides).evicting_retired();
+        evict.run_to_sink();
+        assert_eq!(keep.sink_arrival(), evict.sink_arrival());
+    }
+
+    #[test]
+    fn overrides_set_replaces_existing() {
+        let c = ctx(bench::c17(), 0.5);
+        let g = c.nl.gate_ids().next().unwrap();
+        let mut o = DelayOverrides::none();
+        assert!(o.is_empty());
+        o.set(g, c.delays.dist(g).shift_bins(-1));
+        o.set(g, c.delays.dist(g).shift_bins(-2));
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.get(g), Some(&c.delays.dist(g).shift_bins(-2)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Backward required-arrival-time propagation and statistical slack.
+//!
+//! The dual of the forward SSTA pass: starting from a required time at the
+//! sink (deterministic, e.g. the clock period, or the analyzed
+//! circuit-delay distribution itself), required times propagate *backward*
+//! — subtracting arc delays and taking the statistical **min** over
+//! fan-out constraints. A node's statistical slack is
+//! `required − arrival`; gates whose slack distribution sits near (or
+//! below) zero are the statistically critical ones.
+//!
+//! This extends the paper's framework with the standard companion query of
+//! timing engines: it reuses the same lattice operators (the min is the
+//! survival-product dual of the max) and the same independence
+//! approximation, so the slack numbers are consistent with the bound the
+//! optimizer minimizes.
+
+use crate::analysis::SstaAnalysis;
+use crate::delays::ArcDelays;
+use crate::graph::TimingGraph;
+use crate::node::TimingNode;
+use statsize_dist::Dist;
+use statsize_netlist::GateId;
+
+/// Backward (required-time) analysis results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackAnalysis {
+    required: Vec<Dist>,
+}
+
+impl SlackAnalysis {
+    /// Propagates a deterministic required time at the sink backward
+    /// through the circuit.
+    ///
+    /// `required_at_sink` is typically the clock period or a target the
+    /// yield is evaluated against.
+    pub fn run(
+        graph: &TimingGraph,
+        delays: &ArcDelays,
+        required_at_sink: f64,
+    ) -> Self {
+        let sink_req = Dist::point(delays.dt(), required_at_sink);
+        Self::run_with(graph, delays, sink_req)
+    }
+
+    /// Propagates an arbitrary required-time distribution at the sink
+    /// backward through the circuit.
+    pub fn run_with(graph: &TimingGraph, delays: &ArcDelays, sink_required: Dist) -> Self {
+        let mut required: Vec<Option<Dist>> = vec![None; graph.node_count()];
+        required[TimingNode::SINK.index()] = Some(sink_required);
+
+        // Walk nodes in reverse level order; every fan-out is processed
+        // before its fan-ins.
+        let order: Vec<TimingNode> = graph.nodes_in_level_order().collect();
+        for &node in order.iter().rev() {
+            if node == TimingNode::SINK {
+                continue;
+            }
+            // Required(node) = min over out-edges of
+            //   Required(target) − delay(arc).
+            let mut acc: Option<Dist> = None;
+            for &out in graph.out_nodes(node) {
+                for e in graph.in_edges(out) {
+                    if e.from != node {
+                        continue;
+                    }
+                    let target_req = required[out.index()]
+                        .as_ref()
+                        .expect("fan-outs are processed first");
+                    let candidate = match e.gate {
+                        Some(g) => target_req.subtract_independent(delays.dist(g)),
+                        None => target_req.clone(),
+                    };
+                    acc = Some(match acc {
+                        None => candidate,
+                        Some(a) => a.min_independent(&candidate),
+                    });
+                }
+            }
+            required[node.index()] = acc;
+        }
+        Self {
+            required: required
+                .into_iter()
+                .map(|r| r.expect("every node reaches the sink"))
+                .collect(),
+        }
+    }
+
+    /// The required-arrival-time distribution at a node.
+    pub fn required(&self, node: TimingNode) -> &Dist {
+        &self.required[node.index()]
+    }
+
+    /// The statistical slack distribution at a node:
+    /// `required − arrival` (independence-approximated).
+    pub fn slack(&self, ssta: &SstaAnalysis, node: TimingNode) -> Dist {
+        self.required[node.index()].subtract_independent(ssta.arrival(node))
+    }
+
+    /// Probability that a node violates its requirement
+    /// (`P(slack < 0)`).
+    pub fn violation_probability(&self, ssta: &SstaAnalysis, node: TimingNode) -> f64 {
+        self.slack(ssta, node).cdf_at(0.0)
+    }
+
+    /// Gates ranked by mean slack at their output net, most critical
+    /// (smallest mean slack) first. A statistical analogue of a timing
+    /// report's "worst paths" listing.
+    pub fn critical_gates(
+        &self,
+        graph: &TimingGraph,
+        ssta: &SstaAnalysis,
+        limit: usize,
+    ) -> Vec<(GateId, f64)> {
+        let mut ranked: Vec<(GateId, f64)> = (0..self.required.len())
+            .filter_map(|i| {
+                // Only gate-driven net nodes qualify (skip source, sink,
+                // and primary-input nets).
+                let node = TimingNode(i as u32);
+                graph.net_of_node(node)?;
+                let gate = graph.in_edges(node).first().and_then(|e| e.gate)?;
+                Some((gate, self.slack(ssta, node).mean()))
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite slack").then(a.0.cmp(&b.0)));
+        ranked.truncate(limit);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+    use statsize_netlist::{shapes, Netlist};
+
+    fn setup(nl: &Netlist, dt: f64) -> (TimingGraph, ArcDelays, SstaAnalysis) {
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, nl);
+        let sizes = GateSizes::minimum(nl);
+        let variation = VariationModel::paper_default();
+        let graph = TimingGraph::build(nl);
+        let delays = ArcDelays::compute(nl, &model, &sizes, &variation, dt);
+        let ssta = SstaAnalysis::run(&graph, &delays);
+        (graph, delays, ssta)
+    }
+
+    #[test]
+    fn chain_source_required_is_target_minus_total_delay() {
+        let nl = shapes::chain("c", 5);
+        let (graph, delays, _) = setup(&nl, 0.5);
+        let target = 1000.0;
+        let slack = SlackAnalysis::run(&graph, &delays, target);
+        let total: f64 = nl.gate_ids().map(|g| delays.nominal(g)).sum();
+        let source_req = slack.required(TimingNode::SOURCE);
+        assert!(
+            (source_req.mean() - (target - total)).abs() < 0.5,
+            "required {} vs {}",
+            source_req.mean(),
+            target - total
+        );
+    }
+
+    #[test]
+    fn slack_at_source_matches_sink_margin_on_a_chain() {
+        // On a chain (single path), slack(source) = target − circuit delay.
+        let nl = shapes::chain("c", 4);
+        let (graph, delays, ssta) = setup(&nl, 0.5);
+        let target = 800.0;
+        let slack = SlackAnalysis::run(&graph, &delays, target);
+        let s = slack.slack(&ssta, TimingNode::SOURCE);
+        let margin = target - ssta.sink_arrival().mean();
+        assert!((s.mean() - margin).abs() < 0.5, "{} vs {margin}", s.mean());
+    }
+
+    #[test]
+    fn violation_probability_is_monotone_in_target() {
+        let nl = shapes::grid("g", 3, 3);
+        let (graph, delays, ssta) = setup(&nl, 1.0);
+        let t99 = ssta.circuit_delay_percentile(0.99);
+        let t50 = ssta.circuit_delay_percentile(0.50);
+        let loose = SlackAnalysis::run(&graph, &delays, t99 + 50.0);
+        let tight = SlackAnalysis::run(&graph, &delays, t50);
+        let p_loose = loose.violation_probability(&ssta, TimingNode::SOURCE);
+        let p_tight = tight.violation_probability(&ssta, TimingNode::SOURCE);
+        assert!(p_loose < p_tight, "{p_loose} !< {p_tight}");
+        assert!(p_loose < 0.05, "generous target should rarely be violated");
+    }
+
+    #[test]
+    fn deeper_path_gates_have_less_slack() {
+        let nl = shapes::path_bundle("b", &[2, 8]);
+        let (graph, delays, ssta) = setup(&nl, 0.5);
+        let target = ssta.circuit_delay_percentile(0.99);
+        let slack = SlackAnalysis::run(&graph, &delays, target);
+        let long_out = graph.node_of_net(nl.find_net("p1s7").unwrap());
+        let short_out = graph.node_of_net(nl.find_net("p0s1").unwrap());
+        let s_long = slack.slack(&ssta, long_out).mean();
+        let s_short = slack.slack(&ssta, short_out).mean();
+        assert!(
+            s_long < s_short,
+            "long path slack {s_long} must be below short path {s_short}"
+        );
+    }
+
+    #[test]
+    fn critical_gates_ranks_the_long_path_first() {
+        let nl = shapes::path_bundle("b", &[2, 8]);
+        let (graph, delays, ssta) = setup(&nl, 0.5);
+        let target = ssta.circuit_delay_percentile(0.99);
+        let slack = SlackAnalysis::run(&graph, &delays, target);
+        let top = slack.critical_gates(&graph, &ssta, 3);
+        assert_eq!(top.len(), 3);
+        for (gate, _) in &top {
+            let out = nl.gate(*gate).output();
+            assert!(
+                nl.net(out).name().starts_with("p1"),
+                "critical gate {} not on the long path",
+                nl.net(out).name()
+            );
+        }
+        // Ranking is by ascending mean slack.
+        assert!(top[0].1 <= top[1].1 && top[1].1 <= top[2].1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Exhaustive-enumeration cross-check of the SSTA engine.
+//!
+//! For tiny circuits with coarse delay lattices, the *exact* circuit-delay
+//! distribution under the per-arc independence model can be computed by
+//! enumerating every joint assignment of arc delays and running
+//! deterministic longest-path on each. Block-based SSTA must then:
+//!
+//! * reproduce the exact distribution bit-for-bit on circuits without
+//!   reconvergent fanout (chains, bundles, trees), and
+//! * stochastically dominate it (upper bound on delay, i.e. lower CDF) on
+//!   reconvergent circuits — the DAC'03 bound the paper optimizes.
+
+use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+use statsize_dist::Dist;
+use statsize_netlist::{shapes, GateId, Netlist};
+use statsize_ssta::{ArcDelays, SstaAnalysis, TimingGraph, TimingNode};
+use std::collections::HashMap;
+
+/// Coarse delay distributions so the joint space stays enumerable: every
+/// gate gets a lattice distribution of roughly 2–7 bins.
+fn coarse_delays(nl: &Netlist, graph: &TimingGraph) -> ArcDelays {
+    let lib = CellLibrary::synthetic_180nm();
+    let model = DelayModel::new(&lib, nl);
+    let sizes = GateSizes::minimum(nl);
+    // Wide σ and tight truncation keep supports small but non-degenerate.
+    let variation = VariationModel::new(0.25, 1.2);
+    let _ = graph;
+    ArcDelays::compute(nl, &model, &sizes, &variation, 10.0)
+}
+
+/// One timing arc: target node, position of the arc in the target's
+/// in-edge list, and the gate whose delay it carries.
+struct Arc {
+    gate: GateId,
+}
+
+/// Enumerates all joint arc-delay assignments and accumulates the exact
+/// sink-arrival distribution (per-arc independence model).
+fn exact_sink_distribution(graph: &TimingGraph, delays: &ArcDelays) -> HashMap<i64, f64> {
+    // Collect the gate arcs in a fixed order.
+    let mut arcs: Vec<Arc> = Vec::new();
+    for node in graph.nodes_in_level_order() {
+        for e in graph.in_edges(node) {
+            if let Some(gate) = e.gate {
+                arcs.push(Arc { gate });
+            }
+        }
+    }
+    // Every arc's support; bail out if enumeration would explode.
+    let supports: Vec<(i64, Vec<f64>)> = arcs
+        .iter()
+        .map(|a| {
+            let d = delays.dist(a.gate);
+            (d.offset(), d.mass().to_vec())
+        })
+        .collect();
+    let combos: f64 = supports.iter().map(|(_, m)| m.len() as f64).product();
+    assert!(
+        combos <= 2_000_000.0,
+        "joint space too large to enumerate: {combos}"
+    );
+
+    let mut result: HashMap<i64, f64> = HashMap::new();
+    let mut choice = vec![0usize; arcs.len()];
+    loop {
+        // Probability of this assignment and per-arc delay (in bins).
+        let mut prob = 1.0;
+        for (c, (_, mass)) in choice.iter().zip(&supports) {
+            prob *= mass[*c];
+        }
+        if prob > 0.0 {
+            // Deterministic longest path with these arc delays.
+            let mut arrival: HashMap<TimingNode, i64> = HashMap::new();
+            arrival.insert(TimingNode::SOURCE, 0);
+            let mut arc_idx = 0usize;
+            for node in graph.nodes_in_level_order() {
+                if node == TimingNode::SOURCE {
+                    continue;
+                }
+                let mut best = i64::MIN;
+                for e in graph.in_edges(node) {
+                    let d = if e.gate.is_some() {
+                        let (off, _) = supports[arc_idx];
+                        let bins = off + choice[arc_idx] as i64;
+                        arc_idx += 1;
+                        bins
+                    } else {
+                        0
+                    };
+                    best = best.max(arrival[&e.from] + d);
+                }
+                arrival.insert(node, best);
+            }
+            *result.entry(arrival[&TimingNode::SINK]).or_insert(0.0) += prob;
+        } else {
+            // Still need to keep arc_idx bookkeeping consistent: prob==0
+            // combos are skipped entirely (no traversal).
+        }
+        // Advance the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                return result;
+            }
+            choice[i] += 1;
+            if choice[i] < supports[i].1.len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn cumulative(map: &HashMap<i64, f64>) -> Vec<(i64, f64)> {
+    let mut bins: Vec<i64> = map.keys().copied().collect();
+    bins.sort_unstable();
+    let mut acc = 0.0;
+    bins.iter()
+        .map(|&b| {
+            acc += map[&b];
+            (b, acc)
+        })
+        .collect()
+}
+
+fn ssta_cdf_at_bin(sink: &Dist, bin: i64) -> f64 {
+    sink.mass()
+        .iter()
+        .enumerate()
+        .take_while(|(i, _)| sink.offset() + *i as i64 <= bin)
+        .map(|(_, &m)| m)
+        .sum()
+}
+
+/// On circuits where no two reconverging arrival times share an arc, the
+/// per-arc independence model is exact and SSTA must equal the exact
+/// enumeration at every lattice point. Note this *includes* the diamond:
+/// its arms share only the primary input (whose arrival is
+/// deterministic), so under per-arc sampling the reconverging arrivals
+/// really are independent.
+#[test]
+fn ssta_is_exact_on_shared_arc_free_circuits() {
+    for nl in [
+        shapes::chain("c", 3),
+        shapes::path_bundle("b", &[2, 3]),
+        shapes::balanced_tree("t", 2, statsize_netlist::GateKind::Nand),
+        shapes::diamond("d", 2),
+    ] {
+        let graph = TimingGraph::build(&nl);
+        let delays = coarse_delays(&nl, &graph);
+        let exact = exact_sink_distribution(&graph, &delays);
+        let ssta = SstaAnalysis::run(&graph, &delays);
+        let sink = ssta.sink_arrival();
+        for (bin, cum) in cumulative(&exact) {
+            let got = ssta_cdf_at_bin(sink, bin);
+            assert!(
+                (got - cum).abs() < 1e-9,
+                "{}: CDF mismatch at bin {bin}: ssta {got} vs exact {cum}",
+                nl.name()
+            );
+        }
+    }
+}
+
+/// On circuits where reconverging arrivals *share arcs* (the grid: both
+/// inputs of cell (1,1) descend from cell (0,0)), the SSTA CDF must lie
+/// at or below the exact CDF everywhere (the result is stochastically
+/// larger — a conservative bound on circuit delay), strictly somewhere.
+#[test]
+fn ssta_bounds_exact_distribution_on_shared_arc_circuits() {
+    for nl in [shapes::grid("g", 2, 2)] {
+        let graph = TimingGraph::build(&nl);
+        let delays = coarse_delays(&nl, &graph);
+        let exact = exact_sink_distribution(&graph, &delays);
+        let ssta = SstaAnalysis::run(&graph, &delays);
+        let sink = ssta.sink_arrival();
+        let mut strictly_below = false;
+        for (bin, cum) in cumulative(&exact) {
+            let got = ssta_cdf_at_bin(sink, bin);
+            assert!(
+                got <= cum + 1e-9,
+                "{}: bound violated at bin {bin}: ssta {got} > exact {cum}",
+                nl.name()
+            );
+            if got < cum - 1e-9 {
+                strictly_below = true;
+            }
+        }
+        assert!(
+            strictly_below,
+            "{}: correlation should make the bound strictly conservative somewhere",
+            nl.name()
+        );
+    }
+}
+
+/// The exact enumeration itself must be a probability distribution.
+#[test]
+fn exact_enumeration_total_mass_is_one() {
+    let nl = shapes::diamond("d", 2);
+    let graph = TimingGraph::build(&nl);
+    let delays = coarse_delays(&nl, &graph);
+    let exact = exact_sink_distribution(&graph, &delays);
+    let total: f64 = exact.values().sum();
+    assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+}

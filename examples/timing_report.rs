@@ -1,0 +1,78 @@
+//! A statistical timing report: required times, slack distributions, and
+//! Monte-Carlo gate criticality — the companion queries a timing engine
+//! offers around the optimizer.
+//!
+//! Shows how optimization changes the *criticality profile*: before
+//! sizing, criticality concentrates on a few long paths; after
+//! deterministic sizing it smears across the wall.
+//!
+//! ```text
+//! cargo run --release -p statsize --example timing_report
+//! ```
+
+use statsize::{Objective, Optimizer, SelectorKind, TimedCircuit};
+use statsize_cells::{CellLibrary, VariationModel};
+use statsize_netlist::generator;
+use statsize_ssta::{MonteCarlo, SamplingMode, SlackAnalysis, TimingNode};
+
+fn criticality_spread(crit: &[f64]) -> (usize, f64) {
+    // How many gates carry >5% criticality, and the entropy-like mass of
+    // the profile (sum of criticalities = expected critical-path length).
+    let busy = crit.iter().filter(|&&c| c > 0.05).count();
+    let total: f64 = crit.iter().sum();
+    (busy, total)
+}
+
+fn main() {
+    let netlist = generator::generate_iscas("c880", 1).expect("known profile");
+    let library = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+    let mut circuit = TimedCircuit::new(&netlist, &library, variation, 2.0);
+
+    // --- Report at minimum sizes. ---
+    let t99 = circuit.ssta().circuit_delay_percentile(0.99);
+    let target = 1.02 * t99; // a 2% guard-banded clock target
+    println!("c880 at minimum sizes: T(99%) = {:.3} ns, clock target {:.3} ns\n",
+             t99 / 1000.0, target / 1000.0);
+
+    let slack = SlackAnalysis::run(circuit.graph(), circuit.delays(), target);
+    println!("most critical gates (by mean statistical slack at their output):");
+    println!("  {:>6}  {:>12}  {:>12}  {:>10}", "gate", "slack (ps)", "σ(slack)", "P(viol.)");
+    for (gate, mean_slack) in slack.critical_gates(circuit.graph(), circuit.ssta(), 5) {
+        let node = circuit.graph().out_node_of_gate(gate);
+        let dist = slack.slack(circuit.ssta(), node);
+        println!(
+            "  {:>6}  {:>12.1}  {:>12.1}  {:>10.4}",
+            netlist.net(netlist.gate(gate).output()).name(),
+            mean_slack,
+            dist.std_dev(),
+            slack.violation_probability(circuit.ssta(), node),
+        );
+    }
+    let p_viol = slack.violation_probability(circuit.ssta(), TimingNode::SOURCE);
+    println!("  circuit-level violation probability: {p_viol:.4}");
+
+    // --- Criticality before and after deterministic optimization. ---
+    let mc = MonteCarlo::new(4_000, 7, SamplingMode::PerGate);
+    let (_, crit_before) =
+        mc.run_with_criticality(circuit.graph(), circuit.delays(), &variation);
+
+    let _ = Optimizer::new(Objective::percentile(0.99), SelectorKind::Deterministic)
+        .with_max_iterations(80)
+        .run(&mut circuit);
+    let (_, crit_after) =
+        mc.run_with_criticality(circuit.graph(), circuit.delays(), &variation);
+
+    let (busy_before, mass_before) = criticality_spread(&crit_before);
+    let (busy_after, mass_after) = criticality_spread(&crit_after);
+    println!("\ncriticality profile (Monte-Carlo, 4000 trials):");
+    println!("  before sizing:            {busy_before:4} gates above 5% criticality \
+              (critical-path mass {mass_before:.1})");
+    println!("  after deterministic opt:  {busy_after:4} gates above 5% criticality \
+              (critical-path mass {mass_after:.1})");
+    println!(
+        "\nthe deterministic optimizer spreads criticality over {} more gates — the\n\
+         \"wall\" of Figure 1, and the reason statistical optimization wins at equal area.",
+        busy_after.saturating_sub(busy_before)
+    );
+}

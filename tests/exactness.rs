@@ -1,0 +1,177 @@
+//! The paper's central correctness claim: the pruned algorithm's results
+//! are *identical* to brute force ("Our optimization results are identical
+//! with those of the brute force approach", Section 4).
+//!
+//! These tests drive both selectors through multi-iteration optimizations
+//! on a variety of circuits — reconvergent, symmetric (tie-rich), and
+//! randomly generated — asserting bit-identical selections and
+//! sensitivities at every step.
+
+use statsize::{
+    BruteForceSelector, HeuristicSelector, Objective, Optimizer, PrunedSelector, SelectorKind,
+    TimedCircuit,
+};
+use statsize_cells::{CellLibrary, VariationModel};
+use statsize_netlist::generator::{self, Profile};
+use statsize_netlist::{bench, shapes, Netlist};
+
+fn assert_identical_trajectories(nl: &Netlist, dt: f64, steps: usize, objective: Objective) {
+    let lib = CellLibrary::synthetic_180nm();
+    let mut circuit = TimedCircuit::new(nl, &lib, VariationModel::paper_default(), dt);
+    let brute = BruteForceSelector::new(1.0);
+    let pruned = PrunedSelector::new(1.0);
+    for step in 0..steps {
+        let b = brute.select(&circuit, objective);
+        let (p, stats) = pruned.select_with_stats(&circuit, objective);
+        assert_eq!(
+            b, p,
+            "{}: selector divergence at step {step} (stats: {stats:?})",
+            nl.name()
+        );
+        match b {
+            Some(sel) => circuit.commit_resize(sel.gate, 1.0),
+            None => break,
+        }
+    }
+}
+
+#[test]
+fn identical_on_c17() {
+    assert_identical_trajectories(&bench::c17(), 1.0, 8, Objective::percentile(0.99));
+}
+
+#[test]
+fn identical_on_reconvergent_grid() {
+    assert_identical_trajectories(&shapes::grid("g", 4, 4), 1.0, 5, Objective::percentile(0.99));
+}
+
+#[test]
+fn identical_on_tie_rich_symmetric_circuits() {
+    // Perfect symmetry produces exact sensitivity ties; the deterministic
+    // tie-break must keep the selectors aligned.
+    assert_identical_trajectories(&shapes::diamond("d", 4), 1.0, 6, Objective::percentile(0.99));
+    assert_identical_trajectories(
+        &shapes::path_bundle("b", &[5, 5, 5, 5]),
+        1.0,
+        6,
+        Objective::percentile(0.99),
+    );
+}
+
+#[test]
+fn identical_under_the_mean_objective() {
+    assert_identical_trajectories(&bench::c17(), 1.0, 5, Objective::Mean);
+}
+
+#[test]
+fn identical_at_other_percentiles() {
+    assert_identical_trajectories(&shapes::grid("g", 3, 3), 1.0, 4, Objective::percentile(0.90));
+    assert_identical_trajectories(&shapes::grid("g", 3, 3), 1.0, 4, Objective::percentile(0.50));
+}
+
+#[test]
+fn identical_on_random_circuits_across_seeds() {
+    let profile = Profile {
+        name: "rnd",
+        inputs: 6,
+        outputs: 5,
+        nodes: 64,
+        edges: 130,
+        depth: 8,
+    };
+    for seed in 0..8u64 {
+        let nl = generator::generate(&profile, seed);
+        assert_identical_trajectories(&nl, 1.0, 3, Objective::percentile(0.99));
+    }
+}
+
+#[test]
+fn identical_on_a_benchmark_profile() {
+    let nl = generator::generate_iscas("c432", 11).expect("known profile");
+    assert_identical_trajectories(&nl, 2.0, 3, Objective::percentile(0.99));
+}
+
+#[test]
+fn unbounded_lookahead_heuristic_equals_brute_force() {
+    let nl = shapes::grid("g", 3, 4);
+    let lib = CellLibrary::synthetic_180nm();
+    let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+    let obj = Objective::percentile(0.99);
+    let h = HeuristicSelector::new(1.0, usize::MAX).select(&circuit, obj);
+    let b = BruteForceSelector::new(1.0).select(&circuit, obj);
+    assert_eq!(h, b);
+}
+
+#[test]
+fn top_k_selection_matches_brute_force() {
+    // The multi-gate variant (paper Section 3.3) must stay exact: the
+    // pruned top-k equals the brute-force top-k, including order.
+    let lib = CellLibrary::synthetic_180nm();
+    for (nl, dt) in [
+        (bench::c17(), 1.0),
+        (shapes::grid("g", 4, 4), 1.0),
+        (generator::generate_iscas("c432", 9).expect("known profile"), 2.0),
+    ] {
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), dt);
+        let obj = Objective::percentile(0.99);
+        for k in [1usize, 3, 8] {
+            let b = BruteForceSelector::new(1.0).select_top_k(&circuit, obj, k);
+            let p = PrunedSelector::new(1.0).select_top_k(&circuit, obj, k);
+            assert_eq!(b, p, "{}: top-{k} mismatch", nl.name());
+            assert!(b.len() <= k);
+            // Sorted by descending sensitivity.
+            for w in b.windows(2) {
+                assert!(w[0].sensitivity >= w[1].sensitivity);
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_move_optimizer_still_improves() {
+    let nl = generator::generate_iscas("c432", 3).expect("known profile");
+    let lib = CellLibrary::synthetic_180nm();
+    let obj = Objective::percentile(0.99);
+
+    let mut batched = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 2.0);
+    let rb = Optimizer::new(obj, SelectorKind::Pruned)
+        .with_moves_per_iteration(4)
+        .with_max_iterations(12)
+        .run(&mut batched);
+    assert_eq!(rb.iterations_run(), 12);
+    assert!(rb.final_objective < rb.initial_objective);
+
+    // Batched moves amortize selection: the total selection work (recorded
+    // on the first move of each batch) must be under that of 12 singles.
+    let mut single = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 2.0);
+    let rs = Optimizer::new(obj, SelectorKind::Pruned)
+        .with_max_iterations(12)
+        .run(&mut single);
+    let batched_selections = rb.iterations.iter().filter(|r| r.prune.is_some()).count();
+    let single_selections = rs.iterations.iter().filter(|r| r.prune.is_some()).count();
+    assert!(batched_selections < single_selections);
+}
+
+#[test]
+fn full_optimizer_runs_agree_end_to_end() {
+    let nl = generator::generate_iscas("c432", 5).expect("known profile");
+    let lib = CellLibrary::synthetic_180nm();
+    let obj = Objective::percentile(0.99);
+
+    let mut a = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 2.0);
+    let ra = Optimizer::new(obj, SelectorKind::Pruned)
+        .with_max_iterations(5)
+        .run(&mut a);
+
+    let mut b = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 2.0);
+    let rb = Optimizer::new(obj, SelectorKind::BruteForce)
+        .with_max_iterations(5)
+        .run(&mut b);
+
+    assert_eq!(ra.final_objective, rb.final_objective);
+    assert_eq!(ra.iterations_run(), rb.iterations_run());
+    let gates_a: Vec<_> = ra.iterations.iter().map(|r| r.gate).collect();
+    let gates_b: Vec<_> = rb.iterations.iter().map(|r| r.gate).collect();
+    assert_eq!(gates_a, gates_b, "gate sequences must match");
+    assert_eq!(a.sizes(), b.sizes(), "final sizing solutions must match");
+}

@@ -1,0 +1,156 @@
+//! Cross-cutting invariants of the optimization loop: monotone
+//! trajectories, exact width accounting, determinism, and agreement
+//! between the incremental and from-scratch timing paths after long runs.
+
+use statsize::{Objective, Optimizer, SelectorKind, TimedCircuit};
+use statsize_cells::{CellLibrary, VariationModel};
+use statsize_netlist::{generator, shapes};
+
+fn lib() -> CellLibrary {
+    CellLibrary::synthetic_180nm()
+}
+
+#[test]
+fn objective_is_monotone_non_increasing_for_exact_selectors() {
+    // Exact selectors commit only moves with positive measured
+    // sensitivity, so the trajectory is monotone. (The heuristic selector
+    // commits on an *optimistic bound* and may regress on an iteration —
+    // the price of skipping full propagation.)
+    let nl = shapes::grid("g", 3, 4);
+    let library = lib();
+    for kind in [SelectorKind::Pruned, SelectorKind::BruteForce] {
+        let mut c = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 1.0);
+        let result = Optimizer::new(Objective::percentile(0.99), kind)
+            .with_max_iterations(8)
+            .run(&mut c);
+        let mut prev = result.initial_objective;
+        for r in &result.iterations {
+            assert!(
+                r.objective_after <= prev + 1e-9,
+                "{kind:?}: objective increased at iteration {}",
+                r.iteration
+            );
+            prev = r.objective_after;
+        }
+    }
+}
+
+#[test]
+fn width_accounting_is_exact() {
+    let nl = shapes::grid("g", 3, 3);
+    let library = lib();
+    let mut c = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 1.0);
+    let dw = 0.75;
+    let result = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+        .with_delta_w(dw)
+        .with_max_iterations(6)
+        .run(&mut c);
+    let expected = result.initial_width + dw * result.iterations_run() as f64;
+    assert!((result.final_width - expected).abs() < 1e-9);
+    assert!((c.total_width() - expected).abs() < 1e-9);
+    for (i, r) in result.iterations.iter().enumerate() {
+        let w = result.initial_width + dw * (i + 1) as f64;
+        assert!((r.total_width_after - w).abs() < 1e-9, "iteration {i}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let nl = generator::generate_iscas("c432", 7).expect("known profile");
+    let library = lib();
+    let run = || {
+        let mut c = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 2.0);
+        let r = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_max_iterations(4)
+            .run(&mut c);
+        (
+            r.final_objective,
+            r.iterations.iter().map(|it| it.gate).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run(), "same inputs must give bit-identical runs");
+}
+
+#[test]
+fn incremental_timing_stays_exact_over_a_long_run() {
+    // After dozens of commits through the incremental SSTA path, the
+    // state must still equal a from-scratch recomputation bit for bit.
+    let nl = shapes::grid("g", 4, 4);
+    let library = lib();
+    let mut c = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 1.0);
+    let _ = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+        .with_max_iterations(25)
+        .run(&mut c);
+    let incremental = c.ssta().clone();
+    c.recompute_from_scratch();
+    assert_eq!(&incremental, c.ssta());
+}
+
+#[test]
+fn sensitivity_predicts_the_committed_improvement() {
+    // For the percentile objective the selection's sensitivity is the
+    // exact improvement of the committed move (Δw = 1), since commit and
+    // trial use the same propagation.
+    let nl = shapes::grid("g", 3, 3);
+    let library = lib();
+    let mut c = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 1.0);
+    let result = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+        .with_max_iterations(6)
+        .run(&mut c);
+    let mut prev = result.initial_objective;
+    for r in &result.iterations {
+        let measured = prev - r.objective_after;
+        assert!(
+            (measured - r.sensitivity).abs() < 1e-6,
+            "iteration {}: predicted {} vs measured {}",
+            r.iteration,
+            r.sensitivity,
+            measured
+        );
+        prev = r.objective_after;
+    }
+}
+
+#[test]
+fn prune_stats_are_recorded_and_consistent() {
+    let nl = generator::generate_iscas("c432", 2).expect("known profile");
+    let library = lib();
+    let mut c = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 2.0);
+    let result = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+        .with_max_iterations(3)
+        .run(&mut c);
+    for r in &result.iterations {
+        let stats = r.prune.expect("pruned selector records stats");
+        assert_eq!(stats.candidates, nl.gate_count());
+        assert!(stats.completed + stats.pruned <= stats.candidates);
+        assert!(stats.completed >= 1, "the winner always completes");
+        assert!(stats.nodes_computed > 0);
+        assert!(stats.pruned_fraction() <= 1.0);
+    }
+}
+
+#[test]
+fn stop_reasons_are_accurate() {
+    let nl = shapes::chain("c", 3);
+    let library = lib();
+
+    let mut c1 = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 1.0);
+    let r1 = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+        .with_max_iterations(2)
+        .run(&mut c1);
+    assert_eq!(r1.stop, statsize::StopReason::MaxIterations);
+
+    let mut c2 = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 1.0);
+    let r2 = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+        .with_width_limit(4.0)
+        .run(&mut c2);
+    assert_eq!(r2.stop, statsize::StopReason::WidthLimit);
+    assert_eq!(r2.iterations_run(), 1);
+
+    let mut c3 = TimedCircuit::new(&nl, &library, VariationModel::paper_default(), 1.0);
+    let r3 = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+        .with_min_sensitivity(1e6) // absurd threshold: converge immediately
+        .run(&mut c3);
+    assert_eq!(r3.stop, statsize::StopReason::Converged);
+    assert_eq!(r3.iterations_run(), 0);
+}

@@ -1,0 +1,119 @@
+//! Cross-validation of the SSTA engine against Monte-Carlo simulation —
+//! the paper's Section 4 evidence that optimizing the DAC'03 bound is
+//! sound ("an acceptable difference, especially for the 99-percentile
+//! point (< 1%)").
+
+use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+use statsize_netlist::{generator, shapes, Netlist};
+use statsize_ssta::{ArcDelays, MonteCarlo, SamplingMode, SstaAnalysis, TimingGraph};
+
+struct Setup {
+    graph: TimingGraph,
+    delays: ArcDelays,
+    ssta: SstaAnalysis,
+    variation: VariationModel,
+}
+
+fn setup(nl: &Netlist, dt: f64) -> Setup {
+    let lib = CellLibrary::synthetic_180nm();
+    let model = DelayModel::new(&lib, nl);
+    let sizes = GateSizes::minimum(nl);
+    let variation = VariationModel::paper_default();
+    let graph = TimingGraph::build(nl);
+    let delays = ArcDelays::compute(nl, &model, &sizes, &variation, dt);
+    let ssta = SstaAnalysis::run(&graph, &delays);
+    Setup { graph, delays, ssta, variation }
+}
+
+#[test]
+fn bound_is_tight_on_tree_like_circuits() {
+    // A balanced tree has no reconvergence, so the independence
+    // approximation is exact: SSTA must match per-arc MC to within
+    // discretization and sampling noise at every percentile.
+    let nl = shapes::balanced_tree("t", 4, statsize_netlist::GateKind::Nand);
+    let s = setup(&nl, 0.5);
+    let mc = MonteCarlo::new(120_000, 7, SamplingMode::PerArc)
+        .run(&s.graph, &s.delays, &s.variation);
+    for p in [0.5, 0.9, 0.99] {
+        let bound = s.ssta.circuit_delay_percentile(p);
+        let sampled = mc.percentile(p);
+        let rel = (bound - sampled).abs() / sampled;
+        assert!(rel < 0.01, "p={p}: bound {bound} vs MC {sampled} ({rel:.4})");
+    }
+}
+
+#[test]
+fn bound_is_conservative_on_reconvergent_circuits() {
+    // Diamonds and grids have strong reconvergent correlation; the bound
+    // must stay above per-arc MC at every percentile (stochastic
+    // dominance of the bound).
+    for nl in [shapes::diamond("d", 8), shapes::grid("g", 5, 5)] {
+        let s = setup(&nl, 0.5);
+        let mc = MonteCarlo::new(60_000, 3, SamplingMode::PerArc)
+            .run(&s.graph, &s.delays, &s.variation);
+        for p in [0.25, 0.5, 0.75, 0.9, 0.99] {
+            let bound = s.ssta.circuit_delay_percentile(p);
+            let sampled = mc.percentile(p);
+            assert!(
+                bound >= sampled - 0.5, // half a lattice step of slack
+                "{}: p={p}: bound {bound} below MC {sampled}",
+                nl.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_is_close_on_a_benchmark_profile() {
+    // The paper's <1% claim at the 99-percentile, on a c432-scale
+    // circuit under the matching (per-arc) sampling model.
+    let nl = generator::generate_iscas("c432", 1).expect("known profile");
+    let s = setup(&nl, 1.0);
+    let mc = MonteCarlo::new(150_000, 9, SamplingMode::PerArc)
+        .run(&s.graph, &s.delays, &s.variation);
+    let bound = s.ssta.circuit_delay_percentile(0.99);
+    let sampled = mc.percentile(0.99);
+    let rel = (bound - sampled) / sampled;
+    assert!(
+        (-0.002..0.02).contains(&rel),
+        "T99: bound {bound} vs MC {sampled} ({:+.2}%)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn mean_and_variance_track_monte_carlo_on_a_chain() {
+    let nl = shapes::chain("c", 12);
+    let s = setup(&nl, 0.25);
+    let mc = MonteCarlo::new(120_000, 11, SamplingMode::PerGate)
+        .run(&s.graph, &s.delays, &s.variation);
+    let sink = s.ssta.sink_arrival();
+    assert!(
+        (sink.mean() - mc.mean()).abs() / mc.mean() < 0.005,
+        "mean: {} vs {}",
+        sink.mean(),
+        mc.mean()
+    );
+    assert!(
+        (sink.std_dev() - mc.std_dev()).abs() / mc.std_dev() < 0.05,
+        "sigma: {} vs {}",
+        sink.std_dev(),
+        mc.std_dev()
+    );
+}
+
+#[test]
+fn per_gate_sampling_is_no_larger_than_bound_at_high_percentiles() {
+    // Per-gate sampling correlates a gate's arcs, which the bound also
+    // ignores; the bound must still dominate at the objective percentile.
+    let nl = generator::generate_iscas("c880", 2).expect("known profile");
+    let s = setup(&nl, 2.0);
+    let mc = MonteCarlo::new(40_000, 13, SamplingMode::PerGate)
+        .run(&s.graph, &s.delays, &s.variation);
+    let bound = s.ssta.circuit_delay_percentile(0.99);
+    let sampled = mc.percentile(0.99);
+    assert!(
+        bound >= sampled - 2.0,
+        "T99 bound {bound} below per-gate MC {sampled}"
+    );
+}
