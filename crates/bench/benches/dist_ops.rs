@@ -56,5 +56,11 @@ fn bench_shift(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_convolve, bench_max, bench_percentile, bench_shift);
+criterion_group!(
+    benches,
+    bench_convolve,
+    bench_max,
+    bench_percentile,
+    bench_shift
+);
 criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Records a machine-readable baseline of the lattice-kernel hot paths
+//! (`BENCH_dist_ops.json`), for coarse regression tracking across PRs.
+//!
+//! Measures the same operations as the `dist_ops` criterion bench —
+//! convolution, independent max, percentile query, and the whole-bin
+//! shift measure — with a deterministic sample loop, and emits one JSON
+//! object per operation/size pair.
+//!
+//! Usage: `cargo run --release -p statsize-bench --bin bench_baseline
+//! [--out=PATH]` (default `BENCH_dist_ops.json` in the current
+//! directory).
+
+use statsize_bench::emit::JsonObject;
+use statsize_dist::{max_percentile_shift, Dist, TruncatedGaussian};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// An arrival-time-like distribution with the requested support width.
+fn arrival_like(bins: usize) -> Dist {
+    let sigma = bins as f64 / 6.0;
+    TruncatedGaussian::new(1000.0, sigma, 3.0).discretize(1.0)
+}
+
+fn delay_like() -> Dist {
+    TruncatedGaussian::from_nominal(100.0, 0.1, 3.0).discretize(1.0)
+}
+
+/// Median and minimum per-iteration nanoseconds over `samples` timed
+/// batches sized to roughly `batch_target` seconds each.
+fn measure<F: FnMut()>(mut op: F) -> (f64, f64) {
+    const SAMPLES: usize = 15;
+    const BATCH_TARGET: f64 = 0.01;
+    // Calibrate the batch size with a short warm-up.
+    let t0 = Instant::now();
+    let mut warm = 0u64;
+    while t0.elapsed().as_secs_f64() < 0.02 {
+        op();
+        warm += 1;
+    }
+    let per_iter = t0.elapsed().as_secs_f64() / warm.max(1) as f64;
+    let batch = ((BATCH_TARGET / per_iter.max(1e-9)) as u64).max(1);
+    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                op();
+            }
+            t.elapsed().as_secs_f64() * 1e9 / batch as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (per_iter_ns[SAMPLES / 2], per_iter_ns[0])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .find_map(|a| a.strip_prefix("--out=").map(String::from))
+        .unwrap_or_else(|| "BENCH_dist_ops.json".to_string());
+
+    let delay = delay_like();
+    let mut results: Vec<String> = Vec::new();
+    let mut record = |name: String, (median_ns, min_ns): (f64, f64)| {
+        println!("{name:<28} median {median_ns:>12.1} ns  min {min_ns:>12.1} ns");
+        let mut o = JsonObject::new();
+        o.string("name", &name)
+            .number("median_ns", median_ns)
+            .number("min_ns", min_ns);
+        results.push(o.render());
+    };
+
+    for bins in [64usize, 256, 1024] {
+        let arrival = arrival_like(bins);
+        record(
+            format!("convolve/{bins}"),
+            measure(|| {
+                black_box(black_box(&arrival).convolve(&delay));
+            }),
+        );
+        let other = arrival.shift_bins(bins as i64 / 10);
+        record(
+            format!("max_independent/{bins}"),
+            measure(|| {
+                black_box(black_box(&arrival).max_independent(&other));
+            }),
+        );
+        record(
+            format!("max_percentile_shift/{bins}"),
+            measure(|| {
+                black_box(max_percentile_shift(black_box(&arrival), &other));
+            }),
+        );
+    }
+    let a512 = arrival_like(512);
+    record(
+        "percentile_p99/512".to_string(),
+        measure(|| {
+            black_box(black_box(&a512).percentile(0.99));
+        }),
+    );
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut doc = JsonObject::new();
+    doc.string("bench", "dist_ops")
+        .string("profile", "release")
+        .integer("recorded_unix", unix_secs)
+        .integer(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        )
+        .array("results", &results);
+    std::fs::write(&out_path, doc.render() + "\n").expect("write baseline file");
+    println!("\nwrote {out_path}");
+}

@@ -41,8 +41,11 @@ fn main() {
 
         for iter in 0..=cfg.iterations {
             if iter % mc_every == 0 || iter == cfg.iterations {
-                let mc = MonteCarlo::new(cfg.mc_samples, cfg.seed, SamplingMode::PerGate)
-                    .run(circuit.graph(), circuit.delays(), &variation);
+                let mc = MonteCarlo::new(cfg.mc_samples, cfg.seed, SamplingMode::PerGate).run(
+                    circuit.graph(),
+                    circuit.delays(),
+                    &variation,
+                );
                 println!(
                     "{label},{iter},{:.1},{:.4},{:.4}",
                     circuit.total_width(),

@@ -15,7 +15,10 @@ fn main() {
     let (flags, dirs): (Vec<String>, Vec<String>) =
         args.into_iter().partition(|a| a.starts_with("--"));
     let cfg = ExperimentConfig::parse(flags);
-    let out_dir = dirs.first().cloned().unwrap_or_else(|| "benchmarks".to_string());
+    let out_dir = dirs
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "benchmarks".to_string());
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     for name in ExperimentConfig::paper_circuits() {

@@ -26,7 +26,11 @@ fn main() {
     let objective = Objective::percentile(0.99);
     // Brute force is the expensive side: time it on a subset of the
     // iterations unless running at paper scale.
-    let brute_iters = if cfg.full { cfg.iterations } else { cfg.iterations.min(5) };
+    let brute_iters = if cfg.full {
+        cfg.iterations
+    } else {
+        cfg.iterations.min(5)
+    };
 
     println!(
         "Table 2: runtime per sizing iteration, brute force vs pruned\n\

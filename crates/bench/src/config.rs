@@ -45,8 +45,7 @@ impl ExperimentConfig {
     /// All ten paper circuits.
     pub fn paper_circuits() -> Vec<String> {
         [
-            "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
-            "c7552",
+            "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288", "c7552",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -126,18 +125,15 @@ mod tests {
 
     #[test]
     fn explicit_values_override_full() {
-        let cfg = ExperimentConfig::parse(
-            ["--full", "--circuits=c17", "--iters=5"].map(String::from),
-        );
+        let cfg =
+            ExperimentConfig::parse(["--full", "--circuits=c17", "--iters=5"].map(String::from));
         assert_eq!(cfg.circuits, vec!["c17"]);
         assert_eq!(cfg.iterations, 5);
     }
 
     #[test]
     fn numeric_arguments_parse() {
-        let cfg = ExperimentConfig::parse(
-            ["--dt=0.5", "--seed=9", "--mc=1234"].map(String::from),
-        );
+        let cfg = ExperimentConfig::parse(["--dt=0.5", "--seed=9", "--mc=1234"].map(String::from));
         assert_eq!(cfg.dt, 0.5);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.mc_samples, 1234);

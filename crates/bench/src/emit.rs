@@ -86,6 +86,78 @@ impl Table {
     }
 }
 
+/// A minimal JSON object builder for benchmark-baseline artefacts
+/// (`BENCH_*.json`): insertion-ordered keys, no external dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push_raw(key, format!("\"{}\"", escape_json(value)))
+    }
+
+    /// Adds a numeric field (serialized with full precision; non-finite
+    /// values become `null`).
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.push_raw(key, rendered)
+    }
+
+    /// Adds an integer field.
+    pub fn integer(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push_raw(key, value.to_string())
+    }
+
+    /// Adds an array of already-rendered JSON values (e.g. nested
+    /// objects).
+    pub fn array(&mut self, key: &str, values: &[String]) -> &mut Self {
+        self.push_raw(key, format!("[{}]", values.join(",")))
+    }
+
+    fn push_raw(&mut self, key: &str, rendered: String) -> &mut Self {
+        self.fields.push((escape_json(key), rendered));
+        self
+    }
+
+    /// Renders the object as a single-line JSON string.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats picoseconds as nanoseconds with three digits, as the paper's
 /// tables do.
 pub fn ps_as_ns(ps: f64) -> String {
@@ -134,5 +206,32 @@ mod tests {
     fn formatters() {
         assert_eq!(ps_as_ns(3490.0), "3.490");
         assert_eq!(pct(10.03), "10.0");
+    }
+
+    #[test]
+    fn json_object_renders_ordered_fields() {
+        let mut inner = JsonObject::new();
+        inner
+            .string("name", "convolve/64")
+            .number("median_ns", 1250.5);
+        let mut obj = JsonObject::new();
+        obj.string("bench", "dist_ops")
+            .integer("sizes", 3)
+            .array("results", &[inner.render()]);
+        assert_eq!(
+            obj.render(),
+            "{\"bench\":\"dist_ops\",\"sizes\":3,\
+             \"results\":[{\"name\":\"convolve/64\",\"median_ns\":1250.5}]}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut obj = JsonObject::new();
+        obj.string("k", "a\"b\\c\nd");
+        assert_eq!(obj.render(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+        let mut nan = JsonObject::new();
+        nan.number("x", f64::NAN);
+        assert_eq!(nan.render(), "{\"x\":null}");
     }
 }

@@ -58,7 +58,10 @@ impl Cell {
             ("pin_cap_unit", pin_cap_unit),
             ("area_unit", area_unit),
         ] {
-            assert!(v.is_finite() && v > 0.0, "cell constant {label} must be positive, got {v}");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "cell constant {label} must be positive, got {v}"
+            );
         }
         Self {
             name: name.into(),

@@ -19,7 +19,10 @@ impl CellLibrary {
     /// Panics if `cells` is empty.
     pub fn new(name: impl Into<String>, cells: Vec<Cell>) -> Self {
         assert!(!cells.is_empty(), "library must contain at least one cell");
-        Self { name: name.into(), cells }
+        Self {
+            name: name.into(),
+            cells,
+        }
     }
 
     /// The synthetic 180 nm-class library used by all experiments.
@@ -42,10 +45,46 @@ impl CellLibrary {
             (3usize, 40.0, 32.0, 2.2, 1.67, 2.0),
             (4usize, 52.0, 38.0, 2.8, 2.0, 2.5),
         ] {
-            push(&format!("NAND{fi}"), GateKind::Nand, fi, dint_a, k_a, cc_a, cp_a, ar_a);
-            push(&format!("NOR{fi}"), GateKind::Nor, fi, dint_a + 5.0, k_a + 4.0, cc_a, cp_a + 0.3, ar_a + 0.2);
-            push(&format!("AND{fi}"), GateKind::And, fi, dint_a + 18.0, k_a - 4.0, cc_a + 0.4, cp_a - 0.2, ar_a + 0.5);
-            push(&format!("OR{fi}"), GateKind::Or, fi, dint_a + 22.0, k_a - 2.0, cc_a + 0.4, cp_a, ar_a + 0.5);
+            push(
+                &format!("NAND{fi}"),
+                GateKind::Nand,
+                fi,
+                dint_a,
+                k_a,
+                cc_a,
+                cp_a,
+                ar_a,
+            );
+            push(
+                &format!("NOR{fi}"),
+                GateKind::Nor,
+                fi,
+                dint_a + 5.0,
+                k_a + 4.0,
+                cc_a,
+                cp_a + 0.3,
+                ar_a + 0.2,
+            );
+            push(
+                &format!("AND{fi}"),
+                GateKind::And,
+                fi,
+                dint_a + 18.0,
+                k_a - 4.0,
+                cc_a + 0.4,
+                cp_a - 0.2,
+                ar_a + 0.5,
+            );
+            push(
+                &format!("OR{fi}"),
+                GateKind::Or,
+                fi,
+                dint_a + 22.0,
+                k_a - 2.0,
+                cc_a + 0.4,
+                cp_a,
+                ar_a + 0.5,
+            );
         }
         push("XOR2", GateKind::Xor, 2, 60.0, 42.0, 2.4, 2.0, 2.8);
         push("XOR3", GateKind::Xor, 3, 85.0, 50.0, 3.2, 2.4, 4.0);
@@ -110,11 +149,7 @@ impl CellLibrary {
             .map(|gid| {
                 let g = netlist.gate(gid);
                 self.select(g.kind(), g.fanin()).unwrap_or_else(|| {
-                    panic!(
-                        "no cell implements {} (fan-in {})",
-                        g.kind(),
-                        g.fanin()
-                    )
+                    panic!("no cell implements {} (fan-in {})", g.kind(), g.fanin())
                 })
             })
             .collect()

@@ -33,7 +33,10 @@ impl GateSizes {
             widths.iter().all(|w| w.is_finite() && *w >= 1.0),
             "widths must be finite and >= 1.0"
         );
-        Self { widths, min_width: 1.0 }
+        Self {
+            widths,
+            min_width: 1.0,
+        }
     }
 
     /// Width of a gate.

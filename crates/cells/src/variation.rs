@@ -32,7 +32,10 @@ impl VariationModel {
             trunc_sigmas.is_finite() && trunc_sigmas > 0.0,
             "truncation must be positive, got {trunc_sigmas}"
         );
-        Self { sigma_frac, trunc_sigmas }
+        Self {
+            sigma_frac,
+            trunc_sigmas,
+        }
     }
 
     /// The paper's experimental setup: `σ = 10%` of nominal, `±3σ`

@@ -9,11 +9,11 @@ use statsize_netlist::{shapes, GateKind};
 
 fn cell_strategy() -> impl Strategy<Value = Cell> {
     (
-        5.0f64..100.0,  // d_int
-        5.0f64..100.0,  // k
-        0.5f64..5.0,    // cell cap
-        0.5f64..5.0,    // pin cap
-        0.5f64..5.0,    // area
+        5.0f64..100.0, // d_int
+        5.0f64..100.0, // k
+        0.5f64..5.0,   // cell cap
+        0.5f64..5.0,   // pin cap
+        0.5f64..5.0,   // area
     )
         .prop_map(|(d_int, k, ccell, cpin, area)| {
             Cell::new("P", GateKind::Not, 1, d_int, k, ccell, cpin, area)

@@ -59,13 +59,9 @@ impl BruteForceSelector {
             .gate_ids()
             .map(|gate| {
                 let overrides = circuit.overrides_for_resize(gate, self.delta_w);
-                let mut walk = ConeWalk::new(
-                    circuit.graph(),
-                    circuit.delays(),
-                    circuit.ssta(),
-                    overrides,
-                )
-                .evicting_retired();
+                let mut walk =
+                    ConeWalk::new(circuit.graph(), circuit.delays(), circuit.ssta(), overrides)
+                        .evicting_retired();
                 walk.run_to_sink();
                 let sink = walk
                     .sink_arrival()

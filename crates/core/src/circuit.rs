@@ -2,8 +2,8 @@
 
 use crate::objective::Objective;
 use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
-use statsize_ssta::{ArcDelays, DelayOverrides, SstaAnalysis, TimingGraph};
 use statsize_netlist::{GateId, Netlist};
+use statsize_ssta::{ArcDelays, DelayOverrides, SstaAnalysis, TimingGraph};
 
 /// A circuit under sizing optimization: the netlist bound to a cell
 /// library, with current gate widths, per-gate delay distributions, and an
@@ -44,7 +44,16 @@ impl<'a> TimedCircuit<'a> {
         let graph = TimingGraph::build(netlist);
         let delays = ArcDelays::compute(netlist, &model, &sizes, &variation, dt);
         let ssta = SstaAnalysis::run(&graph, &delays);
-        Self { netlist, model, variation, dt, graph, sizes, delays, ssta }
+        Self {
+            netlist,
+            model,
+            variation,
+            dt,
+            graph,
+            sizes,
+            delays,
+            ssta,
+        }
     }
 
     /// The underlying netlist.
@@ -119,11 +128,7 @@ impl<'a> TimedCircuit<'a> {
     /// would give the affected gates (the gate itself and its fan-in
     /// drivers). Used directly by the deterministic optimizer and as the
     /// basis of [`overrides_for_resize`](Self::overrides_for_resize).
-    pub fn nominal_overrides_for_resize(
-        &self,
-        gate: GateId,
-        delta_w: f64,
-    ) -> Vec<(GateId, f64)> {
+    pub fn nominal_overrides_for_resize(&self, gate: GateId, delta_w: f64) -> Vec<(GateId, f64)> {
         let g = self.netlist.gate(gate);
         let cell_x = self.model.cell(gate);
         let w_x = self.sizes.width(gate);
@@ -173,8 +178,13 @@ impl<'a> TimedCircuit<'a> {
     /// Recomputes everything from scratch (used by tests to validate the
     /// incremental path).
     pub fn recompute_from_scratch(&mut self) {
-        self.delays =
-            ArcDelays::compute(self.netlist, &self.model, &self.sizes, &self.variation, self.dt);
+        self.delays = ArcDelays::compute(
+            self.netlist,
+            &self.model,
+            &self.sizes,
+            &self.variation,
+            self.dt,
+        );
         self.ssta = SstaAnalysis::run(&self.graph, &self.delays);
     }
 }

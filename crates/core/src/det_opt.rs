@@ -51,7 +51,7 @@ impl DeterministicSelector {
             let trial = run_sta_with(circuit.graph(), circuit.delays(), &overrides);
             let sensitivity = (d0 - trial.circuit_delay()) / self.delta_w;
             let candidate = Selection { gate, sensitivity };
-            if best.map_or(true, |b| candidate.better_than(&b)) {
+            if best.is_none_or(|b| candidate.better_than(&b)) {
                 best = Some(candidate);
             }
         }
@@ -88,7 +88,10 @@ mod tests {
         let sel = DeterministicSelector::new(1.0).select(&circuit).unwrap();
         circuit.commit_resize(sel.gate, 1.0);
         let after = run_sta(circuit.graph(), circuit.delays()).circuit_delay();
-        assert!(after < before, "nominal delay must improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "nominal delay must improve: {before} -> {after}"
+        );
         // Measured improvement equals the predicted sensitivity.
         assert!(
             ((before - after) - sel.sensitivity).abs() < 1e-9,

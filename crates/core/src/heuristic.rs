@@ -96,8 +96,11 @@ impl HeuristicSelector {
             let score = exact.unwrap_or_else(|| {
                 deltas.values().fold(f64::NEG_INFINITY, |a, &b| a.max(b)) / self.delta_w
             });
-            let candidate = Selection { gate, sensitivity: score };
-            if best.map_or(true, |b| candidate.better_than(&b)) {
+            let candidate = Selection {
+                gate,
+                sensitivity: score,
+            };
+            if best.is_none_or(|b| candidate.better_than(&b)) {
                 best = Some(candidate);
             }
         }
@@ -118,7 +121,9 @@ mod tests {
         let lib = CellLibrary::synthetic_180nm();
         let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
         let obj = Objective::percentile(0.99);
-        let h = HeuristicSelector::new(1.0, usize::MAX).select(&circuit, obj).unwrap();
+        let h = HeuristicSelector::new(1.0, usize::MAX)
+            .select(&circuit, obj)
+            .unwrap();
         let b = BruteForceSelector::new(1.0).select(&circuit, obj).unwrap();
         assert_eq!(h.gate, b.gate);
         assert_eq!(h.sensitivity, b.sensitivity);
@@ -142,7 +147,9 @@ mod tests {
         let lib = CellLibrary::synthetic_180nm();
         let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
         let obj = Objective::percentile(0.99);
-        let h = HeuristicSelector::new(1.0, 1).select(&circuit, obj).unwrap();
+        let h = HeuristicSelector::new(1.0, 1)
+            .select(&circuit, obj)
+            .unwrap();
         let b = BruteForceSelector::new(1.0).select(&circuit, obj).unwrap();
         assert!(
             h.sensitivity >= b.sensitivity - 1e-12,

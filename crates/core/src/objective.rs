@@ -43,7 +43,10 @@ impl Objective {
     ///
     /// Panics if `p` is not in `(0, 1)`.
     pub fn percentile(p: f64) -> Self {
-        assert!(p > 0.0 && p < 1.0, "probability must lie in (0, 1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "probability must lie in (0, 1), got {p}"
+        );
         Objective::Percentile(p)
     }
 

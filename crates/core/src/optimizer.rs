@@ -240,8 +240,7 @@ impl Optimizer {
             }
             let t0 = Instant::now();
             let k = self.moves_per_iteration;
-            let (selections, prune): (Vec<Selection>, Option<PruneStats>) = match self.selector
-            {
+            let (selections, prune): (Vec<Selection>, Option<PruneStats>) = match self.selector {
                 SelectorKind::Deterministic => (
                     DeterministicSelector::new(self.delta_w)
                         .select(circuit)
@@ -250,16 +249,15 @@ impl Optimizer {
                     None,
                 ),
                 SelectorKind::BruteForce => (
-                    BruteForceSelector::new(self.delta_w).select_top_k(
-                        circuit,
-                        self.objective,
-                        k,
-                    ),
+                    BruteForceSelector::new(self.delta_w).select_top_k(circuit, self.objective, k),
                     None,
                 ),
                 SelectorKind::Pruned => {
-                    let (s, stats) = PrunedSelector::new(self.delta_w)
-                        .select_top_k_with_stats(circuit, self.objective, k);
+                    let (s, stats) = PrunedSelector::new(self.delta_w).select_top_k_with_stats(
+                        circuit,
+                        self.objective,
+                        k,
+                    );
                     (s, Some(stats))
                 }
                 SelectorKind::Heuristic { lookahead } => (
@@ -270,9 +268,7 @@ impl Optimizer {
                     None,
                 ),
             };
-            if selections.is_empty()
-                || selections[0].sensitivity <= self.min_sensitivity
-            {
+            if selections.is_empty() || selections[0].sensitivity <= self.min_sensitivity {
                 stop = StopReason::Converged;
                 break;
             }
@@ -300,7 +296,11 @@ impl Optimizer {
                     objective_after: circuit.objective_value(self.objective),
                     total_width_after: circuit.total_width(),
                     area_after: circuit.area(),
-                    elapsed: if first_in_batch { t0.elapsed() } else { Duration::ZERO },
+                    elapsed: if first_in_batch {
+                        t0.elapsed()
+                    } else {
+                        Duration::ZERO
+                    },
                     prune: if first_in_batch { prune } else { None },
                 });
                 first_in_batch = false;
@@ -332,10 +332,7 @@ mod tests {
     use statsize_cells::{CellLibrary, VariationModel};
     use statsize_netlist::{bench, shapes};
 
-    fn circuit_of<'a>(
-        nl: &'a statsize_netlist::Netlist,
-        lib: &'a CellLibrary,
-    ) -> TimedCircuit<'a> {
+    fn circuit_of<'a>(nl: &'a statsize_netlist::Netlist, lib: &'a CellLibrary) -> TimedCircuit<'a> {
         TimedCircuit::new(nl, lib, VariationModel::paper_default(), 1.0)
     }
 
@@ -353,14 +350,17 @@ mod tests {
         // Objective is non-increasing along the trajectory.
         let mut prev = result.initial_objective;
         for r in &result.iterations {
-            assert!(r.objective_after <= prev + 1e-9, "iteration {}", r.iteration);
+            assert!(
+                r.objective_after <= prev + 1e-9,
+                "iteration {}",
+                r.iteration
+            );
             prev = r.objective_after;
             assert!(r.prune.is_some());
         }
         // Width grows by Δw each iteration.
         assert!(
-            (result.final_width - result.initial_width
-                - result.iterations_run() as f64 * 1.0)
+            (result.final_width - result.initial_width - result.iterations_run() as f64 * 1.0)
                 .abs()
                 < 1e-9
         );

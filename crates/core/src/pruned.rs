@@ -304,13 +304,18 @@ impl PrunedSelector {
                 // Front reached the sink: exact sensitivity.
                 let sensitivity = (base_cost - objective.value(sink)) / self.delta_w;
                 stats.completed += 1;
-                let selection = Selection { gate: cand.gate, sensitivity };
-                let pos = completed
-                    .partition_point(|existing| existing.better_than(&selection));
+                let selection = Selection {
+                    gate: cand.gate,
+                    sensitivity,
+                };
+                let pos = completed.partition_point(|existing| existing.better_than(&selection));
                 completed.insert(pos, selection);
                 *slot = None;
             } else {
-                heap.push(HeapEntry { smx: cand.smx, idx: entry.idx });
+                heap.push(HeapEntry {
+                    smx: cand.smx,
+                    idx: entry.idx,
+                });
             }
         }
 

@@ -31,16 +31,28 @@ mod tests {
 
     #[test]
     fn higher_sensitivity_wins() {
-        let a = Selection { gate: GateId::from_index(5), sensitivity: 2.0 };
-        let b = Selection { gate: GateId::from_index(1), sensitivity: 1.0 };
+        let a = Selection {
+            gate: GateId::from_index(5),
+            sensitivity: 2.0,
+        };
+        let b = Selection {
+            gate: GateId::from_index(1),
+            sensitivity: 1.0,
+        };
         assert!(a.better_than(&b));
         assert!(!b.better_than(&a));
     }
 
     #[test]
     fn ties_break_toward_lower_gate_id() {
-        let a = Selection { gate: GateId::from_index(1), sensitivity: 1.0 };
-        let b = Selection { gate: GateId::from_index(2), sensitivity: 1.0 };
+        let a = Selection {
+            gate: GateId::from_index(1),
+            sensitivity: 1.0,
+        };
+        let b = Selection {
+            gate: GateId::from_index(2),
+            sensitivity: 1.0,
+        };
         assert!(a.better_than(&b));
         assert!(!b.better_than(&a));
     }

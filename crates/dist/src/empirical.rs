@@ -1,0 +1,178 @@
+//! Empirical (sampled) distributions, e.g. Monte-Carlo results.
+
+use crate::lattice::Dist;
+
+/// An empirical distribution over a set of samples, stored sorted.
+///
+/// This is the reference representation Monte-Carlo validation produces:
+/// percentiles interpolate order statistics, and
+/// [`discretize`](Empirical::discretize) bins the samples onto a lattice
+/// for direct comparison with SSTA results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a non-finite value.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "sample set must be non-empty");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The samples in ascending order.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// The largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// The sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// The population variance (centered two-pass).
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.sorted
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / self.len() as f64
+    }
+
+    /// The population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The `p`-quantile by linear interpolation of order statistics
+    /// (the common "type 7" estimator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "probability must lie in (0, 1), got {p}"
+        );
+        let h = p * (self.len() - 1) as f64;
+        let lo = h.floor() as usize;
+        let frac = h - lo as f64;
+        if lo + 1 >= self.len() {
+            return self.max();
+        }
+        self.sorted[lo] + frac * (self.sorted[lo + 1] - self.sorted[lo])
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        self.sorted.partition_point(|&s| s <= x) as f64 / self.len() as f64
+    }
+
+    /// Bins the samples onto the lattice with step `dt` (each sample to
+    /// its nearest lattice point), giving a [`Dist`] comparable with SSTA
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and positive.
+    pub fn discretize(&self, dt: f64) -> Dist {
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "lattice step must be positive, got {dt}"
+        );
+        let k_lo = (self.min() / dt).round() as i64;
+        let k_hi = (self.max() / dt).round() as i64;
+        let mut mass = vec![0.0f64; (k_hi - k_lo + 1) as usize];
+        let w = 1.0 / self.len() as f64;
+        for &x in &self.sorted {
+            let k = (x / dt).round() as i64;
+            mass[(k - k_lo) as usize] += w;
+        }
+        Dist::from_raw(dt, k_lo, mass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_statistics_and_moments() {
+        let e = Empirical::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        assert_eq!(e.samples(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 4.0);
+        assert_eq!(e.mean(), 2.5);
+        assert!((e.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(e.percentile(0.5), 2.5);
+        assert!((e.percentile(0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_counts_inclusive() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf_at(0.5), 0.0);
+        assert_eq!(e.cdf_at(2.0), 0.5);
+        assert_eq!(e.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn equality_ignores_sample_order() {
+        let a = Empirical::new(vec![1.0, 2.0, 3.0]);
+        let b = Empirical::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn discretize_preserves_mass_and_mean() {
+        let e = Empirical::new((0..1000).map(|i| i as f64 * 0.1).collect());
+        let d = e.discretize(0.5);
+        let total: f64 = d.mass().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(
+            (d.mean() - e.mean()).abs() < 0.25,
+            "{} vs {}",
+            d.mean(),
+            e.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sample set must be non-empty")]
+    fn empty_samples_rejected() {
+        Empirical::new(vec![]);
+    }
+}

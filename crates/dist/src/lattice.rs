@@ -1,0 +1,648 @@
+//! The lattice distribution type and its operators.
+
+use std::fmt;
+
+/// Mass below this threshold may be trimmed from a distribution's tails
+/// after an operation. Trimming renormalizes the remaining mass by a
+/// factor of `1 ± ~1e-12`, which perturbs percentile queries by well under
+/// `1e-9` ps — far below the `1e-6` safety slack the pruned selector
+/// applies to its bound comparisons.
+const TRIM_EPS: f64 = 1e-12;
+
+/// Tolerance on the total mass accepted by [`Dist::new`] before exact
+/// renormalization.
+const NORMALIZATION_TOL: f64 = 1e-6;
+
+/// An invalid construction of a [`Dist`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// The lattice step was not finite and positive.
+    BadStep(f64),
+    /// The mass vector was empty.
+    EmptyMass,
+    /// A mass entry was negative, NaN, or infinite.
+    BadMass {
+        /// Index of the offending bin.
+        bin: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The total mass was not within tolerance of one.
+    NotNormalized {
+        /// The observed total mass.
+        total: f64,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DistError::BadStep(dt) => {
+                write!(f, "lattice step must be finite and positive, got {dt}")
+            }
+            DistError::EmptyMass => write!(f, "mass vector must be non-empty"),
+            DistError::BadMass { bin, value } => {
+                write!(
+                    f,
+                    "mass at bin {bin} must be finite and non-negative, got {value}"
+                )
+            }
+            DistError::NotNormalized { total } => {
+                write!(
+                    f,
+                    "total mass must be 1 (within {NORMALIZATION_TOL}), got {total}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// A probability distribution on a fixed-step lattice: probability mass
+/// `mass[i]` at time `(offset + i) · dt`.
+///
+/// This is the discretized-PDF representation the paper's SSTA engine
+/// propagates: arrival times and arc delays all live on one shared
+/// lattice, so [`convolve`](Dist::convolve) (edge traversal) and
+/// [`max_independent`](Dist::max_independent) (fan-in merge) stay exact
+/// discrete operations, and the perturbation-bound theory (Theorems 1–4)
+/// holds *exactly* on the whole-bin representation — see
+/// [`lattice_shift_bound`](crate::lattice_shift_bound).
+///
+/// Invariants maintained by every constructor and operator:
+///
+/// * `dt` is finite and positive and shared by both operands of every
+///   binary operation;
+/// * total mass is 1 (renormalized exactly after each operation);
+/// * the first and last bins carry non-zero mass (tails are trimmed, at
+///   most [`1e-12`](self) of mass per side).
+///
+/// Continuous-valued queries ([`percentile`](Dist::percentile),
+/// [`cdf_at`](Dist::cdf_at)) interpolate the CDF with each bin's mass
+/// spread uniformly over `[t − dt/2, t + dt/2)`, so e.g. the median of a
+/// symmetric distribution equals its mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dist {
+    dt: f64,
+    offset: i64,
+    mass: Vec<f64>,
+}
+
+impl Dist {
+    /// Creates a distribution from a mass vector starting at bin `offset`.
+    ///
+    /// The masses must be finite, non-negative, and sum to 1 within
+    /// `1e-6`; the sum is then renormalized to exactly 1 and zero-mass
+    /// tail bins are trimmed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DistError`] describing the violated invariant.
+    pub fn new(dt: f64, offset: i64, mass: Vec<f64>) -> Result<Self, DistError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(DistError::BadStep(dt));
+        }
+        if mass.is_empty() {
+            return Err(DistError::EmptyMass);
+        }
+        if let Some((bin, &value)) = mass
+            .iter()
+            .enumerate()
+            .find(|&(_, &m)| !(m.is_finite() && m >= 0.0))
+        {
+            return Err(DistError::BadMass { bin, value });
+        }
+        let total: f64 = mass.iter().sum();
+        if (total - 1.0).abs() > NORMALIZATION_TOL {
+            return Err(DistError::NotNormalized { total });
+        }
+        Ok(Self::from_raw(dt, offset, mass))
+    }
+
+    /// A (near-)point mass at time `t`.
+    ///
+    /// When `t` is not a lattice point, the mass is split between the two
+    /// neighbouring bins so the mean is preserved exactly; the support is
+    /// therefore at most two bins wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and positive or `t` is not finite.
+    pub fn point(dt: f64, t: f64) -> Self {
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "lattice step must be positive, got {dt}"
+        );
+        assert!(t.is_finite(), "point mass location must be finite, got {t}");
+        let pos = t / dt;
+        let k = pos.floor();
+        let frac = pos - k;
+        Self::from_raw(dt, k as i64, vec![1.0 - frac, frac])
+    }
+
+    /// Internal constructor: trims zero/negligible tails and renormalizes.
+    /// `mass` must be non-empty with finite non-negative entries summing
+    /// to ≈ 1.
+    pub(crate) fn from_raw(dt: f64, offset: i64, mass: Vec<f64>) -> Self {
+        let mut lo = 0usize;
+        let mut cut = 0.0;
+        while lo + 1 < mass.len() && cut + mass[lo] <= TRIM_EPS {
+            cut += mass[lo];
+            lo += 1;
+        }
+        let mut hi = mass.len();
+        cut = 0.0;
+        while hi > lo + 1 && cut + mass[hi - 1] <= TRIM_EPS {
+            cut += mass[hi - 1];
+            hi -= 1;
+        }
+        // Trim in place: no second allocation on the convolve/max hot
+        // path (lo == 0 and hi == len in the common no-trim case).
+        let mut mass = mass;
+        mass.truncate(hi);
+        if lo > 0 {
+            mass.drain(..lo);
+        }
+        let total: f64 = mass.iter().sum();
+        debug_assert!(total > 0.0, "distribution must carry mass");
+        if total != 1.0 {
+            for m in &mut mass {
+                *m /= total;
+            }
+        }
+        Self {
+            dt,
+            offset: offset + lo as i64,
+            mass,
+        }
+    }
+
+    /// The lattice step (ps).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Index of the first bin: the support starts at `offset · dt`.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// The probability masses, first bin at [`offset`](Dist::offset).
+    pub fn mass(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Number of lattice bins in the support.
+    pub fn support_len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// The first and last lattice points carrying mass, in time units.
+    pub fn support(&self) -> (f64, f64) {
+        (
+            self.offset as f64 * self.dt,
+            (self.offset + self.mass.len() as i64 - 1) as f64 * self.dt,
+        )
+    }
+
+    /// The mean `Σ mᵢ tᵢ`.
+    pub fn mean(&self) -> f64 {
+        let bins: f64 = self
+            .mass
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| m * (self.offset + i as i64) as f64)
+            .sum();
+        bins * self.dt
+    }
+
+    /// The variance, treating each bin as a point mass (two-pass,
+    /// numerically centered).
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.mass
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let t = (self.offset + i as i64) as f64 * self.dt;
+                m * (t - mean) * (t - mean)
+            })
+            .sum()
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The interpolated CDF at time `x`: each bin's mass is spread
+    /// uniformly over `[t − dt/2, t + dt/2)`.
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        // Position in bin units, measured from the left edge of bin 0.
+        let u = x / self.dt - self.offset as f64 + 0.5;
+        if u <= 0.0 {
+            return 0.0;
+        }
+        if u >= self.mass.len() as f64 {
+            return 1.0;
+        }
+        let k = u.floor() as usize;
+        let frac = u - k as f64;
+        let below: f64 = self.mass[..k].iter().sum();
+        below + frac * self.mass[k]
+    }
+
+    /// The `p`-quantile of the interpolated CDF — the paper's `T(A, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "probability must lie in (0, 1), got {p}"
+        );
+        let mut below = 0.0;
+        for (i, &m) in self.mass.iter().enumerate() {
+            let cum = below + m;
+            // Strictly crossing bins only: zero-mass interior bins are
+            // skipped, keeping the inverse well-defined on flat regions.
+            if cum >= p && m > 0.0 {
+                let frac = ((p - below) / m).clamp(0.0, 1.0);
+                return ((self.offset + i as i64) as f64 - 0.5 + frac) * self.dt;
+            }
+            below = cum;
+        }
+        // Float dust can leave the final cumulative a few ulp under 1.
+        let last = self.offset + self.mass.len() as i64 - 1;
+        (last as f64 + 0.5) * self.dt
+    }
+
+    /// Draws one value distributed according to the interpolated CDF.
+    pub fn sample<R: rand::RngCore>(&self, rng: &mut R) -> f64 {
+        use rand::Rng;
+        let u: f64 = rng.gen::<f64>();
+        self.percentile(u.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON / 2.0))
+    }
+
+    /// Cumulative masses `(absolute bin index, cumulative probability)`
+    /// over the bins that carry mass — the step-CDF breakpoints.
+    pub(crate) fn step_points(&self) -> Vec<(i64, f64)> {
+        let mut out = Vec::with_capacity(self.mass.len());
+        let mut cum = 0.0;
+        for (i, &m) in self.mass.iter().enumerate() {
+            if m > 0.0 {
+                cum += m;
+                out.push((self.offset + i as i64, cum));
+            }
+        }
+        out
+    }
+
+    fn assert_same_lattice(&self, other: &Dist) {
+        assert!(
+            self.dt == other.dt,
+            "lattice steps must match: {} vs {}",
+            self.dt,
+            other.dt
+        );
+    }
+
+    /// The sum of two independent lattice variables: discrete convolution
+    /// of the mass vectors. Mass is conserved (renormalized exactly after
+    /// tail trimming).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn convolve(&self, other: &Dist) -> Dist {
+        self.assert_same_lattice(other);
+        let mut out = vec![0.0f64; self.mass.len() + other.mass.len() - 1];
+        // Iterate the shorter operand on the outside: fewer passes over
+        // the long accumulator keeps this cache-friendly for the common
+        // wide-arrival × narrow-delay case.
+        let (short, long) = if self.mass.len() <= other.mass.len() {
+            (&self.mass, &other.mass)
+        } else {
+            (&other.mass, &self.mass)
+        };
+        for (i, &a) in short.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (o, &b) in out[i..i + long.len()].iter_mut().zip(long.iter()) {
+                *o += a * b;
+            }
+        }
+        Dist::from_raw(self.dt, self.offset + other.offset, out)
+    }
+
+    /// The maximum of two *independent* lattice variables: the output
+    /// step-CDF is the product of the input step-CDFs (the paper's EQ 4
+    /// fan-in merge under the independence approximation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn max_independent(&self, other: &Dist) -> Dist {
+        self.assert_same_lattice(other);
+        let lo = self.offset.max(other.offset);
+        let hi = (self.offset + self.mass.len() as i64 - 1)
+            .max(other.offset + other.mass.len() as i64 - 1);
+        let mut out = Vec::with_capacity((hi - lo + 1) as usize);
+        let mut ca = self.cum_below(lo);
+        let mut cb = other.cum_below(lo);
+        let mut prev = ca * cb; // C(lo − 1): zero unless both started earlier
+        debug_assert!(prev == 0.0, "one operand must start at the output support");
+        for k in lo..=hi {
+            ca += self.mass_at(k);
+            cb += other.mass_at(k);
+            let cur = ca * cb;
+            out.push(cur - prev);
+            prev = cur;
+        }
+        Dist::from_raw(self.dt, lo, out)
+    }
+
+    /// The minimum of two *independent* lattice variables: the survival
+    /// product, the dual of [`max_independent`](Dist::max_independent)
+    /// used by backward required-time propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn min_independent(&self, other: &Dist) -> Dist {
+        self.assert_same_lattice(other);
+        let lo = self.offset.min(other.offset);
+        let hi = (self.offset + self.mass.len() as i64 - 1)
+            .min(other.offset + other.mass.len() as i64 - 1);
+        let mut out = Vec::with_capacity((hi - lo + 1) as usize);
+        let mut sa = 1.0 - self.cum_below(lo);
+        let mut sb = 1.0 - other.cum_below(lo);
+        let mut prev = sa * sb; // S(lo − 1) = 1
+        for k in lo..=hi {
+            sa -= self.mass_at(k);
+            sb -= other.mass_at(k);
+            let cur = (sa * sb).max(0.0);
+            out.push((prev - cur).max(0.0));
+            prev = cur;
+        }
+        Dist::from_raw(self.dt, lo, out)
+    }
+
+    /// The difference `self − other` of two independent lattice variables
+    /// (convolution with the reflection of `other`), e.g. statistical
+    /// slack `required − arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn subtract_independent(&self, other: &Dist) -> Dist {
+        self.assert_same_lattice(other);
+        let reflected = Dist {
+            dt: other.dt,
+            offset: -(other.offset + other.mass.len() as i64 - 1),
+            mass: other.mass.iter().rev().copied().collect(),
+        };
+        self.convolve(&reflected)
+    }
+
+    /// The distribution translated by a whole number of lattice bins
+    /// (positive = later). Exact: only the offset changes.
+    pub fn shift_bins(&self, bins: i64) -> Dist {
+        Dist {
+            dt: self.dt,
+            offset: self.offset + bins,
+            mass: self.mass.clone(),
+        }
+    }
+
+    /// The distribution translated by at most `delta` time units
+    /// (positive = later), rounded toward zero to a whole number of bins —
+    /// the lattice-safe realization of a real-valued shift bound: the
+    /// result never moves further than `delta`.
+    pub fn shift_bounded(&self, delta: f64) -> Dist {
+        assert!(delta.is_finite(), "shift must be finite, got {delta}");
+        self.shift_bins((delta / self.dt).trunc() as i64)
+    }
+
+    /// Cumulative mass strictly below absolute bin `k`.
+    fn cum_below(&self, k: i64) -> f64 {
+        if k <= self.offset {
+            return 0.0;
+        }
+        let end = ((k - self.offset) as usize).min(self.mass.len());
+        self.mass[..end].iter().sum()
+    }
+
+    /// Mass at absolute bin `k` (zero outside the support).
+    fn mass_at(&self, k: i64) -> f64 {
+        if k < self.offset {
+            return 0.0;
+        }
+        self.mass
+            .get((k - self.offset) as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(dt: f64, offset: i64, n: usize) -> Dist {
+        Dist::new(dt, offset, vec![1.0 / n as f64; n]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_inputs() {
+        assert!(matches!(
+            Dist::new(0.0, 0, vec![1.0]),
+            Err(DistError::BadStep(_))
+        ));
+        assert!(matches!(
+            Dist::new(1.0, 0, vec![]),
+            Err(DistError::EmptyMass)
+        ));
+        assert!(matches!(
+            Dist::new(1.0, 0, vec![0.5, -0.5]),
+            Err(DistError::BadMass { bin: 1, .. })
+        ));
+        assert!(matches!(
+            Dist::new(1.0, 0, vec![0.4, 0.4]),
+            Err(DistError::NotNormalized { .. })
+        ));
+        let err = Dist::new(1.0, 0, vec![0.4, 0.4]).unwrap_err();
+        assert!(err.to_string().contains("total mass"));
+    }
+
+    #[test]
+    fn new_trims_zero_tails() {
+        let d = Dist::new(1.0, 10, vec![0.0, 0.0, 0.5, 0.5, 0.0]).unwrap();
+        assert_eq!(d.offset(), 12);
+        assert_eq!(d.support_len(), 2);
+        assert_eq!(d.support(), (12.0, 13.0));
+    }
+
+    #[test]
+    fn point_on_lattice_is_single_bin() {
+        let d = Dist::point(1.0, 42.0);
+        assert_eq!(d.support_len(), 1);
+        assert_eq!(d.offset(), 42);
+        assert_eq!(d.mean(), 42.0);
+    }
+
+    #[test]
+    fn point_off_lattice_splits_and_preserves_mean() {
+        let d = Dist::point(2.0, 43.5);
+        assert_eq!(d.support_len(), 2);
+        assert!((d.mean() - 43.5).abs() < 1e-12);
+        assert!(d.variance() > 0.0);
+    }
+
+    #[test]
+    fn moments_of_a_symmetric_distribution() {
+        let d = Dist::new(0.5, 100, vec![0.25, 0.5, 0.25]).unwrap();
+        assert!((d.mean() - 50.5).abs() < 1e-12);
+        assert!((d.variance() - 0.125).abs() < 1e-12);
+        assert!((d.std_dev() - 0.125f64.sqrt()).abs() < 1e-12);
+        // Median equals mean under the centered-bin interpolation.
+        assert!((d.percentile(0.5) - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_percentile_are_inverse() {
+        let d = uniform(1.0, 5, 8);
+        for p in [0.01, 0.1, 0.37, 0.5, 0.77, 0.99] {
+            let x = d.percentile(p);
+            assert!((d.cdf_at(x) - p).abs() < 1e-12, "p={p}");
+        }
+        assert_eq!(d.cdf_at(0.0), 0.0);
+        assert_eq!(d.cdf_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_skips_zero_mass_interior_bins() {
+        let d = Dist::new(1.0, 0, vec![0.5, 0.0, 0.5]).unwrap();
+        // All lower-half quantiles stay within the first bin's interval
+        // [−0.5, 0.5], all upper-half quantiles within the third's.
+        assert!(d.percentile(0.2) < 0.0);
+        assert!((d.percentile(0.25) - 0.0).abs() < 1e-12);
+        assert!(d.percentile(0.8) > 1.5);
+    }
+
+    #[test]
+    fn convolve_adds_means_and_variances() {
+        let a = uniform(0.5, 10, 6);
+        let b = uniform(0.5, -3, 4);
+        let c = a.convolve(&b);
+        assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-9);
+        assert!((c.variance() - (a.variance() + b.variance())).abs() < 1e-9);
+        let total: f64 = c.mass().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolve_with_point_is_a_shift() {
+        let a = uniform(1.0, 0, 5);
+        let c = a.convolve(&Dist::point(1.0, 7.0));
+        assert_eq!(c.offset(), 7);
+        assert_eq!(c.mass(), a.mass());
+    }
+
+    #[test]
+    fn max_of_disjoint_supports_is_the_later_input() {
+        let early = uniform(1.0, 0, 3);
+        let late = uniform(1.0, 100, 3);
+        let m = early.max_independent(&late);
+        assert_eq!(m.offset(), 100);
+        assert_eq!(m.support_len(), 3);
+        for (got, want) in m.mass().iter().zip(late.mass()) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_cdf_is_product_of_cdfs() {
+        let a = uniform(1.0, 0, 4);
+        let b = uniform(1.0, 1, 4);
+        let m = a.max_independent(&b);
+        for k in -1..7 {
+            let x = k as f64 + 0.5; // interpolation node
+            let want = a.cdf_at(x) * b.cdf_at(x);
+            assert!((m.cdf_at(x) - want).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn min_is_dual_of_max_under_negation() {
+        let a = uniform(1.0, 2, 5);
+        let b = uniform(1.0, 4, 3);
+        let min = a.min_independent(&b);
+        // min(X, Y) = −max(−X, −Y).
+        let neg = |d: &Dist| Dist::point(d.dt(), 0.0).subtract_independent(d);
+        let other = neg(&neg(&a).max_independent(&neg(&b)));
+        assert_eq!(min.offset(), other.offset());
+        for (x, y) in min.mass().iter().zip(other.mass()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn subtract_of_points_is_point_difference() {
+        let a = Dist::point(1.0, 10.0);
+        let b = Dist::point(1.0, 4.0);
+        let d = a.subtract_independent(&b);
+        assert_eq!(d.support_len(), 1);
+        assert_eq!(d.mean(), 6.0);
+    }
+
+    #[test]
+    fn shift_bins_translates_support() {
+        let d = uniform(2.0, 5, 3);
+        let s = d.shift_bins(-4);
+        assert_eq!(s.offset(), 1);
+        assert_eq!(s.mass(), d.mass());
+        assert!((s.mean() - (d.mean() - 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_bounded_never_overshoots() {
+        let d = uniform(2.0, 0, 3);
+        assert_eq!(d.shift_bounded(5.0).offset(), 2); // 2 bins = 4.0 ≤ 5.0
+        assert_eq!(d.shift_bounded(-5.0).offset(), -2);
+        assert_eq!(d.shift_bounded(1.9).offset(), 0); // under one bin
+    }
+
+    #[test]
+    fn sample_stays_in_support_and_tracks_mean() {
+        use rand::SeedableRng;
+        let d = uniform(1.0, 50, 11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!((49.5..=60.5).contains(&x), "sample {x} outside support");
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - d.mean()).abs() < 0.1, "sampled mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice steps must match")]
+    fn mismatched_steps_rejected() {
+        let a = uniform(1.0, 0, 2);
+        let b = uniform(0.5, 0, 2);
+        let _ = a.convolve(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie in (0, 1)")]
+    fn percentile_validates_probability() {
+        uniform(1.0, 0, 2).percentile(1.0);
+    }
+}

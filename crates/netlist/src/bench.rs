@@ -84,8 +84,10 @@ pub fn parse(name: &str, source: &str) -> Result<Netlist, NetlistError> {
                     message: "missing closing parenthesis".to_string(),
                 });
             }
-            let kind: GateKind =
-                rhs[..open].trim().parse().map_err(|e| NetlistError::Parse {
+            let kind: GateKind = rhs[..open]
+                .trim()
+                .parse()
+                .map_err(|e| NetlistError::Parse {
                     line: line_no,
                     message: format!("{e}"),
                 })?;

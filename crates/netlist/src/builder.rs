@@ -128,8 +128,8 @@ impl NetlistBuilder {
             });
         }
         let out_id = self.intern(output);
-        let already_driven = self.nets[out_id.index()].driver.is_some()
-            || self.primary_inputs.contains(&out_id);
+        let already_driven =
+            self.nets[out_id.index()].driver.is_some() || self.primary_inputs.contains(&out_id);
         if already_driven {
             return Err(NetlistError::MultipleDrivers(output.to_string()));
         }

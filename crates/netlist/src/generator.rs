@@ -54,16 +54,86 @@ pub struct Profile {
 /// the real ISCAS-85 values; depths are representative of the synthesized
 /// circuits (c6288, the multiplier, is far deeper than the rest).
 pub const ISCAS85_PROFILES: [Profile; 10] = [
-    Profile { name: "c432", inputs: 36, outputs: 7, nodes: 214, edges: 379, depth: 20 },
-    Profile { name: "c499", inputs: 41, outputs: 32, nodes: 561, edges: 978, depth: 14 },
-    Profile { name: "c880", inputs: 60, outputs: 26, nodes: 425, edges: 804, depth: 20 },
-    Profile { name: "c1355", inputs: 41, outputs: 32, nodes: 570, edges: 1071, depth: 20 },
-    Profile { name: "c1908", inputs: 33, outputs: 25, nodes: 466, edges: 858, depth: 27 },
-    Profile { name: "c2670", inputs: 157, outputs: 64, nodes: 1059, edges: 1731, depth: 26 },
-    Profile { name: "c3540", inputs: 50, outputs: 22, nodes: 991, edges: 1972, depth: 34 },
-    Profile { name: "c5315", inputs: 178, outputs: 123, nodes: 1806, edges: 3311, depth: 33 },
-    Profile { name: "c6288", inputs: 32, outputs: 32, nodes: 2503, edges: 4999, depth: 89 },
-    Profile { name: "c7552", inputs: 207, outputs: 108, nodes: 2202, edges: 3945, depth: 30 },
+    Profile {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        nodes: 214,
+        edges: 379,
+        depth: 20,
+    },
+    Profile {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        nodes: 561,
+        edges: 978,
+        depth: 14,
+    },
+    Profile {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        nodes: 425,
+        edges: 804,
+        depth: 20,
+    },
+    Profile {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        nodes: 570,
+        edges: 1071,
+        depth: 20,
+    },
+    Profile {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        nodes: 466,
+        edges: 858,
+        depth: 27,
+    },
+    Profile {
+        name: "c2670",
+        inputs: 157,
+        outputs: 64,
+        nodes: 1059,
+        edges: 1731,
+        depth: 26,
+    },
+    Profile {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        nodes: 991,
+        edges: 1972,
+        depth: 34,
+    },
+    Profile {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        nodes: 1806,
+        edges: 3311,
+        depth: 33,
+    },
+    Profile {
+        name: "c6288",
+        inputs: 32,
+        outputs: 32,
+        nodes: 2503,
+        edges: 4999,
+        depth: 89,
+    },
+    Profile {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        nodes: 2202,
+        edges: 3945,
+        depth: 30,
+    },
 ];
 
 /// Looks up one of the [`ISCAS85_PROFILES`] by name.
@@ -174,10 +244,10 @@ pub fn generate(profile: &Profile, seed: u64) -> Netlist {
 
     // --- Repair dangling primary inputs: feed them into existing gates or
     // mark them as primary outputs below. ---
-    for pi in 0..profile.inputs {
-        if net_loads[pi] > 0 {
-            continue;
-        }
+    let dangling: Vec<usize> = (0..profile.inputs)
+        .filter(|&pi| net_loads[pi] == 0)
+        .collect();
+    for pi in dangling {
         // Find a gate (any level) with spare fan-in capacity.
         if let Some(k) = (0..n_gates)
             .filter(|&k| gate_inputs[k].len() < max_fanin && !gate_inputs[k].contains(&pi))
@@ -223,8 +293,7 @@ pub fn generate(profile: &Profile, seed: u64) -> Netlist {
     let mut outputs = sinks;
     if outputs.len() < profile.outputs {
         // Promote additional high-level nets to POs.
-        let mut candidates: Vec<usize> =
-            (0..total_nets).filter(|n| !outputs.contains(n)).collect();
+        let mut candidates: Vec<usize> = (0..total_nets).filter(|n| !outputs.contains(n)).collect();
         candidates.sort_by_key(|&n| std::cmp::Reverse(net_level[n]));
         for n in candidates {
             if outputs.len() >= profile.outputs {
@@ -246,8 +315,8 @@ pub fn generate(profile: &Profile, seed: u64) -> Netlist {
         })
         .collect();
     let mut b = NetlistBuilder::new(profile.name);
-    for pi in 0..profile.inputs {
-        b.input(&names[pi]).expect("generated PI names are unique");
+    for name in names.iter().take(profile.inputs) {
+        b.input(name).expect("generated PI names are unique");
     }
     for (k, inputs) in gate_inputs.iter().enumerate() {
         let kind = pick_kind(&mut rng, inputs.len());
@@ -256,7 +325,8 @@ pub fn generate(profile: &Profile, seed: u64) -> Netlist {
             .expect("generated gate wiring is valid");
     }
     for &o in &outputs {
-        b.output(&names[o]).expect("generated output marks are unique");
+        b.output(&names[o])
+            .expect("generated output marks are unique");
     }
     b.build().expect("generated netlist must validate")
 }

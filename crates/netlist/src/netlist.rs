@@ -245,10 +245,7 @@ impl Netlist {
 
     /// Computes net levels and the topological gate order for a structurally
     /// complete netlist. Used by constructors after cycle checking.
-    pub(crate) fn compute_levels(
-        nets: &[Net],
-        gates: &[Gate],
-    ) -> (Vec<usize>, Vec<GateId>) {
+    pub(crate) fn compute_levels(nets: &[Net], gates: &[Gate]) -> (Vec<usize>, Vec<GateId>) {
         let mut levels = vec![0usize; nets.len()];
         // Kahn's algorithm over gates by in-degree on *driven* inputs.
         let mut remaining: Vec<usize> = gates
@@ -263,11 +260,7 @@ impl Netlist {
         let mut ready: Vec<GateId> = gates
             .iter()
             .enumerate()
-            .filter(|(_, g)| {
-                g.inputs
-                    .iter()
-                    .all(|n| nets[n.index()].driver.is_none())
-            })
+            .filter(|(_, g)| g.inputs.iter().all(|n| nets[n.index()].driver.is_none()))
             .map(|(i, _)| GateId::from_index(i))
             .collect();
         let mut topo = Vec::with_capacity(gates.len());

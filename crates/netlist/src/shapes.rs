@@ -118,7 +118,8 @@ pub fn balanced_tree(name: &str, depth: usize, kind: GateKind) -> Netlist {
         for pair in frontier.chunks(2) {
             let out = format!("t{next_id}");
             next_id += 1;
-            b.gate(kind, &out, &[&pair[0], &pair[1]]).expect("fresh name");
+            b.gate(kind, &out, &[&pair[0], &pair[1]])
+                .expect("fresh name");
             next.push(out);
         }
         frontier = next;

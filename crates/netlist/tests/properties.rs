@@ -10,22 +10,24 @@ use std::collections::HashMap;
 
 /// A random but internally consistent generator profile.
 fn profile_strategy() -> impl Strategy<Value = Profile> {
-    (2usize..12, 1usize..8, 3usize..12, 20usize..120).prop_flat_map(
-        |(inputs, outputs, depth, extra_gates)| {
+    (2usize..12, 1usize..8, 3usize..12, 20usize..120)
+        .prop_flat_map(|(inputs, outputs, depth, extra_gates)| {
             let gates = depth + extra_gates;
             let nodes = inputs + gates + 2;
             let min_edges = gates + inputs + outputs;
-            (Just((inputs, outputs, depth, nodes)), min_edges..(min_edges + 3 * gates))
-        },
-    )
-    .prop_map(|((inputs, outputs, depth, nodes), edges)| Profile {
-        name: "prop",
-        inputs,
-        outputs,
-        nodes,
-        edges,
-        depth,
-    })
+            (
+                Just((inputs, outputs, depth, nodes)),
+                min_edges..(min_edges + 3 * gates),
+            )
+        })
+        .prop_map(|((inputs, outputs, depth, nodes), edges)| Profile {
+            name: "prop",
+            inputs,
+            outputs,
+            nodes,
+            edges,
+            depth,
+        })
 }
 
 fn assert_structurally_valid(nl: &Netlist) {

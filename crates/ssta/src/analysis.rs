@@ -33,11 +33,12 @@ impl SstaAnalysis {
         let no_overrides = DelayOverrides::none();
         for level in 1..=graph.sink_level() {
             for &node in graph.nodes_at_level(level) {
-                let arrival = crate::propagate::node_arrival(graph, node, delays, &no_overrides, |n| {
-                    arrivals[n.index()]
-                        .as_ref()
-                        .expect("fan-in arrivals are computed at lower levels")
-                });
+                let arrival =
+                    crate::propagate::node_arrival(graph, node, delays, &no_overrides, |n| {
+                        arrivals[n.index()]
+                            .as_ref()
+                            .expect("fan-in arrivals are computed at lower levels")
+                    });
                 arrivals[node.index()] = Some(arrival);
             }
         }
@@ -87,8 +88,7 @@ impl SstaAnalysis {
             .iter()
             .map(|&g| graph.out_node_of_gate(g))
             .collect();
-        let mut walk =
-            ConeWalk::with_seeds(graph, delays, self, DelayOverrides::none(), &seeds);
+        let mut walk = ConeWalk::with_seeds(graph, delays, self, DelayOverrides::none(), &seeds);
         walk.run_to_sink();
         for (node, dist) in walk.into_perturbed() {
             self.arrivals[node.index()] = dist;
@@ -124,10 +124,7 @@ mod tests {
             "mean {mean} vs sum of nominals {expected}"
         );
         // Variance of a sum of independent delays is the sum of variances.
-        let var_expected: f64 = nl
-            .gate_ids()
-            .map(|g| delays.dist(g).variance())
-            .sum();
+        let var_expected: f64 = nl.gate_ids().map(|g| delays.dist(g).variance()).sum();
         let var = ssta.sink_arrival().variance();
         assert!(
             (var - var_expected).abs() / var_expected < 0.01,

@@ -35,7 +35,10 @@ impl ArcDelays {
         variation: &VariationModel,
         dt: f64,
     ) -> Self {
-        assert!(dt.is_finite() && dt > 0.0, "lattice step must be positive, got {dt}");
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "lattice step must be positive, got {dt}"
+        );
         let mut nominal = Vec::with_capacity(netlist.gate_count());
         let mut dists = Vec::with_capacity(netlist.gate_count());
         for g in netlist.gate_ids() {
@@ -151,7 +154,10 @@ mod tests {
 
         let g0 = nl.topological_gates()[0];
         let g2 = nl.topological_gates()[2];
-        assert!(delays.nominal(g1) < before[g1.index()], "resized gate faster");
+        assert!(
+            delays.nominal(g1) < before[g1.index()],
+            "resized gate faster"
+        );
         assert!(delays.nominal(g0) > before[g0.index()], "fan-in slower");
         assert_eq!(delays.nominal(g2), before[g2.index()], "fan-out untouched");
     }

@@ -73,8 +73,7 @@ impl TimingGraph {
         level[TimingNode::SOURCE.index()] = 0;
         level[TimingNode::SINK.index()] = max_level + 1;
 
-        let mut nodes_by_level: Vec<Vec<TimingNode>> =
-            vec![Vec::new(); (max_level + 2) as usize];
+        let mut nodes_by_level: Vec<Vec<TimingNode>> = vec![Vec::new(); (max_level + 2) as usize];
         for i in 0..node_count {
             nodes_by_level[level[i] as usize].push(TimingNode(i as u32));
         }
@@ -152,9 +151,7 @@ impl TimingGraph {
     /// Nodes at a given level, in id order.
     pub fn nodes_at_level(&self, level: u32) -> &[TimingNode] {
         static EMPTY: Vec<TimingNode> = Vec::new();
-        self.nodes_by_level
-            .get(level as usize)
-            .unwrap_or(&EMPTY)
+        self.nodes_by_level.get(level as usize).unwrap_or(&EMPTY)
     }
 
     /// Iterates all nodes in level order (source first, sink last).

@@ -10,10 +10,10 @@
 use crate::delays::ArcDelays;
 use crate::graph::TimingGraph;
 use crate::node::TimingNode;
-use statsize_cells::VariationModel;
-use statsize_dist::Empirical;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use statsize_cells::VariationModel;
+use statsize_dist::Empirical;
 
 /// How delay samples are shared between the timing arcs of one gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +106,7 @@ impl MonteCarlo {
             for _ in 0..len {
                 if self.mode == SamplingMode::PerGate {
                     for (g, d) in gate_delay.iter_mut().enumerate() {
-                        let nominal =
-                            delays.nominal(statsize_netlist::GateId::from_index(g));
+                        let nominal = delays.nominal(statsize_netlist::GateId::from_index(g));
                         *d = variation.truncated(nominal).sample(&mut rng);
                     }
                 }
@@ -183,19 +182,28 @@ impl MonteCarlo {
                         *d = variation.truncated(nominal).sample(&mut rng);
                     }
                 }
-                out.push(self.one_trial(graph, delays, variation, &gate_delay, &mut arrival, &mut rng));
+                out.push(self.one_trial(
+                    graph,
+                    delays,
+                    variation,
+                    &gate_delay,
+                    &mut arrival,
+                    &mut rng,
+                ));
             }
             out
         };
 
         let samples: Vec<f64> = if self.threads <= 1 || blocks.len() <= 1 {
-            blocks.iter().flat_map(|b| run_block(b)).collect()
+            blocks.iter().flat_map(&run_block).collect()
         } else {
             std::thread::scope(|scope| {
                 let chunk = blocks.len().div_ceil(self.threads);
                 let handles: Vec<_> = blocks
                     .chunks(chunk)
-                    .map(|bs| scope.spawn(move || bs.iter().flat_map(run_block).collect::<Vec<f64>>()))
+                    .map(|bs| {
+                        scope.spawn(move || bs.iter().flat_map(run_block).collect::<Vec<f64>>())
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -225,9 +233,7 @@ impl MonteCarlo {
                 let d = match e.gate {
                     Some(g) => match self.mode {
                         SamplingMode::PerGate => gate_delay[g.index()],
-                        SamplingMode::PerArc => {
-                            variation.truncated(delays.nominal(g)).sample(rng)
-                        }
+                        SamplingMode::PerArc => variation.truncated(delays.nominal(g)).sample(rng),
                     },
                     None => 0.0,
                 };
@@ -282,7 +288,10 @@ mod tests {
         let t99_ssta = ssta.circuit_delay_percentile(0.99);
         let t99_mc = mc.percentile(0.99);
         let rel = (t99_ssta - t99_mc).abs() / t99_mc;
-        assert!(rel < 0.01, "chain: SSTA {t99_ssta} vs MC {t99_mc} ({rel:.3})");
+        assert!(
+            rel < 0.01,
+            "chain: SSTA {t99_ssta} vs MC {t99_mc} ({rel:.3})"
+        );
     }
 
     #[test]
@@ -326,18 +335,24 @@ mod tests {
     fn criticality_concentrates_on_the_long_path() {
         let nl = shapes::path_bundle("b", &[3, 10]);
         let (graph, delays, var) = setup(&nl, 0.5);
-        let (emp, crit) =
-            MonteCarlo::new(5_000, 21, SamplingMode::PerGate).run_with_criticality(
-                &graph, &delays, &var,
-            );
+        let (emp, crit) = MonteCarlo::new(5_000, 21, SamplingMode::PerGate)
+            .run_with_criticality(&graph, &delays, &var);
         assert_eq!(emp.len(), 5_000);
         assert_eq!(crit.len(), nl.gate_count());
         for g in nl.gate_ids() {
             let name = nl.net(nl.gate(g).output()).name().to_string();
             if name.starts_with("p1") {
-                assert!(crit[g.index()] > 0.95, "{name}: criticality {}", crit[g.index()]);
+                assert!(
+                    crit[g.index()] > 0.95,
+                    "{name}: criticality {}",
+                    crit[g.index()]
+                );
             } else {
-                assert!(crit[g.index()] < 0.05, "{name}: criticality {}", crit[g.index()]);
+                assert!(
+                    crit[g.index()] < 0.05,
+                    "{name}: criticality {}",
+                    crit[g.index()]
+                );
             }
         }
     }

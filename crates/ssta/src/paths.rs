@@ -44,7 +44,10 @@ impl PathEnumeration {
     /// The largest path delay seen (the deterministic critical delay when
     /// the threshold is below it).
     pub fn max_delay(&self) -> f64 {
-        self.delays.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.delays
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Number of paths within `frac` of the maximum delay — the "wall"
@@ -140,7 +143,11 @@ pub fn enumerate_paths(
             }
         }
     }
-    PathEnumeration { delays: result, truncated, threshold: min_delay }
+    PathEnumeration {
+        delays: result,
+        truncated,
+        threshold: min_delay,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +208,11 @@ mod tests {
         let (graph, delays) = setup(&nl);
         let paths = enumerate_paths(&graph, &delays, 0.0, 100_000);
         assert!(!paths.truncated());
-        assert!(paths.count() > 10, "grid must be path-rich, got {}", paths.count());
+        assert!(
+            paths.count() > 10,
+            "grid must be path-rich, got {}",
+            paths.count()
+        );
     }
 
     #[test]

@@ -272,7 +272,11 @@ impl<'a> ConeWalk<'a> {
             }
             computed.push(node);
         }
-        Some(StepReport { level, computed, retired })
+        Some(StepReport {
+            level,
+            computed,
+            retired,
+        })
     }
 
     /// Runs the walk to completion (the brute-force propagation of
@@ -354,7 +358,12 @@ mod tests {
         let graph = TimingGraph::build(&nl);
         let delays = ArcDelays::compute(&nl, &model, &sizes, &var, dt);
         let base = SstaAnalysis::run(&graph, &delays);
-        Ctx { nl, graph, delays, base }
+        Ctx {
+            nl,
+            graph,
+            delays,
+            base,
+        }
     }
 
     /// Overrides that shift one gate's delay distribution earlier by
@@ -447,9 +456,8 @@ mod tests {
         let c = ctx(bench::c17(), 0.5);
         let n11 = c.nl.find_net("11").unwrap();
         let g11 = c.nl.net(n11).driver().unwrap();
-        let mut walk =
-            ConeWalk::new(&c.graph, &c.delays, &c.base, shift_override(&c, g11, 3))
-                .evicting_retired();
+        let mut walk = ConeWalk::new(&c.graph, &c.delays, &c.base, shift_override(&c, g11, 3))
+            .evicting_retired();
         let mut total_retired = 0;
         while let Some(report) = walk.step_level() {
             total_retired += report.retired.len();

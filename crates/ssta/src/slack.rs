@@ -33,11 +33,7 @@ impl SlackAnalysis {
     ///
     /// `required_at_sink` is typically the clock period or a target the
     /// yield is evaluated against.
-    pub fn run(
-        graph: &TimingGraph,
-        delays: &ArcDelays,
-        required_at_sink: f64,
-    ) -> Self {
+    pub fn run(graph: &TimingGraph, delays: &ArcDelays, required_at_sink: f64) -> Self {
         let sink_req = Dist::point(delays.dt(), required_at_sink);
         Self::run_with(graph, delays, sink_req)
     }
@@ -122,7 +118,11 @@ impl SlackAnalysis {
                 Some((gate, self.slack(ssta, node).mean()))
             })
             .collect();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite slack").then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite slack")
+                .then(a.0.cmp(&b.0))
+        });
         ranked.truncate(limit);
         ranked
     }

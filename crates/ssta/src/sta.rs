@@ -63,7 +63,10 @@ pub fn run_sta_with(
         arrival[node.index()] = best;
         critical_pred[node.index()] = best_pred;
     }
-    StaResult { arrival, critical_pred }
+    StaResult {
+        arrival,
+        critical_pred,
+    }
 }
 
 impl StaResult {

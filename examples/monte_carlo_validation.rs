@@ -25,7 +25,10 @@ fn compare(label: &str, nl: &Netlist, samples: usize) {
     let mc = MonteCarlo::new(samples, 42, SamplingMode::PerArc).run(&graph, &delays, &variation);
 
     println!("{label} ({} gates, {samples} MC samples):", nl.gate_count());
-    println!("  {:>6}  {:>10}  {:>10}  {:>7}", "p", "bound (ps)", "MC (ps)", "diff %");
+    println!(
+        "  {:>6}  {:>10}  {:>10}  {:>7}",
+        "p", "bound (ps)", "MC (ps)", "diff %"
+    );
     for p in [0.50, 0.90, 0.99] {
         let bound = ssta.circuit_delay_percentile(p);
         let sampled = mc.percentile(p);

@@ -53,13 +53,24 @@ fn main() {
             .with_width_limit(budget)
             .with_max_iterations(iters)
             .run(&mut c);
-        rows.push((label, r.final_objective, r.iterations_run(), r.mean_iteration_time()));
+        rows.push((
+            label,
+            r.final_objective,
+            r.iterations_run(),
+            r.mean_iteration_time(),
+        ));
     }
 
     let initial = det_result.initial_objective;
-    println!("T(99%) initial: {:.3} ns, width budget +{:.1}%\n", initial / 1000.0,
-        det_result.width_increase_percent());
-    println!("{:>14}  {:>9}  {:>7}  {:>7}  {:>9}", "optimizer", "T99 (ns)", "impr.%", "iters", "s/iter");
+    println!(
+        "T(99%) initial: {:.3} ns, width budget +{:.1}%\n",
+        initial / 1000.0,
+        det_result.width_increase_percent()
+    );
+    println!(
+        "{:>14}  {:>9}  {:>7}  {:>7}  {:>9}",
+        "optimizer", "T99 (ns)", "impr.%", "iters", "s/iter"
+    );
     let det_t99 = rows[0].1;
     for (label, t99, iters, per_iter) in &rows {
         println!(

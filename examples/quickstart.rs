@@ -42,8 +42,7 @@ fn main() {
     //    and size it up (Δw = 1.0).
     let objective = Objective::percentile(0.99);
     let before = circuit.objective_value(objective);
-    let (selection, stats) =
-        PrunedSelector::new(1.0).select_with_stats(&circuit, objective);
+    let (selection, stats) = PrunedSelector::new(1.0).select_with_stats(&circuit, objective);
     let selection = selection.expect("a minimum-size circuit always has an improving gate");
     let gate_net = netlist.gate(selection.gate).output();
     println!(

@@ -32,12 +32,18 @@ fn main() {
     // --- Report at minimum sizes. ---
     let t99 = circuit.ssta().circuit_delay_percentile(0.99);
     let target = 1.02 * t99; // a 2% guard-banded clock target
-    println!("c880 at minimum sizes: T(99%) = {:.3} ns, clock target {:.3} ns\n",
-             t99 / 1000.0, target / 1000.0);
+    println!(
+        "c880 at minimum sizes: T(99%) = {:.3} ns, clock target {:.3} ns\n",
+        t99 / 1000.0,
+        target / 1000.0
+    );
 
     let slack = SlackAnalysis::run(circuit.graph(), circuit.delays(), target);
     println!("most critical gates (by mean statistical slack at their output):");
-    println!("  {:>6}  {:>12}  {:>12}  {:>10}", "gate", "slack (ps)", "σ(slack)", "P(viol.)");
+    println!(
+        "  {:>6}  {:>12}  {:>12}  {:>10}",
+        "gate", "slack (ps)", "σ(slack)", "P(viol.)"
+    );
     for (gate, mean_slack) in slack.critical_gates(circuit.graph(), circuit.ssta(), 5) {
         let node = circuit.graph().out_node_of_gate(gate);
         let dist = slack.slack(circuit.ssta(), node);
@@ -54,22 +60,24 @@ fn main() {
 
     // --- Criticality before and after deterministic optimization. ---
     let mc = MonteCarlo::new(4_000, 7, SamplingMode::PerGate);
-    let (_, crit_before) =
-        mc.run_with_criticality(circuit.graph(), circuit.delays(), &variation);
+    let (_, crit_before) = mc.run_with_criticality(circuit.graph(), circuit.delays(), &variation);
 
     let _ = Optimizer::new(Objective::percentile(0.99), SelectorKind::Deterministic)
         .with_max_iterations(80)
         .run(&mut circuit);
-    let (_, crit_after) =
-        mc.run_with_criticality(circuit.graph(), circuit.delays(), &variation);
+    let (_, crit_after) = mc.run_with_criticality(circuit.graph(), circuit.delays(), &variation);
 
     let (busy_before, mass_before) = criticality_spread(&crit_before);
     let (busy_after, mass_after) = criticality_spread(&crit_after);
     println!("\ncriticality profile (Monte-Carlo, 4000 trials):");
-    println!("  before sizing:            {busy_before:4} gates above 5% criticality \
-              (critical-path mass {mass_before:.1})");
-    println!("  after deterministic opt:  {busy_after:4} gates above 5% criticality \
-              (critical-path mass {mass_after:.1})");
+    println!(
+        "  before sizing:            {busy_before:4} gates above 5% criticality \
+              (critical-path mass {mass_before:.1})"
+    );
+    println!(
+        "  after deterministic opt:  {busy_after:4} gates above 5% criticality \
+              (critical-path mass {mass_after:.1})"
+    );
     println!(
         "\nthe deterministic optimizer spreads criticality over {} more gates — the\n\
          \"wall\" of Figure 1, and the reason statistical optimization wins at equal area.",

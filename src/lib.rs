@@ -1,0 +1,18 @@
+//! Umbrella crate for the DATE'05 *Statistical Timing Based Optimization
+//! using Gate Sizing* reproduction.
+//!
+//! This package exists to host the workspace-level integration tests
+//! (`tests/`) and examples (`examples/`); the implementation lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! * [`dist`] — lattice (fixed-bin-width) distribution kernel
+//! * [`cells`] — cell library, EQ 1 delay model, variation model
+//! * [`netlist`] — netlists, benchmark shapes, ISCAS-85 generator
+//! * [`ssta`] — block-based SSTA, perturbation propagation, Monte Carlo
+//! * [`opt`] — the paper's selectors and the sizing optimizer
+
+pub use statsize as opt;
+pub use statsize_cells as cells;
+pub use statsize_dist as dist;
+pub use statsize_netlist as netlist;
+pub use statsize_ssta as ssta;

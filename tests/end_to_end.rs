@@ -70,16 +70,26 @@ fn deterministic_optimization_builds_a_wall() {
 
     let baseline = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 2.0);
     let sta0 = run_sta(baseline.graph(), baseline.delays());
-    let wall0 = enumerate_paths(baseline.graph(), baseline.delays(), 0.95 * sta0.circuit_delay(), 100_000)
-        .count();
+    let wall0 = enumerate_paths(
+        baseline.graph(),
+        baseline.delays(),
+        0.95 * sta0.circuit_delay(),
+        100_000,
+    )
+    .count();
 
     let mut det = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 2.0);
     let _ = Optimizer::new(obj, SelectorKind::Deterministic)
         .with_max_iterations(60)
         .run(&mut det);
     let sta1 = run_sta(det.graph(), det.delays());
-    let wall1 = enumerate_paths(det.graph(), det.delays(), 0.95 * sta1.circuit_delay(), 100_000)
-        .count();
+    let wall1 = enumerate_paths(
+        det.graph(),
+        det.delays(),
+        0.95 * sta1.circuit_delay(),
+        100_000,
+    )
+    .count();
 
     assert!(
         wall1 > wall0,

@@ -24,7 +24,8 @@ fn assert_identical_trajectories(nl: &Netlist, dt: f64, steps: usize, objective:
         let b = brute.select(&circuit, objective);
         let (p, stats) = pruned.select_with_stats(&circuit, objective);
         assert_eq!(
-            b, p,
+            b,
+            p,
             "{}: selector divergence at step {step} (stats: {stats:?})",
             nl.name()
         );
@@ -42,14 +43,24 @@ fn identical_on_c17() {
 
 #[test]
 fn identical_on_reconvergent_grid() {
-    assert_identical_trajectories(&shapes::grid("g", 4, 4), 1.0, 5, Objective::percentile(0.99));
+    assert_identical_trajectories(
+        &shapes::grid("g", 4, 4),
+        1.0,
+        5,
+        Objective::percentile(0.99),
+    );
 }
 
 #[test]
 fn identical_on_tie_rich_symmetric_circuits() {
     // Perfect symmetry produces exact sensitivity ties; the deterministic
     // tie-break must keep the selectors aligned.
-    assert_identical_trajectories(&shapes::diamond("d", 4), 1.0, 6, Objective::percentile(0.99));
+    assert_identical_trajectories(
+        &shapes::diamond("d", 4),
+        1.0,
+        6,
+        Objective::percentile(0.99),
+    );
     assert_identical_trajectories(
         &shapes::path_bundle("b", &[5, 5, 5, 5]),
         1.0,
@@ -65,8 +76,18 @@ fn identical_under_the_mean_objective() {
 
 #[test]
 fn identical_at_other_percentiles() {
-    assert_identical_trajectories(&shapes::grid("g", 3, 3), 1.0, 4, Objective::percentile(0.90));
-    assert_identical_trajectories(&shapes::grid("g", 3, 3), 1.0, 4, Objective::percentile(0.50));
+    assert_identical_trajectories(
+        &shapes::grid("g", 3, 3),
+        1.0,
+        4,
+        Objective::percentile(0.90),
+    );
+    assert_identical_trajectories(
+        &shapes::grid("g", 3, 3),
+        1.0,
+        4,
+        Objective::percentile(0.50),
+    );
 }
 
 #[test]
@@ -110,7 +131,10 @@ fn top_k_selection_matches_brute_force() {
     for (nl, dt) in [
         (bench::c17(), 1.0),
         (shapes::grid("g", 4, 4), 1.0),
-        (generator::generate_iscas("c432", 9).expect("known profile"), 2.0),
+        (
+            generator::generate_iscas("c432", 9).expect("known profile"),
+            2.0,
+        ),
     ] {
         let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), dt);
         let obj = Objective::percentile(0.99);

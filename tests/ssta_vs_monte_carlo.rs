@@ -22,7 +22,12 @@ fn setup(nl: &Netlist, dt: f64) -> Setup {
     let graph = TimingGraph::build(nl);
     let delays = ArcDelays::compute(nl, &model, &sizes, &variation, dt);
     let ssta = SstaAnalysis::run(&graph, &delays);
-    Setup { graph, delays, ssta, variation }
+    Setup {
+        graph,
+        delays,
+        ssta,
+        variation,
+    }
 }
 
 #[test]
@@ -32,13 +37,16 @@ fn bound_is_tight_on_tree_like_circuits() {
     // discretization and sampling noise at every percentile.
     let nl = shapes::balanced_tree("t", 4, statsize_netlist::GateKind::Nand);
     let s = setup(&nl, 0.5);
-    let mc = MonteCarlo::new(120_000, 7, SamplingMode::PerArc)
-        .run(&s.graph, &s.delays, &s.variation);
+    let mc =
+        MonteCarlo::new(120_000, 7, SamplingMode::PerArc).run(&s.graph, &s.delays, &s.variation);
     for p in [0.5, 0.9, 0.99] {
         let bound = s.ssta.circuit_delay_percentile(p);
         let sampled = mc.percentile(p);
         let rel = (bound - sampled).abs() / sampled;
-        assert!(rel < 0.01, "p={p}: bound {bound} vs MC {sampled} ({rel:.4})");
+        assert!(
+            rel < 0.01,
+            "p={p}: bound {bound} vs MC {sampled} ({rel:.4})"
+        );
     }
 }
 
@@ -49,8 +57,8 @@ fn bound_is_conservative_on_reconvergent_circuits() {
     // dominance of the bound).
     for nl in [shapes::diamond("d", 8), shapes::grid("g", 5, 5)] {
         let s = setup(&nl, 0.5);
-        let mc = MonteCarlo::new(60_000, 3, SamplingMode::PerArc)
-            .run(&s.graph, &s.delays, &s.variation);
+        let mc =
+            MonteCarlo::new(60_000, 3, SamplingMode::PerArc).run(&s.graph, &s.delays, &s.variation);
         for p in [0.25, 0.5, 0.75, 0.9, 0.99] {
             let bound = s.ssta.circuit_delay_percentile(p);
             let sampled = mc.percentile(p);
@@ -69,8 +77,8 @@ fn bound_is_close_on_a_benchmark_profile() {
     // circuit under the matching (per-arc) sampling model.
     let nl = generator::generate_iscas("c432", 1).expect("known profile");
     let s = setup(&nl, 1.0);
-    let mc = MonteCarlo::new(150_000, 9, SamplingMode::PerArc)
-        .run(&s.graph, &s.delays, &s.variation);
+    let mc =
+        MonteCarlo::new(150_000, 9, SamplingMode::PerArc).run(&s.graph, &s.delays, &s.variation);
     let bound = s.ssta.circuit_delay_percentile(0.99);
     let sampled = mc.percentile(0.99);
     let rel = (bound - sampled) / sampled;
@@ -85,8 +93,8 @@ fn bound_is_close_on_a_benchmark_profile() {
 fn mean_and_variance_track_monte_carlo_on_a_chain() {
     let nl = shapes::chain("c", 12);
     let s = setup(&nl, 0.25);
-    let mc = MonteCarlo::new(120_000, 11, SamplingMode::PerGate)
-        .run(&s.graph, &s.delays, &s.variation);
+    let mc =
+        MonteCarlo::new(120_000, 11, SamplingMode::PerGate).run(&s.graph, &s.delays, &s.variation);
     let sink = s.ssta.sink_arrival();
     assert!(
         (sink.mean() - mc.mean()).abs() / mc.mean() < 0.005,
@@ -108,8 +116,8 @@ fn per_gate_sampling_is_no_larger_than_bound_at_high_percentiles() {
     // ignores; the bound must still dominate at the objective percentile.
     let nl = generator::generate_iscas("c880", 2).expect("known profile");
     let s = setup(&nl, 2.0);
-    let mc = MonteCarlo::new(40_000, 13, SamplingMode::PerGate)
-        .run(&s.graph, &s.delays, &s.variation);
+    let mc =
+        MonteCarlo::new(40_000, 13, SamplingMode::PerGate).run(&s.graph, &s.delays, &s.variation);
     let bound = s.ssta.circuit_delay_percentile(0.99);
     let sampled = mc.percentile(0.99);
     assert!(

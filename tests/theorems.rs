@@ -18,15 +18,11 @@ use std::collections::HashMap;
 
 /// Strategy: a random lattice distribution with 1–24 bins at dt = 1.
 fn dist_strategy() -> impl Strategy<Value = Dist> {
-    (
-        proptest::collection::vec(0.01f64..1.0, 1..24),
-        -20i64..20,
-    )
-        .prop_map(|(raw, offset)| {
-            let total: f64 = raw.iter().sum();
-            let mass: Vec<f64> = raw.iter().map(|m| m / total).collect();
-            Dist::new(1.0, offset, mass).expect("normalized by construction")
-        })
+    (proptest::collection::vec(0.01f64..1.0, 1..24), -20i64..20).prop_map(|(raw, offset)| {
+        let total: f64 = raw.iter().sum();
+        let mass: Vec<f64> = raw.iter().map(|m| m / total).collect();
+        Dist::new(1.0, offset, mass).expect("normalized by construction")
+    })
 }
 
 /// Strategy: an (original, perturbed) pair with arbitrary shape change.
@@ -106,7 +102,14 @@ proptest! {
 
 /// A tiny random-circuit profile for whole-circuit theorem checks.
 fn small_profile() -> Profile {
-    Profile { name: "tiny", inputs: 5, outputs: 4, nodes: 48, edges: 96, depth: 7 }
+    Profile {
+        name: "tiny",
+        inputs: 5,
+        outputs: 4,
+        nodes: 48,
+        edges: 96,
+        depth: 7,
+    }
 }
 
 /// Theorem 4, end to end: at every level of a perturbation front's
@@ -128,8 +131,7 @@ fn theorem4_front_bound_dominates_sink_shift() {
         for gate_idx in 0..nl.gate_count() {
             let gate = GateId::from_index(gate_idx);
             let overrides = circuit.overrides_for_resize(gate, 1.0);
-            let mut walk =
-                ConeWalk::new(circuit.graph(), circuit.delays(), base, overrides);
+            let mut walk = ConeWalk::new(circuit.graph(), circuit.delays(), base, overrides);
             let own_level = circuit
                 .graph()
                 .level(circuit.graph().out_node_of_gate(gate));
@@ -143,10 +145,8 @@ fn theorem4_front_bound_dominates_sink_shift() {
                     if n == TimingNode::SINK {
                         continue;
                     }
-                    let d = lattice_shift_bound(
-                        base.arrival(n),
-                        walk.perturbed(n).expect("retained"),
-                    );
+                    let d =
+                        lattice_shift_bound(base.arrival(n), walk.perturbed(n).expect("retained"));
                     deltas.insert(n, d);
                 }
                 for &n in &report.retired {
@@ -170,8 +170,7 @@ fn theorem4_front_bound_dominates_sink_shift() {
             // pruning needs: it only ever compares bounds against
             // `Max_S ≥ 0`.
             for p in [0.5, 0.9, 0.99] {
-                let sink_shift =
-                    statsize_dist::percentile_shift_at(base_sink, pert_sink, p);
+                let sink_shift = statsize_dist::percentile_shift_at(base_sink, pert_sink, p);
                 for (k, &bound) in bounds.iter().enumerate() {
                     assert!(
                         sink_shift <= bound.max(0.0) + 1e-6,

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored stub
+//! implements the subset of the criterion API the workspace's benches
+//! use — groups, `bench_with_input`, `bench_function`, `iter`,
+//! `iter_batched`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple but honest measurement loop: each benchmark is
+//! warmed up, then timed over enough iterations to fill a fixed
+//! measurement window, and the mean/min per-iteration times are printed.
+//!
+//! It is intentionally *not* statistically rigorous (no outlier analysis,
+//! no confidence intervals); it exists so `cargo bench` compiles, runs,
+//! and produces stable-enough numbers for coarse regression tracking.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque blinding for benchmark inputs/outputs (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched iterations size their batches (only used as a hint here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (batches of 1).
+    LargeInput,
+    /// One routine call per setup call.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter (e.g. a size).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One measured sample: total wall time over a number of iterations.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    total: Duration,
+    iters: u64,
+}
+
+/// The per-benchmark measurement driver passed to closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Sample>,
+}
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Target wall-clock time spent warming up one benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(60);
+
+impl Bencher {
+    /// Measures a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Split the measurement window into ~20 samples.
+        let iters_per_sample =
+            ((MEASURE_WINDOW.as_secs_f64() / 20.0 / per_iter.max(1e-9)) as u64).max(1);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_WINDOW {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(Sample {
+                total: t0.elapsed(),
+                iters: iters_per_sample,
+            });
+        }
+    }
+
+    /// Measures a routine with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let measure_start = Instant::now();
+        // Warm up once to page everything in.
+        std_black_box(routine(setup()));
+        while measure_start.elapsed() < MEASURE_WINDOW {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(Sample {
+                total: t0.elapsed(),
+                iters: 1,
+            });
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| s.total.as_secs_f64() / s.iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{label:<40} min {:>12}  median {:>12}  mean {:>12}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the stub
+    /// sizes samples by wall-clock window instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Benchmarks an unparameterized routine within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Finishes the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single named routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Groups benchmark functions, mirroring criterion's macro of the same
+/// name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // minimal runner has no options and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("conv", 8).to_string(), "conv/8");
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with("s"));
+    }
+}
