@@ -3,7 +3,7 @@
 //! computation underlying the pruning bounds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use statsize_dist::{max_percentile_shift, TruncatedGaussian};
+use statsize_dist::{max_percentile_shift, DistScratch, TruncatedGaussian};
 
 fn arrival_like(bins: usize) -> statsize_dist::Dist {
     // An arrival-time-like distribution with the requested support width.
@@ -39,6 +39,41 @@ fn bench_max(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_convolve_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolve_into");
+    let delay = delay_like();
+    for bins in [64usize, 256, 1024] {
+        let arrival = arrival_like(bins);
+        let mut scratch = DistScratch::new();
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| {
+                let r = arrival.convolve_into(&delay, &mut scratch);
+                scratch.recycle(r);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_convolve_max_fused(c: &mut Criterion) {
+    // The fused per-edge convolve + running fan-in max, vs materializing
+    // the intermediate arrival (the composed form it is bit-identical to).
+    let mut group = c.benchmark_group("convolve_max_fused");
+    let delay = delay_like();
+    for bins in [64usize, 256, 1024] {
+        let acc = arrival_like(bins);
+        let upstream = arrival_like(bins).shift_bins(bins as i64 / 10);
+        let mut scratch = DistScratch::new();
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| {
+                let r = acc.convolve_max_into(&upstream, &delay, &mut scratch);
+                scratch.recycle(r);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_percentile(c: &mut Criterion) {
     let a = arrival_like(512);
     c.bench_function("percentile_p99", |b| b.iter(|| a.percentile(0.99)));
@@ -60,6 +95,8 @@ criterion_group!(
     benches,
     bench_convolve,
     bench_max,
+    bench_convolve_into,
+    bench_convolve_max_fused,
     bench_percentile,
     bench_shift
 );

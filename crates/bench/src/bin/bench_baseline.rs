@@ -3,15 +3,27 @@
 //!
 //! Measures the same operations as the `dist_ops` criterion bench —
 //! convolution, independent max, percentile query, and the whole-bin
-//! shift measure — with a deterministic sample loop, and emits one JSON
-//! object per operation/size pair.
+//! shift measure — plus the allocation-free `_into`/fused variants and an
+//! end-to-end `cone_walk` over generated benchmark circuits, with a
+//! deterministic sample loop, and emits one JSON object per
+//! operation/size pair.
 //!
 //! Usage: `cargo run --release -p statsize-bench --bin bench_baseline
-//! [--out=PATH]` (default `BENCH_dist_ops.json` in the current
-//! directory).
+//! [--out=PATH] [--quick] [--compare=PATH]`
+//!
+//! * `--out=PATH` — where to write the JSON (default
+//!   `BENCH_dist_ops.json` in the current directory).
+//! * `--quick` — reduced-iteration smoke mode for CI: fewer samples and
+//!   shorter batches, report-only accuracy.
+//! * `--compare=PATH` — read a previously committed baseline and print
+//!   its median next to each fresh measurement with the relative delta.
+//!   Purely informational: no thresholds, never fails.
 
 use statsize_bench::emit::JsonObject;
-use statsize_dist::{max_percentile_shift, Dist, TruncatedGaussian};
+use statsize_bench::suite;
+use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+use statsize_dist::{max_percentile_shift, Dist, DistScratch, TruncatedGaussian};
+use statsize_ssta::{ArcDelays, ConeWalk, DelayOverrides, SstaAnalysis, TimingGraph};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -25,21 +37,38 @@ fn delay_like() -> Dist {
     TruncatedGaussian::from_nominal(100.0, 0.1, 3.0).discretize(1.0)
 }
 
-/// Median and minimum per-iteration nanoseconds over `samples` timed
-/// batches sized to roughly `batch_target` seconds each.
-fn measure<F: FnMut()>(mut op: F) -> (f64, f64) {
-    const SAMPLES: usize = 15;
-    const BATCH_TARGET: f64 = 0.01;
+/// Measurement effort: full baseline recording or the CI smoke profile.
+#[derive(Clone, Copy)]
+struct Effort {
+    samples: usize,
+    batch_target: f64,
+    warmup: f64,
+}
+
+const FULL: Effort = Effort {
+    samples: 15,
+    batch_target: 0.01,
+    warmup: 0.02,
+};
+const QUICK: Effort = Effort {
+    samples: 5,
+    batch_target: 0.002,
+    warmup: 0.005,
+};
+
+/// Median and minimum per-iteration nanoseconds over `effort.samples`
+/// timed batches sized to roughly `effort.batch_target` seconds each.
+fn measure<F: FnMut()>(effort: Effort, mut op: F) -> (f64, f64) {
     // Calibrate the batch size with a short warm-up.
     let t0 = Instant::now();
     let mut warm = 0u64;
-    while t0.elapsed().as_secs_f64() < 0.02 {
+    while t0.elapsed().as_secs_f64() < effort.warmup {
         op();
         warm += 1;
     }
     let per_iter = t0.elapsed().as_secs_f64() / warm.max(1) as f64;
-    let batch = ((BATCH_TARGET / per_iter.max(1e-9)) as u64).max(1);
-    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+    let batch = ((effort.batch_target / per_iter.max(1e-9)) as u64).max(1);
+    let mut per_iter_ns: Vec<f64> = (0..effort.samples)
         .map(|_| {
             let t = Instant::now();
             for _ in 0..batch {
@@ -49,18 +78,96 @@ fn measure<F: FnMut()>(mut op: F) -> (f64, f64) {
         })
         .collect();
     per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    (per_iter_ns[SAMPLES / 2], per_iter_ns[0])
+    (per_iter_ns[effort.samples / 2], per_iter_ns[0])
+}
+
+/// Extracts `(name, median_ns)` pairs from a previously emitted baseline
+/// file — a hand-rolled scan matching exactly the flat shape
+/// `bench_baseline` writes, so no JSON dependency is needed.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("{\"name\":\"") {
+        rest = &rest[i + 9..];
+        let Some(j) = rest.find('"') else { break };
+        let name = rest[..j].to_string();
+        let Some(k) = rest.find("\"median_ns\":") else {
+            break;
+        };
+        rest = &rest[k + 12..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(median) = rest[..end].trim().parse::<f64>() {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+/// Timing state for one generated circuit, ready to run perturbation
+/// cone walks from a mid-level gate.
+struct WalkBench {
+    graph: TimingGraph,
+    delays: ArcDelays,
+    base: SstaAnalysis,
+    overrides: DelayOverrides,
+}
+
+impl WalkBench {
+    fn build(circuit: &str) -> Self {
+        let nl = suite::build_circuit(circuit, 1);
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let sizes = GateSizes::minimum(&nl);
+        let variation = VariationModel::paper_default();
+        let graph = TimingGraph::build(&nl);
+        let delays = ArcDelays::compute(&nl, &model, &sizes, &variation, 2.0);
+        let base = SstaAnalysis::run(&graph, &delays);
+        // Perturb a mid-level gate two bins earlier — the shape of a
+        // trial upsize, with a realistically deep fan-out cone.
+        let mid = nl.topological_gates()[nl.gate_count() / 2];
+        let mut overrides = DelayOverrides::none();
+        overrides.set(mid, delays.dist(mid).shift_bins(-2));
+        Self {
+            graph,
+            delays,
+            base,
+            overrides,
+        }
+    }
 }
 
 fn main() {
     let out_path = std::env::args()
         .find_map(|a| a.strip_prefix("--out=").map(String::from))
         .unwrap_or_else(|| "BENCH_dist_ops.json".to_string());
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        QUICK
+    } else {
+        FULL
+    };
+    let committed: Vec<(String, f64)> = std::env::args()
+        .find_map(|a| a.strip_prefix("--compare=").map(String::from))
+        .map(|path| {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read comparison baseline {path}: {e}"));
+            parse_baseline(&text)
+        })
+        .unwrap_or_default();
 
     let delay = delay_like();
     let mut results: Vec<String> = Vec::new();
     let mut record = |name: String, (median_ns, min_ns): (f64, f64)| {
-        println!("{name:<28} median {median_ns:>12.1} ns  min {min_ns:>12.1} ns");
+        let vs = committed
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, old)| {
+                format!(
+                    "  committed {old:>12.1} ns  delta {:>+7.1}%",
+                    (median_ns - old) / old * 100.0
+                )
+            })
+            .unwrap_or_default();
+        println!("{name:<28} median {median_ns:>12.1} ns  min {min_ns:>12.1} ns{vs}");
         let mut o = JsonObject::new();
         o.string("name", &name)
             .number("median_ns", median_ns)
@@ -72,20 +179,36 @@ fn main() {
         let arrival = arrival_like(bins);
         record(
             format!("convolve/{bins}"),
-            measure(|| {
+            measure(effort, || {
                 black_box(black_box(&arrival).convolve(&delay));
+            }),
+        );
+        let mut scratch = DistScratch::new();
+        record(
+            format!("convolve_into/{bins}"),
+            measure(effort, || {
+                let r = black_box(black_box(&arrival).convolve_into(&delay, &mut scratch));
+                scratch.recycle(r);
             }),
         );
         let other = arrival.shift_bins(bins as i64 / 10);
         record(
             format!("max_independent/{bins}"),
-            measure(|| {
+            measure(effort, || {
                 black_box(black_box(&arrival).max_independent(&other));
             }),
         );
         record(
+            format!("convolve_max_fused/{bins}"),
+            measure(effort, || {
+                let r =
+                    black_box(black_box(&arrival).convolve_max_into(&other, &delay, &mut scratch));
+                scratch.recycle(r);
+            }),
+        );
+        record(
             format!("max_percentile_shift/{bins}"),
-            measure(|| {
+            measure(effort, || {
                 black_box(max_percentile_shift(black_box(&arrival), &other));
             }),
         );
@@ -93,10 +216,27 @@ fn main() {
     let a512 = arrival_like(512);
     record(
         "percentile_p99/512".to_string(),
-        measure(|| {
+        measure(effort, || {
             black_box(black_box(&a512).percentile(0.99));
         }),
     );
+
+    // End-to-end: a full perturbation cone walk to the sink, the unit of
+    // work both selectors repeat per candidate gate.
+    for circuit in ["c432", "c880"] {
+        let wb = WalkBench::build(circuit);
+        let mut scratch = DistScratch::new();
+        record(
+            format!("cone_walk/{circuit}"),
+            measure(effort, || {
+                let mut walk = ConeWalk::new(&wb.graph, &wb.delays, &wb.base, wb.overrides.clone())
+                    .evicting_retired();
+                walk.run_to_sink_with(&mut scratch);
+                black_box(walk.sink_arrival().expect("cone reaches the sink"));
+                walk.recycle_into(&mut scratch);
+            }),
+        );
+    }
 
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

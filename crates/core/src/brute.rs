@@ -3,6 +3,7 @@
 use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
 use crate::selection::Selection;
+use statsize_dist::DistScratch;
 use statsize_ssta::ConeWalk;
 
 /// The straightforward statistical selector: for every gate, propagate its
@@ -54,6 +55,10 @@ impl BruteForceSelector {
         objective: Objective,
     ) -> Vec<Selection> {
         let base_cost = circuit.objective_value(objective);
+        // One buffer pool for the whole sweep: each candidate's walk
+        // recycles through it, so the per-candidate allocation cost is
+        // O(front width), not O(cone size).
+        let mut scratch = DistScratch::new();
         circuit
             .netlist()
             .gate_ids()
@@ -62,11 +67,12 @@ impl BruteForceSelector {
                 let mut walk =
                     ConeWalk::new(circuit.graph(), circuit.delays(), circuit.ssta(), overrides)
                         .evicting_retired();
-                walk.run_to_sink();
+                walk.run_to_sink_with(&mut scratch);
                 let sink = walk
                     .sink_arrival()
                     .expect("every gate's fan-out cone reaches the sink");
                 let sensitivity = (base_cost - objective.value(sink)) / self.delta_w;
+                walk.recycle_into(&mut scratch);
                 Selection { gate, sensitivity }
             })
             .collect()

@@ -13,7 +13,7 @@
 use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
 use crate::selection::Selection;
-use statsize_dist::lattice_shift_bound;
+use statsize_dist::{lattice_shift_bound, DistScratch};
 use statsize_ssta::{ConeWalk, TimingNode};
 use std::collections::HashMap;
 
@@ -58,6 +58,8 @@ impl HeuristicSelector {
         let base = circuit.ssta();
         let base_cost = circuit.objective_value(objective);
         let mut best: Option<Selection> = None;
+        // One buffer pool reused across all candidate lookaheads.
+        let mut scratch = DistScratch::new();
 
         for gate in circuit.netlist().gate_ids() {
             let overrides = circuit.overrides_for_resize(gate, self.delta_w);
@@ -77,7 +79,9 @@ impl HeuristicSelector {
                     }
                     budget -= 1;
                 }
-                let report = walk.step_level().expect("level observed pending");
+                let report = walk
+                    .step_level_with(&mut scratch)
+                    .expect("level observed pending");
                 for &node in &report.computed {
                     if node == TimingNode::SINK {
                         continue;
@@ -103,6 +107,7 @@ impl HeuristicSelector {
             if best.is_none_or(|b| candidate.better_than(&b)) {
                 best = Some(candidate);
             }
+            walk.recycle_into(&mut scratch);
         }
         best.filter(|b| b.sensitivity > 0.0)
     }

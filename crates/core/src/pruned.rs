@@ -22,7 +22,7 @@
 use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
 use crate::selection::Selection;
-use statsize_dist::lattice_shift_bound;
+use statsize_dist::{lattice_shift_bound, DistScratch};
 use statsize_netlist::GateId;
 use statsize_ssta::{ConeWalk, SstaAnalysis, StepReport, TimingNode};
 use std::cmp::Ordering;
@@ -230,6 +230,11 @@ impl PrunedSelector {
             ..PruneStats::default()
         };
 
+        // One buffer pool shared by every candidate front in this sweep:
+        // distributions retired by any front immediately serve the next
+        // propagation step, wherever it happens.
+        let mut scratch = DistScratch::new();
+
         // --- Initialize every candidate (Figure 7): temporary resize,
         // propagate the seed perturbations up to the gate's own level,
         // compute the initial bound. ---
@@ -248,7 +253,10 @@ impl PrunedSelector {
                 .graph()
                 .level(circuit.graph().out_node_of_gate(gate));
             while cand.walk.next_level().is_some_and(|l| l <= own_level) {
-                let report = cand.walk.step_level().expect("level observed pending");
+                let report = cand
+                    .walk
+                    .step_level_with(&mut scratch)
+                    .expect("level observed pending");
                 stats.levels_propagated += 1;
                 stats.nodes_computed += report.computed.len();
                 cand.absorb(&report, base, self.delta_w);
@@ -289,12 +297,14 @@ impl PrunedSelector {
             // top k (minus the floating-point safety slack).
             if cand.smx < threshold(&completed) - PRUNE_SLACK {
                 stats.pruned += 1;
-                *slot = None;
+                if let Some(c) = slot.take() {
+                    c.walk.recycle_into(&mut scratch);
+                }
                 continue;
             }
             let report = cand
                 .walk
-                .step_level()
+                .step_level_with(&mut scratch)
                 .expect("unfinished candidates always have pending levels");
             stats.levels_propagated += 1;
             stats.nodes_computed += report.computed.len();
@@ -310,7 +320,9 @@ impl PrunedSelector {
                 };
                 let pos = completed.partition_point(|existing| existing.better_than(&selection));
                 completed.insert(pos, selection);
-                *slot = None;
+                if let Some(c) = slot.take() {
+                    c.walk.recycle_into(&mut scratch);
+                }
             } else {
                 heap.push(HeapEntry {
                     smx: cand.smx,

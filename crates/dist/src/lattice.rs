@@ -1,5 +1,6 @@
 //! The lattice distribution type and its operators.
 
+use crate::scratch::DistScratch;
 use std::fmt;
 
 /// Mass below this threshold may be trimmed from a distribution's tails
@@ -145,37 +146,29 @@ impl Dist {
     /// `mass` must be non-empty with finite non-negative entries summing
     /// to ≈ 1.
     pub(crate) fn from_raw(dt: f64, offset: i64, mass: Vec<f64>) -> Self {
-        let mut lo = 0usize;
-        let mut cut = 0.0;
-        while lo + 1 < mass.len() && cut + mass[lo] <= TRIM_EPS {
-            cut += mass[lo];
-            lo += 1;
-        }
-        let mut hi = mass.len();
-        cut = 0.0;
-        while hi > lo + 1 && cut + mass[hi - 1] <= TRIM_EPS {
-            cut += mass[hi - 1];
-            hi -= 1;
-        }
-        // Trim in place: no second allocation on the convolve/max hot
-        // path (lo == 0 and hi == len in the common no-trim case).
         let mut mass = mass;
-        mass.truncate(hi);
-        if lo > 0 {
-            mass.drain(..lo);
-        }
-        let total: f64 = mass.iter().sum();
-        debug_assert!(total > 0.0, "distribution must carry mass");
-        if total != 1.0 {
-            for m in &mut mass {
-                *m /= total;
-            }
-        }
-        Self {
-            dt,
-            offset: offset + lo as i64,
-            mass,
-        }
+        let offset = normalize_raw(&mut mass, offset);
+        Self { dt, offset, mass }
+    }
+
+    /// [`from_raw`](Dist::from_raw) for kernels that already accumulated
+    /// `Σ mass` in index order while writing the buffer: skips the
+    /// renormalization's own summation pass in the (overwhelmingly
+    /// common) no-trim case. `untrimmed_total` must be bit-identical to
+    /// `mass.iter().sum()` — the left-fold over the full buffer — which
+    /// holds when the kernel sums exactly the values it pushes, in push
+    /// order. When tails do get trimmed the total is recomputed, so
+    /// results never deviate from [`from_raw`](Dist::from_raw).
+    fn from_raw_summed(dt: f64, offset: i64, mass: Vec<f64>, untrimmed_total: f64) -> Self {
+        let mut mass = mass;
+        let offset = normalize_raw_summed(&mut mass, offset, untrimmed_total);
+        Self { dt, offset, mass }
+    }
+
+    /// Consumes the distribution, releasing its mass buffer (used by
+    /// [`DistScratch::recycle`](crate::DistScratch::recycle)).
+    pub(crate) fn into_mass(self) -> Vec<f64> {
+        self.mass
     }
 
     /// The lattice step (ps).
@@ -286,20 +279,6 @@ impl Dist {
         self.percentile(u.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON / 2.0))
     }
 
-    /// Cumulative masses `(absolute bin index, cumulative probability)`
-    /// over the bins that carry mass — the step-CDF breakpoints.
-    pub(crate) fn step_points(&self) -> Vec<(i64, f64)> {
-        let mut out = Vec::with_capacity(self.mass.len());
-        let mut cum = 0.0;
-        for (i, &m) in self.mass.iter().enumerate() {
-            if m > 0.0 {
-                cum += m;
-                out.push((self.offset + i as i64, cum));
-            }
-        }
-        out
-    }
-
     fn assert_same_lattice(&self, other: &Dist) {
         assert!(
             self.dt == other.dt,
@@ -317,25 +296,21 @@ impl Dist {
     ///
     /// Panics if the lattice steps differ.
     pub fn convolve(&self, other: &Dist) -> Dist {
+        self.convolve_into(other, &mut DistScratch::new())
+    }
+
+    /// [`convolve`](Dist::convolve) writing into a buffer recycled from
+    /// `scratch` — bit-identical results, no allocation when the pool has
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn convolve_into(&self, other: &Dist, scratch: &mut DistScratch) -> Dist {
         self.assert_same_lattice(other);
-        let mut out = vec![0.0f64; self.mass.len() + other.mass.len() - 1];
-        // Iterate the shorter operand on the outside: fewer passes over
-        // the long accumulator keeps this cache-friendly for the common
-        // wide-arrival × narrow-delay case.
-        let (short, long) = if self.mass.len() <= other.mass.len() {
-            (&self.mass, &other.mass)
-        } else {
-            (&other.mass, &self.mass)
-        };
-        for (i, &a) in short.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            for (o, &b) in out[i..i + long.len()].iter_mut().zip(long.iter()) {
-                *o += a * b;
-            }
-        }
-        Dist::from_raw(self.dt, self.offset + other.offset, out)
+        let mut out = scratch.take();
+        let total = convolve_raw(&self.mass, &other.mass, &mut out);
+        Dist::from_raw_summed(self.dt, self.offset + other.offset, out, total)
     }
 
     /// The maximum of two *independent* lattice variables: the output
@@ -346,23 +321,52 @@ impl Dist {
     ///
     /// Panics if the lattice steps differ.
     pub fn max_independent(&self, other: &Dist) -> Dist {
+        self.max_independent_into(other, &mut DistScratch::new())
+    }
+
+    /// [`max_independent`](Dist::max_independent) writing into a buffer
+    /// recycled from `scratch` — bit-identical results, no allocation
+    /// when the pool has capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn max_independent_into(&self, other: &Dist, scratch: &mut DistScratch) -> Dist {
         self.assert_same_lattice(other);
-        let lo = self.offset.max(other.offset);
-        let hi = (self.offset + self.mass.len() as i64 - 1)
-            .max(other.offset + other.mass.len() as i64 - 1);
-        let mut out = Vec::with_capacity((hi - lo + 1) as usize);
-        let mut ca = self.cum_below(lo);
-        let mut cb = other.cum_below(lo);
-        let mut prev = ca * cb; // C(lo − 1): zero unless both started earlier
-        debug_assert!(prev == 0.0, "one operand must start at the output support");
-        for k in lo..=hi {
-            ca += self.mass_at(k);
-            cb += other.mass_at(k);
-            let cur = ca * cb;
-            out.push(cur - prev);
-            prev = cur;
-        }
-        Dist::from_raw(self.dt, lo, out)
+        let mut out = scratch.take();
+        let (lo, total) = max_raw(self.offset, &self.mass, other.offset, &other.mass, &mut out);
+        Dist::from_raw_summed(self.dt, lo, out, total)
+    }
+
+    /// Fused edge-convolve + fan-in max:
+    /// `self.max_independent(&upstream.convolve(delay))` in one pass over
+    /// the support. The intermediate arrival `upstream ∗ delay` lives only
+    /// in a pooled scratch buffer — its cumulative masses feed the max's
+    /// CDF product directly, and no intermediate [`Dist`] is ever
+    /// materialized. Bit-identical to the composed form.
+    ///
+    /// This is the inner step of the SSTA fan-in merge: `self` is the
+    /// running maximum over the edges folded so far, `upstream` the next
+    /// edge's source arrival, and `delay` that edge's arc delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lattice step differs.
+    pub fn convolve_max_into(
+        &self,
+        upstream: &Dist,
+        delay: &Dist,
+        scratch: &mut DistScratch,
+    ) -> Dist {
+        self.assert_same_lattice(upstream);
+        upstream.assert_same_lattice(delay);
+        let mut conv = scratch.take();
+        let conv_total = convolve_raw(&upstream.mass, &delay.mass, &mut conv);
+        let conv_off = normalize_raw_summed(&mut conv, upstream.offset + delay.offset, conv_total);
+        let mut out = scratch.take();
+        let (lo, total) = max_raw(self.offset, &self.mass, conv_off, &conv, &mut out);
+        scratch.put(conv);
+        Dist::from_raw_summed(self.dt, lo, out, total)
     }
 
     /// The minimum of two *independent* lattice variables: the survival
@@ -373,17 +377,29 @@ impl Dist {
     ///
     /// Panics if the lattice steps differ.
     pub fn min_independent(&self, other: &Dist) -> Dist {
+        self.min_independent_into(other, &mut DistScratch::new())
+    }
+
+    /// [`min_independent`](Dist::min_independent) writing into a buffer
+    /// recycled from `scratch` — bit-identical results, no allocation
+    /// when the pool has capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn min_independent_into(&self, other: &Dist, scratch: &mut DistScratch) -> Dist {
         self.assert_same_lattice(other);
+        let mut out = scratch.take();
         let lo = self.offset.min(other.offset);
         let hi = (self.offset + self.mass.len() as i64 - 1)
             .min(other.offset + other.mass.len() as i64 - 1);
-        let mut out = Vec::with_capacity((hi - lo + 1) as usize);
-        let mut sa = 1.0 - self.cum_below(lo);
-        let mut sb = 1.0 - other.cum_below(lo);
-        let mut prev = sa * sb; // S(lo − 1) = 1
+        out.reserve((hi - lo + 1) as usize);
+        let mut sa = 1.0; // S(lo − 1) = 1: lo is below both supports
+        let mut sb = 1.0;
+        let mut prev = 1.0;
         for k in lo..=hi {
-            sa -= self.mass_at(k);
-            sb -= other.mass_at(k);
+            sa -= mass_at(self.offset, &self.mass, k);
+            sb -= mass_at(other.offset, &other.mass, k);
             let cur = (sa * sb).max(0.0);
             out.push((prev - cur).max(0.0));
             prev = cur;
@@ -399,13 +415,26 @@ impl Dist {
     ///
     /// Panics if the lattice steps differ.
     pub fn subtract_independent(&self, other: &Dist) -> Dist {
+        self.subtract_into(other, &mut DistScratch::new())
+    }
+
+    /// [`subtract_independent`](Dist::subtract_independent) writing into
+    /// buffers recycled from `scratch` (one for the reflection, one for
+    /// the result) — bit-identical results, no allocation when the pool
+    /// has capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn subtract_into(&self, other: &Dist, scratch: &mut DistScratch) -> Dist {
         self.assert_same_lattice(other);
-        let reflected = Dist {
-            dt: other.dt,
-            offset: -(other.offset + other.mass.len() as i64 - 1),
-            mass: other.mass.iter().rev().copied().collect(),
-        };
-        self.convolve(&reflected)
+        let mut reflected = scratch.take();
+        reflected.extend(other.mass.iter().rev());
+        let mut out = scratch.take();
+        let total = convolve_raw(&self.mass, &reflected, &mut out);
+        scratch.put(reflected);
+        let offset = self.offset - (other.offset + other.mass.len() as i64 - 1);
+        Dist::from_raw_summed(self.dt, offset, out, total)
     }
 
     /// The distribution translated by a whole number of lattice bins
@@ -426,26 +455,195 @@ impl Dist {
         assert!(delta.is_finite(), "shift must be finite, got {delta}");
         self.shift_bins((delta / self.dt).trunc() as i64)
     }
+}
 
-    /// Cumulative mass strictly below absolute bin `k`.
-    fn cum_below(&self, k: i64) -> f64 {
-        if k <= self.offset {
-            return 0.0;
-        }
-        let end = ((k - self.offset) as usize).min(self.mass.len());
-        self.mass[..end].iter().sum()
-    }
+/// Trims negligible tails and renormalizes `mass` in place (the shared
+/// finishing pass of every lattice operator); returns the adjusted first
+/// bin. Trimming keeps the buffer's capacity, so recycled buffers retain
+/// the room trimmed off earlier results.
+fn normalize_raw(mass: &mut Vec<f64>, offset: i64) -> i64 {
+    let total = mass.iter().sum();
+    normalize_raw_summed(mass, offset, total)
+}
 
-    /// Mass at absolute bin `k` (zero outside the support).
-    fn mass_at(&self, k: i64) -> f64 {
-        if k < self.offset {
-            return 0.0;
-        }
-        self.mass
-            .get((k - self.offset) as usize)
-            .copied()
-            .unwrap_or(0.0)
+/// [`normalize_raw`] for kernels that already accumulated `Σ mass` in
+/// index order while writing the buffer: skips the summation pass in the
+/// (overwhelmingly common) no-trim case. `untrimmed_total` must be
+/// bit-identical to `mass.iter().sum()` — the left-fold over the full
+/// buffer — which holds when the kernel folds exactly the values it
+/// wrote, in index order. When tails do get trimmed the total is
+/// recomputed on the surviving range, so results never deviate from
+/// [`normalize_raw`].
+fn normalize_raw_summed(mass: &mut Vec<f64>, offset: i64, untrimmed_total: f64) -> i64 {
+    let untrimmed_len = mass.len();
+    let (lo, hi) = trim_bounds(mass);
+    // Trim in place: no second allocation on the convolve/max hot path
+    // (lo == 0 and hi == len in the common no-trim case).
+    mass.truncate(hi);
+    if lo > 0 {
+        mass.drain(..lo);
     }
+    let total = if lo == 0 && hi == untrimmed_len {
+        untrimmed_total
+    } else {
+        mass.iter().sum()
+    };
+    debug_assert!(total > 0.0, "distribution must carry mass");
+    if total != 1.0 {
+        for m in mass.iter_mut() {
+            *m /= total;
+        }
+    }
+    offset + lo as i64
+}
+
+/// The `[lo, hi)` sub-range of `mass` that survives tail trimming: at
+/// most [`TRIM_EPS`] of mass is cut from each side, never emptying the
+/// buffer.
+fn trim_bounds(mass: &[f64]) -> (usize, usize) {
+    let mut lo = 0usize;
+    let mut cut = 0.0;
+    while lo + 1 < mass.len() && cut + mass[lo] <= TRIM_EPS {
+        cut += mass[lo];
+        lo += 1;
+    }
+    let mut hi = mass.len();
+    cut = 0.0;
+    while hi > lo + 1 && cut + mass[hi - 1] <= TRIM_EPS {
+        cut += mass[hi - 1];
+        hi -= 1;
+    }
+    (lo, hi)
+}
+
+/// Raw discrete convolution of two mass vectors into `out` (cleared
+/// first). Returns the left-fold total `Σ out[k]` in index order —
+/// bit-identical to `out.iter().sum()` — folded in as output regions
+/// become final, so the normalization pass needs no separate summation
+/// sweep.
+///
+/// The shorter operand's taps drive the outer structure — fewer passes
+/// over the long accumulator keep this cache-friendly for the common
+/// wide-arrival × narrow-delay case — and taps are blocked four at a time
+/// so each pass over the output performs four multiply-adds per load and
+/// store instead of one. Per output bin, tap contributions are summed in
+/// ascending tap order, exactly as the straightforward tap-at-a-time
+/// loop would, so results are bit-identical to it.
+fn convolve_raw(a: &[f64], b: &[f64], out: &mut Vec<f64>) -> f64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let l = long.len();
+    out.clear();
+    out.resize(short.len() + l - 1, 0.0);
+    let mut total = 0.0;
+    let mut summed = 0usize;
+    let chunks = short.chunks_exact(4);
+    let rem = chunks.remainder();
+    for (c, q) in chunks.enumerate() {
+        let base = 4 * c;
+        let o = &mut out[base..base + l + 3];
+        // Edge columns where fewer than four taps overlap the window.
+        for j in (0..3).chain(l.max(3)..l + 3) {
+            let mut v = o[j];
+            for (k, &tap) in q.iter().enumerate() {
+                if let Some(t) = j.checked_sub(k) {
+                    if t < l {
+                        v += tap * long[t];
+                    }
+                }
+            }
+            o[j] = v;
+        }
+        // Interior columns: all four taps hit. The explicit serial adds
+        // preserve the tap-ascending accumulation order.
+        for (w, v) in long.windows(4).zip(o[3..].iter_mut()) {
+            let mut acc = *v;
+            acc += q[0] * w[3];
+            acc += q[1] * w[2];
+            acc += q[2] * w[1];
+            acc += q[3] * w[0];
+            *v = acc;
+        }
+        // Columns below the next block's window are final; fold them
+        // into the running total (ascending index order, once each).
+        for &v in &out[summed..base + 4] {
+            total += v;
+        }
+        summed = base + 4;
+    }
+    let done = short.len() - rem.len();
+    for (k, &tap) in rem.iter().enumerate() {
+        if tap == 0.0 {
+            continue;
+        }
+        let i = done + k;
+        for (o, &bq) in out[i..i + l].iter_mut().zip(long.iter()) {
+            *o += tap * bq;
+        }
+    }
+    for &v in &out[summed..] {
+        total += v;
+    }
+    total
+}
+
+/// Raw independent max into `out` (cleared first): the step-CDF product
+/// over the union support, with both cumulative sums carried as running
+/// prefix sums. Returns the output's first absolute bin and the left-fold
+/// total `Σ out[k]` (accumulated in push order, so it is bit-identical to
+/// `out.iter().sum()` — the normalization pass can reuse it instead of
+/// re-walking the buffer).
+///
+/// The union range is split at the support boundaries so the inner loops
+/// run branch-free over plain slices; skipped out-of-support bins
+/// contribute exactly the `+0.0` the naive per-bin loop would add, so
+/// results are bit-identical to it.
+fn max_raw(a_off: i64, a: &[f64], b_off: i64, b: &[f64], out: &mut Vec<f64>) -> (i64, f64) {
+    let lo = a_off.max(b_off);
+    let sa = &a[((lo - a_off) as usize).min(a.len())..];
+    let sb = &b[((lo - b_off) as usize).min(b.len())..];
+    let mut ca: f64 = a[..a.len() - sa.len()].iter().sum();
+    let mut cb: f64 = b[..b.len() - sb.len()].iter().sum();
+    let mut prev = ca * cb; // C(lo − 1): zero unless both started earlier
+    debug_assert!(prev == 0.0, "one operand must start at the output support");
+    out.clear();
+    out.reserve(sa.len().max(sb.len()));
+    let mut total = 0.0;
+    let both = sa.len().min(sb.len());
+    for (&ma, &mb) in sa[..both].iter().zip(&sb[..both]) {
+        ca += ma;
+        cb += mb;
+        let cur = ca * cb;
+        let m = cur - prev;
+        total += m;
+        out.push(m);
+        prev = cur;
+    }
+    // Past the shorter support exactly one operand still carries mass.
+    for &ma in &sa[both..] {
+        ca += ma;
+        let cur = ca * cb;
+        let m = cur - prev;
+        total += m;
+        out.push(m);
+        prev = cur;
+    }
+    for &mb in &sb[both..] {
+        cb += mb;
+        let cur = ca * cb;
+        let m = cur - prev;
+        total += m;
+        out.push(m);
+        prev = cur;
+    }
+    (lo, total)
+}
+
+/// Mass of `(off, mass)` at absolute bin `k` (zero outside the support).
+fn mass_at(off: i64, mass: &[f64], k: i64) -> f64 {
+    if k < off {
+        return 0.0;
+    }
+    mass.get((k - off) as usize).copied().unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -531,6 +729,65 @@ mod tests {
         assert!(d.percentile(0.2) < 0.0);
         assert!((d.percentile(0.25) - 0.0).abs() < 1e-12);
         assert!(d.percentile(0.8) > 1.5);
+    }
+
+    /// The blocked convolution kernel promises bit-identity with the
+    /// straightforward tap-at-a-time loop; pin that contract down to the
+    /// bit across lengths straddling the 4-tap block boundary.
+    #[test]
+    fn blocked_convolve_matches_naive_tap_order_bitwise() {
+        fn naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+            let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            let mut out = vec![0.0f64; short.len() + long.len() - 1];
+            for (i, &tap) in short.iter().enumerate() {
+                if tap == 0.0 {
+                    continue;
+                }
+                for (o, &bq) in out[i..i + long.len()].iter_mut().zip(long.iter()) {
+                    *o += tap * bq;
+                }
+            }
+            out
+        }
+        // Deterministic irregular masses, including interior zeros.
+        let mass = |n: usize, salt: u64| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let x = (i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(salt);
+                    if x.is_multiple_of(7) {
+                        0.0
+                    } else {
+                        (x % 1000) as f64 / 1000.0 + 0.001
+                    }
+                })
+                .collect()
+        };
+        for &(na, nb) in &[
+            (1, 1),
+            (2, 5),
+            (3, 3),
+            (4, 4),
+            (5, 2),
+            (6, 9),
+            (7, 61),
+            (9, 128),
+            (61, 1024),
+        ] {
+            let a = mass(na, 17);
+            let b = mass(nb, 91);
+            let mut got = Vec::new();
+            let total = convolve_raw(&a, &b, &mut got);
+            let want = naive(&a, &b);
+            assert_eq!(got.len(), want.len(), "({na}, {nb})");
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "({na}, {nb}) bin {i}: {g} vs {w}");
+            }
+            // The folded total must be the exact index-order left fold.
+            let want_total: f64 = want.iter().sum();
+            assert_eq!(total.to_bits(), want_total.to_bits(), "({na}, {nb}) total");
+        }
     }
 
     #[test]

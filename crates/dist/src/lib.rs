@@ -18,6 +18,12 @@
 //! sets ([`Empirical::discretize`]), and (near-)deterministic values
 //! ([`Dist::point`]).
 //!
+//! Every binary operator also has an allocation-free `_into` twin
+//! ([`Dist::convolve_into`], [`Dist::max_independent_into`], the fused
+//! [`Dist::convolve_max_into`], …) that recycles mass buffers through a
+//! [`DistScratch`] pool and produces bit-identical results — the form the
+//! SSTA hot path uses.
+//!
 //! # Example
 //!
 //! ```
@@ -45,9 +51,11 @@
 mod empirical;
 mod gaussian;
 mod lattice;
+mod scratch;
 mod shift;
 
 pub use empirical::Empirical;
 pub use gaussian::TruncatedGaussian;
 pub use lattice::{Dist, DistError};
+pub use scratch::DistScratch;
 pub use shift::{lattice_shift_bound, max_percentile_shift, percentile_shift_at};

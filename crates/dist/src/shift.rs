@@ -92,9 +92,60 @@ pub fn percentile_shift_at(a: &Dist, b: &Dist, p: f64) -> f64 {
 /// safety slack.
 const LEVEL_TIE_EPS: f64 = 1e-10;
 
+/// A streaming cursor over a distribution's step-CDF breakpoints — the
+/// `(absolute bin, cumulative probability)` pairs of its positive-mass
+/// bins, visited in order without materializing them (this runs once per
+/// front node per propagation level, so the two-pointer walk below must
+/// not allocate).
+struct StepCursor<'a> {
+    off: i64,
+    mass: &'a [f64],
+    /// Current positive-mass bin index.
+    i: usize,
+    /// Cumulative probability through bin `i` (zero-mass bins skipped,
+    /// matching the accumulation the breakpoint list would have used).
+    cum: f64,
+    /// The next positive-mass bin after `i`, if any.
+    next: Option<usize>,
+}
+
+impl<'a> StepCursor<'a> {
+    fn new(d: &'a Dist) -> Self {
+        let mass = d.mass();
+        let i = first_positive(mass, 0).expect("a distribution carries mass");
+        Self {
+            off: d.offset(),
+            mass,
+            i,
+            cum: mass[i],
+            next: first_positive(mass, i + 1),
+        }
+    }
+
+    fn bin(&self) -> i64 {
+        self.off + self.i as i64
+    }
+
+    fn is_last(&self) -> bool {
+        self.next.is_none()
+    }
+
+    fn advance(&mut self) {
+        if let Some(n) = self.next {
+            self.i = n;
+            self.cum += self.mass[n];
+            self.next = first_positive(self.mass, n + 1);
+        }
+    }
+}
+
+fn first_positive(mass: &[f64], from: usize) -> Option<usize> {
+    mass[from..].iter().position(|&m| m > 0.0).map(|p| from + p)
+}
+
 /// Max over all probability levels of the whole-bin quantile difference,
 /// by a two-pointer walk over both step-CDF breakpoint sequences
-/// (`O(n + m)`, zero-mass bins skipped).
+/// (`O(n + m)`, zero-mass bins skipped, allocation-free).
 fn step_max_shift(a: &Dist, b: &Dist) -> f64 {
     assert!(
         a.dt() == b.dt(),
@@ -102,18 +153,16 @@ fn step_max_shift(a: &Dist, b: &Dist) -> f64 {
         a.dt(),
         b.dt()
     );
-    let pa = a.step_points();
-    let pb = b.step_points();
-    let mut ia = 0usize;
-    let mut ib = 0usize;
+    let mut pa = StepCursor::new(a);
+    let mut pb = StepCursor::new(b);
     let mut best = i64::MIN;
     loop {
         // On the current probability interval, the step quantiles are the
-        // lattice points at pa[ia] / pb[ib].
-        best = best.max(pa[ia].0 - pb[ib].0);
-        let (ca, cb) = (pa[ia].1, pb[ib].1);
-        let a_last = ia + 1 == pa.len();
-        let b_last = ib + 1 == pb.len();
+        // lattice points under the two cursors.
+        best = best.max(pa.bin() - pb.bin());
+        let (ca, cb) = (pa.cum, pb.cum);
+        let a_last = pa.is_last();
+        let b_last = pb.is_last();
         if a_last && b_last {
             break;
         }
@@ -121,10 +170,10 @@ fn step_max_shift(a: &Dist, b: &Dist) -> f64 {
         // (dust-tolerant) tie: the next interval starts strictly above
         // min(ca, cb).
         if !a_last && (ca <= cb + LEVEL_TIE_EPS || b_last) {
-            ia += 1;
+            pa.advance();
         }
         if !b_last && (cb <= ca + LEVEL_TIE_EPS || a_last) {
-            ib += 1;
+            pb.advance();
         }
     }
     best as f64 * a.dt()

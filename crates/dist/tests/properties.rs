@@ -3,7 +3,9 @@
 //! fronts, pruned selection) silently relies on.
 
 use proptest::prelude::*;
-use statsize_dist::{lattice_shift_bound, max_percentile_shift, percentile_shift_at, Dist};
+use statsize_dist::{
+    lattice_shift_bound, max_percentile_shift, percentile_shift_at, Dist, DistScratch,
+};
 
 /// Strategy: a random lattice distribution with 1–20 strictly positive
 /// bins at dt = 1.
@@ -147,6 +149,59 @@ proptest! {
         prop_assert!(moved.abs() <= delta.abs() + 1e-12);
         prop_assert!(moved == 0.0 || moved.signum() == delta.signum());
         prop_assert!((delta - moved).abs() < d.dt());
+    }
+
+    /// Every `_into` variant is bit-identical to its allocating
+    /// counterpart — same offset, same step, same mass *bits* — with the
+    /// scratch pool recycled across all four operations, so buffer reuse
+    /// can never leak one result into the next.
+    #[test]
+    fn into_variants_are_bit_identical((a, b) in pair_strategy()) {
+        let mut scratch = DistScratch::new();
+        // Warm the pool with dirty buffers of assorted sizes.
+        for seed in 1..4u64 {
+            let junk = a.shift_bins(seed as i64).convolve(&b);
+            scratch.recycle(junk);
+        }
+        let pairs: [(Dist, Dist); 4] = [
+            (a.convolve(&b), a.convolve_into(&b, &mut scratch)),
+            (a.max_independent(&b), a.max_independent_into(&b, &mut scratch)),
+            (a.min_independent(&b), a.min_independent_into(&b, &mut scratch)),
+            (a.subtract_independent(&b), a.subtract_into(&b, &mut scratch)),
+        ];
+        for (alloc, pooled) in pairs {
+            prop_assert_eq!(alloc.dt(), pooled.dt());
+            prop_assert_eq!(alloc.offset(), pooled.offset());
+            prop_assert_eq!(alloc.support_len(), pooled.support_len());
+            for (i, (x, y)) in alloc.mass().iter().zip(pooled.mass()).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "bin {} of {:?}", i, alloc);
+            }
+            scratch.recycle(pooled);
+        }
+    }
+
+    /// The fused `convolve_max_into` equals `convolve` followed by
+    /// `max_independent`, bit for bit, across random accumulators,
+    /// upstream arrivals, and delays.
+    #[test]
+    fn fused_convolve_max_matches_composed(
+        acc in dist_strategy(),
+        upstream in dist_strategy(),
+        delay in dist_strategy(),
+    ) {
+        let mut scratch = DistScratch::new();
+        let composed = acc.max_independent(&upstream.convolve(&delay));
+        let fused = acc.convolve_max_into(&upstream, &delay, &mut scratch);
+        prop_assert_eq!(composed.offset(), fused.offset());
+        prop_assert_eq!(composed.support_len(), fused.support_len());
+        for (i, (x, y)) in composed.mass().iter().zip(fused.mass()).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "bin {}", i);
+        }
+        // Recycling the result and re-running must reproduce it exactly.
+        let first = fused.clone();
+        scratch.recycle(fused);
+        let again = acc.convolve_max_into(&upstream, &delay, &mut scratch);
+        prop_assert_eq!(first, again);
     }
 }
 

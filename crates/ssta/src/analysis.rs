@@ -31,14 +31,23 @@ impl SstaAnalysis {
         arrivals[TimingNode::SOURCE.index()] = Some(source_arrival);
 
         let no_overrides = DelayOverrides::none();
+        // One buffer pool for the whole pass: every node's intermediate
+        // fan-in accumulators recycle through it.
+        let mut scratch = statsize_dist::DistScratch::new();
         for level in 1..=graph.sink_level() {
             for &node in graph.nodes_at_level(level) {
-                let arrival =
-                    crate::propagate::node_arrival(graph, node, delays, &no_overrides, |n| {
+                let arrival = crate::propagate::node_arrival(
+                    graph,
+                    node,
+                    delays,
+                    &no_overrides,
+                    |n| {
                         arrivals[n.index()]
                             .as_ref()
                             .expect("fan-in arrivals are computed at lower levels")
-                    });
+                    },
+                    &mut scratch,
+                );
                 arrivals[node.index()] = Some(arrival);
             }
         }

@@ -18,19 +18,29 @@ use crate::analysis::SstaAnalysis;
 use crate::delays::ArcDelays;
 use crate::graph::TimingGraph;
 use crate::node::TimingNode;
-use statsize_dist::Dist;
+use statsize_dist::{Dist, DistScratch};
 use statsize_netlist::GateId;
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Override sets up to this size are probed by plain linear scan —
+/// cheaper than binary search for the typical trial-resize set of
+/// `1 + fanin` gates, whose entries fit in a cache line or two.
+const LINEAR_SCAN_MAX: usize = 8;
 
 /// A small set of per-gate delay replacements, representing the effect of
 /// a trial sizing move: the resized gate's (faster) arcs and its fan-in
 /// gates' (slower) arcs.
 ///
-/// Stored as a vector because a resize touches at most `1 + fanin` gates;
-/// iteration order is insertion order, keeping walks fully deterministic.
+/// Entries live in a vector in insertion order, keeping walks fully
+/// deterministic. [`get`](DelayOverrides::get) is called once per gate
+/// edge of every propagated node, so lookup is a linear scan while the
+/// set is small (the common trial-resize case) and a binary search over a
+/// sorted side index once it grows past [`LINEAR_SCAN_MAX`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DelayOverrides {
     entries: Vec<(GateId, Dist)>,
+    /// Indices into `entries`, kept sorted by gate id.
+    by_gate: Vec<u32>,
 }
 
 impl DelayOverrides {
@@ -42,19 +52,31 @@ impl DelayOverrides {
 
     /// Adds or replaces an override for a gate.
     pub fn set(&mut self, gate: GateId, dist: Dist) {
-        if let Some(entry) = self.entries.iter_mut().find(|(g, _)| *g == gate) {
-            entry.1 = dist;
-        } else {
-            self.entries.push((gate, dist));
+        match self
+            .by_gate
+            .binary_search_by_key(&gate, |&i| self.entries[i as usize].0)
+        {
+            Ok(pos) => self.entries[self.by_gate[pos] as usize].1 = dist,
+            Err(pos) => {
+                self.by_gate.insert(pos, self.entries.len() as u32);
+                self.entries.push((gate, dist));
+            }
         }
     }
 
     /// The override for a gate, if any.
     pub fn get(&self, gate: GateId) -> Option<&Dist> {
-        self.entries
-            .iter()
-            .find(|(g, _)| *g == gate)
-            .map(|(_, d)| d)
+        if self.entries.len() <= LINEAR_SCAN_MAX {
+            return self
+                .entries
+                .iter()
+                .find(|(g, _)| *g == gate)
+                .map(|(_, d)| d);
+        }
+        self.by_gate
+            .binary_search_by_key(&gate, |&i| self.entries[i as usize].0)
+            .ok()
+            .map(|pos| &self.entries[self.by_gate[pos] as usize].1)
     }
 
     /// The overridden gates, in insertion order.
@@ -75,35 +97,62 @@ impl DelayOverrides {
 
 /// Computes one node's arrival distribution from its fan-in arrivals:
 /// convolution along gate arcs (with per-gate overrides applied) and the
-/// independent statistical max across incoming edges.
+/// independent statistical max across incoming edges, fused per edge via
+/// [`Dist::convolve_max_into`] so no intermediate per-edge distribution
+/// is ever materialized.
+///
+/// All buffers cycle through `scratch`: the accumulator starts as a
+/// plain borrow of the first wire edge's upstream (no clone) and is only
+/// promoted to an owned distribution by the first real combine; replaced
+/// intermediates are recycled immediately. Results are bit-identical to
+/// the naive convolve-then-max edge fold.
 pub(crate) fn node_arrival<'a, F>(
     graph: &TimingGraph,
     node: TimingNode,
     delays: &ArcDelays,
     overrides: &DelayOverrides,
     resolve: F,
+    scratch: &mut DistScratch,
 ) -> Dist
 where
     F: Fn(TimingNode) -> &'a Dist,
 {
     let ins = graph.in_edges(node);
     debug_assert!(!ins.is_empty(), "only the source has no in-edges");
-    let mut acc: Option<Dist> = None;
+    let mut borrowed: Option<&'a Dist> = None;
+    let mut owned: Option<Dist> = None;
     for e in ins {
         let upstream = resolve(e.from);
-        let candidate = match e.gate {
+        match e.gate {
             Some(g) => {
                 let delay = overrides.get(g).unwrap_or_else(|| delays.dist(g));
-                upstream.convolve(delay)
+                let next = if let Some(acc) = owned.take() {
+                    let next = acc.convolve_max_into(upstream, delay, scratch);
+                    scratch.recycle(acc);
+                    next
+                } else if let Some(first) = borrowed.take() {
+                    first.convolve_max_into(upstream, delay, scratch)
+                } else {
+                    upstream.convolve_into(delay, scratch)
+                };
+                owned = Some(next);
             }
-            None => upstream.clone(),
-        };
-        acc = Some(match acc {
-            None => candidate,
-            Some(a) => a.max_independent(&candidate),
-        });
+            None => {
+                if let Some(acc) = owned.take() {
+                    let next = acc.max_independent_into(upstream, scratch);
+                    scratch.recycle(acc);
+                    owned = Some(next);
+                } else if let Some(first) = borrowed.take() {
+                    owned = Some(first.max_independent_into(upstream, scratch));
+                } else {
+                    borrowed = Some(upstream);
+                }
+            }
+        }
     }
-    acc.expect("at least one in-edge")
+    // A clone survives only for single-wire-edge nodes (PIs fed by the
+    // source), whose upstream is the two-bin source point mass.
+    owned.unwrap_or_else(|| borrowed.expect("at least one in-edge").clone())
 }
 
 /// What one call to [`ConeWalk::step_level`] did.
@@ -146,6 +195,10 @@ pub struct ConeWalk<'a> {
     /// Remaining uncomputed fan-out arcs per computed node.
     fo_remaining: HashMap<TimingNode, usize>,
     retain_all: bool,
+    /// Buffer pool for the walk's lattice operations (used when no
+    /// external pool is supplied; see
+    /// [`step_level_with`](ConeWalk::step_level_with)).
+    scratch: DistScratch,
 }
 
 impl<'a> ConeWalk<'a> {
@@ -186,6 +239,7 @@ impl<'a> ConeWalk<'a> {
             pending: BTreeMap::new(),
             fo_remaining: HashMap::new(),
             retain_all: true,
+            scratch: DistScratch::new(),
         };
         for &s in seeds {
             walk.schedule(s);
@@ -226,7 +280,23 @@ impl<'a> ConeWalk<'a> {
 
     /// Processes every pending node at the lowest pending level — the
     /// paper's `PropagateOneLevel` (Figure 9). Returns `None` when done.
+    ///
+    /// Uses the walk's own buffer pool; interleaved walks (e.g. the
+    /// pruned selector's candidate fronts) should share one pool via
+    /// [`step_level_with`](ConeWalk::step_level_with) instead.
     pub fn step_level(&mut self) -> Option<StepReport> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let report = self.step_level_with(&mut scratch);
+        self.scratch = scratch;
+        report
+    }
+
+    /// [`step_level`](ConeWalk::step_level) drawing mass buffers from an
+    /// external pool, so many walks can recycle through one scratch. With
+    /// [`evicting_retired`](ConeWalk::evicting_retired), retired nodes'
+    /// buffers go straight back into the pool, making a full walk cost
+    /// O(front width) allocations instead of O(nodes).
+    pub fn step_level_with(&mut self, scratch: &mut DistScratch) -> Option<StepReport> {
         let (&level, _) = self.pending.iter().next()?;
         let nodes = self.pending.remove(&level).expect("key just observed");
 
@@ -236,9 +306,14 @@ impl<'a> ConeWalk<'a> {
             let arrival = {
                 let perturbed = &self.perturbed;
                 let base = self.base;
-                node_arrival(self.graph, node, self.delays, &self.overrides, |n| {
-                    perturbed.get(&n).unwrap_or_else(|| base.arrival(n))
-                })
+                node_arrival(
+                    self.graph,
+                    node,
+                    self.delays,
+                    &self.overrides,
+                    |n| perturbed.get(&n).unwrap_or_else(|| base.arrival(n)),
+                    scratch,
+                )
             };
             self.perturbed.insert(node, arrival);
             self.computed.insert(node);
@@ -260,7 +335,9 @@ impl<'a> ConeWalk<'a> {
                     if *r == 0 {
                         self.fo_remaining.remove(&e.from);
                         if !self.retain_all {
-                            self.perturbed.remove(&e.from);
+                            if let Some(dist) = self.perturbed.remove(&e.from) {
+                                scratch.recycle(dist);
+                            }
                         }
                         retired.push(e.from);
                     }
@@ -283,6 +360,13 @@ impl<'a> ConeWalk<'a> {
     /// Section 3.1).
     pub fn run_to_sink(&mut self) {
         while self.step_level().is_some() {}
+    }
+
+    /// [`run_to_sink`](ConeWalk::run_to_sink) drawing mass buffers from
+    /// an external pool — see
+    /// [`step_level_with`](ConeWalk::step_level_with).
+    pub fn run_to_sink_with(&mut self, scratch: &mut DistScratch) {
+        while self.step_level_with(scratch).is_some() {}
     }
 
     /// The perturbed arrival at a node, falling back to the unperturbed
@@ -334,6 +418,20 @@ impl<'a> ConeWalk<'a> {
     /// Consumes the walk and returns all retained perturbed arrivals.
     pub fn into_perturbed(self) -> HashMap<TimingNode, Dist> {
         self.perturbed
+    }
+
+    /// Consumes the walk, recycling every distribution it still owns —
+    /// retained perturbed arrivals, the delay overrides, and its own
+    /// idle buffers — into `scratch` for reuse by subsequent walks (the
+    /// selector sweeps' per-candidate cleanup).
+    pub fn recycle_into(self, scratch: &mut DistScratch) {
+        for (_, dist) in self.perturbed {
+            scratch.recycle(dist);
+        }
+        for (_, dist) in self.overrides.entries {
+            scratch.recycle(dist);
+        }
+        scratch.absorb(self.scratch);
     }
 }
 
@@ -439,14 +537,19 @@ mod tests {
             DelayOverrides::none(),
             &[seed],
         );
-        let mut prev = 0;
+        // Strict monotonicity from the first observed level: a `prev == 0`
+        // escape hatch would vacuously accept repeated level-0 reports.
+        let mut prev: Option<u32> = None;
         while let Some(report) = walk.step_level() {
-            assert!(report.level > prev || prev == 0);
+            if let Some(p) = prev {
+                assert!(report.level > p, "level {} after level {p}", report.level);
+            }
             for &n in &report.computed {
                 assert_eq!(c.graph.level(n), report.level);
             }
-            prev = report.level;
+            prev = Some(report.level);
         }
+        assert!(prev.is_some(), "the walk must process at least one level");
         assert!(walk.is_done());
         assert!(walk.next_level().is_none());
     }
@@ -496,5 +599,56 @@ mod tests {
         o.set(g, c.delays.dist(g).shift_bins(-2));
         assert_eq!(o.len(), 1);
         assert_eq!(o.get(g), Some(&c.delays.dist(g).shift_bins(-2)));
+    }
+
+    /// Past the linear-scan fast path the sorted index takes over; it
+    /// must preserve the replace semantics and the insertion iteration
+    /// order exactly.
+    #[test]
+    fn overrides_lookup_consistent_past_linear_scan() {
+        let d = Dist::point(1.0, 3.0);
+        let mut o = DelayOverrides::none();
+        // Insert in a scrambled order well past LINEAR_SCAN_MAX.
+        let ids: Vec<GateId> = [17u32, 3, 29, 11, 5, 23, 0, 19, 8, 26, 14, 2]
+            .iter()
+            .map(|&i| GateId::from_index(i as usize))
+            .collect();
+        for (i, &g) in ids.iter().enumerate() {
+            o.set(g, d.shift_bins(i as i64));
+        }
+        assert_eq!(o.len(), ids.len());
+        // Replacement by id, not by position.
+        o.set(ids[7], d.shift_bins(-100));
+        assert_eq!(o.len(), ids.len());
+        assert_eq!(o.get(ids[7]), Some(&d.shift_bins(-100)));
+        // Every entry resolves, absent gates do not.
+        for (i, &g) in ids.iter().enumerate() {
+            if i != 7 {
+                assert_eq!(o.get(g), Some(&d.shift_bins(i as i64)), "gate {g}");
+            }
+        }
+        assert_eq!(o.get(GateId::from_index(99)), None);
+        // Iteration order is insertion order, replacements in place.
+        let order: Vec<GateId> = o.gates().collect();
+        assert_eq!(order, ids);
+    }
+
+    /// Walks sharing one external scratch pool must produce the same
+    /// results as walks using their own buffers.
+    #[test]
+    fn shared_scratch_matches_private_buffers() {
+        let c = ctx(bench::c17(), 0.5);
+        let mut scratch = statsize_dist::DistScratch::new();
+        for (i, g) in c.nl.gate_ids().enumerate() {
+            let overrides = shift_override(&c, g, 2 + i as i64);
+            let mut shared =
+                ConeWalk::new(&c.graph, &c.delays, &c.base, overrides.clone()).evicting_retired();
+            shared.run_to_sink_with(&mut scratch);
+            let mut private = ConeWalk::new(&c.graph, &c.delays, &c.base, overrides);
+            private.run_to_sink();
+            assert_eq!(shared.sink_arrival(), private.sink_arrival(), "gate {g}");
+            shared.recycle_into(&mut scratch);
+        }
+        assert!(scratch.pooled() > 0, "retired buffers must be recycled");
     }
 }
