@@ -41,5 +41,32 @@ fn bench_selection(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_selection);
+/// The work-stealing parallel pruned sweep across thread counts — the
+/// `t1` row is the serial best-bound-first reference, so the group reads
+/// directly as a scaling curve (selections are bit-identical throughout).
+fn bench_parallel_selection(c: &mut Criterion) {
+    let lib = CellLibrary::synthetic_180nm();
+    let variation = VariationModel::paper_default();
+    let objective = Objective::percentile(0.99);
+
+    for name in ["c432", "c880"] {
+        let nl = suite::build_circuit(name, 1);
+        let circuit = TimedCircuit::new(&nl, &lib, variation, 2.0);
+        let mut group = c.benchmark_group(format!("pruned_parallel_{name}"));
+        group.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("t{threads}")),
+                &threads,
+                |b, &threads| {
+                    let sel = PrunedSelector::new(1.0).with_threads(threads);
+                    b.iter(|| sel.select(&circuit, objective))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_selection, bench_parallel_selection);
 criterion_main!(benches);

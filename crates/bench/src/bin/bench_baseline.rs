@@ -3,10 +3,11 @@
 //!
 //! Measures the same operations as the `dist_ops` criterion bench —
 //! convolution, independent max, percentile query, and the whole-bin
-//! shift measure — plus the allocation-free `_into`/fused variants and an
-//! end-to-end `cone_walk` over generated benchmark circuits, with a
-//! deterministic sample loop, and emits one JSON object per
-//! operation/size pair.
+//! shift measure — plus the allocation-free `_into`/fused variants, an
+//! end-to-end `cone_walk` over generated benchmark circuits, and whole
+//! pruned selection sweeps at 1/2/4/8 worker threads
+//! (`pruned_parallel/*`), with a deterministic sample loop, and emits one
+//! JSON object per operation/size pair.
 //!
 //! Usage: `cargo run --release -p statsize-bench --bin bench_baseline
 //! [--out=PATH] [--quick] [--compare=PATH]`
@@ -19,6 +20,7 @@
 //!   its median next to each fresh measurement with the relative delta.
 //!   Purely informational: no thresholds, never fails.
 
+use statsize::{Objective, PrunedSelector, TimedCircuit};
 use statsize_bench::emit::JsonObject;
 use statsize_bench::suite;
 use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
@@ -77,7 +79,7 @@ fn measure<F: FnMut()>(effort: Effort, mut op: F) -> (f64, f64) {
             t.elapsed().as_secs_f64() * 1e9 / batch as f64
         })
         .collect();
-    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_iter_ns.sort_by(f64::total_cmp);
     (per_iter_ns[effort.samples / 2], per_iter_ns[0])
 }
 
@@ -236,6 +238,27 @@ fn main() {
                 walk.recycle_into(&mut scratch);
             }),
         );
+    }
+
+    // One whole pruned selection sweep per thread count: `t1` is the
+    // serial best-bound-first reference, `t2`/`t4`/`t8` the work-stealing
+    // parallel sweep (bit-identical selections; only the wall clock and
+    // the prune/complete split change). The `--compare` column against a
+    // committed baseline is how the speedup is tracked across PRs.
+    for circuit in ["c432", "c880"] {
+        let nl = suite::build_circuit(circuit, 1);
+        let lib = CellLibrary::synthetic_180nm();
+        let timed = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 2.0);
+        let objective = Objective::percentile(0.99);
+        for threads in [1usize, 2, 4, 8] {
+            let selector = PrunedSelector::new(1.0).with_threads(threads);
+            record(
+                format!("pruned_parallel/{circuit}/t{threads}"),
+                measure(effort, || {
+                    black_box(selector.select(black_box(&timed), objective));
+                }),
+            );
+        }
     }
 
     let unix_secs = std::time::SystemTime::now()

@@ -2,8 +2,10 @@
 
 use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
+use crate::parallel::{default_threads, normalize_threads, run_workers, WorkQueue};
 use crate::selection::Selection;
 use statsize_dist::DistScratch;
+use statsize_netlist::GateId;
 use statsize_ssta::ConeWalk;
 
 /// The straightforward statistical selector: for every gate, propagate its
@@ -14,13 +16,25 @@ use statsize_ssta::ConeWalk;
 /// `O(N·E)` per iteration, the runtime bottleneck the paper's pruning
 /// algorithm removes. Kept both as the reference implementation (the
 /// pruned selector must match it *exactly*) and as the Table 2 baseline.
+///
+/// Per-gate cone walks are fully independent, so the sweep parallelizes
+/// embarrassingly: with [`with_threads`](Self::with_threads) `> 1`,
+/// workers steal gates from a shared cursor and each sensitivity is
+/// written back to its gate's slot — the output order (and every bit of
+/// every value) is identical for any thread count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BruteForceSelector {
     delta_w: f64,
+    threads: usize,
 }
 
 impl BruteForceSelector {
     /// Creates a selector with the given trial width increment `Δw`.
+    ///
+    /// The sweep runs serially by default; see
+    /// [`with_threads`](Self::with_threads) (and the
+    /// `STATSIZE_SELECTOR_THREADS` environment variable, which overrides
+    /// the default for every selector).
     ///
     /// # Panics
     ///
@@ -30,12 +44,31 @@ impl BruteForceSelector {
             delta_w.is_finite() && delta_w > 0.0,
             "Δw must be finite and positive, got {delta_w}"
         );
-        Self { delta_w }
+        Self {
+            delta_w,
+            threads: default_threads(),
+        }
     }
 
     /// The trial width increment.
     pub fn delta_w(&self) -> f64 {
         self.delta_w
+    }
+
+    /// Overrides the worker-thread count for the sensitivity sweep,
+    /// mirroring [`MonteCarlo::with_threads`](statsize_ssta::MonteCarlo::with_threads):
+    /// results are bit-identical for every thread count. `0` is clamped
+    /// to 1; counts above the number of candidate gates are capped at it.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count (before per-call capping at the
+    /// candidate count).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Finds the gate with the highest exact sensitivity
@@ -54,27 +87,74 @@ impl BruteForceSelector {
         circuit: &TimedCircuit<'_>,
         objective: Objective,
     ) -> Vec<Selection> {
+        let gates: Vec<GateId> = circuit.netlist().gate_ids().collect();
+        let threads = normalize_threads(self.threads, gates.len());
+        if threads > 1 {
+            return self.all_sensitivities_parallel(circuit, objective, &gates, threads);
+        }
         let base_cost = circuit.objective_value(objective);
         // One buffer pool for the whole sweep: each candidate's walk
         // recycles through it, so the per-candidate allocation cost is
         // O(front width), not O(cone size).
         let mut scratch = DistScratch::new();
-        circuit
-            .netlist()
-            .gate_ids()
-            .map(|gate| {
-                let overrides = circuit.overrides_for_resize(gate, self.delta_w);
-                let mut walk =
-                    ConeWalk::new(circuit.graph(), circuit.delays(), circuit.ssta(), overrides)
-                        .evicting_retired();
-                walk.run_to_sink_with(&mut scratch);
-                let sink = walk
-                    .sink_arrival()
-                    .expect("every gate's fan-out cone reaches the sink");
-                let sensitivity = (base_cost - objective.value(sink)) / self.delta_w;
-                walk.recycle_into(&mut scratch);
-                Selection { gate, sensitivity }
-            })
+        gates
+            .into_iter()
+            .map(|gate| self.one_sensitivity(circuit, objective, base_cost, gate, &mut scratch))
+            .collect()
+    }
+
+    /// One gate's exact sensitivity: full perturbation propagation to the
+    /// sink.
+    fn one_sensitivity(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        base_cost: f64,
+        gate: GateId,
+        scratch: &mut DistScratch,
+    ) -> Selection {
+        let overrides = circuit.overrides_for_resize(gate, self.delta_w);
+        let mut walk = ConeWalk::new(circuit.graph(), circuit.delays(), circuit.ssta(), overrides)
+            .evicting_retired();
+        walk.run_to_sink_with(scratch);
+        let sink = walk
+            .sink_arrival()
+            .expect("every gate's fan-out cone reaches the sink");
+        let sensitivity = (base_cost - objective.value(sink)) / self.delta_w;
+        walk.recycle_into(scratch);
+        Selection { gate, sensitivity }
+    }
+
+    /// Work-stealing sweep over the candidate gates: workers claim gate
+    /// indices from a shared cursor (load balances across the wildly
+    /// varying cone sizes) and scatter results back into gate-id order —
+    /// bit-identical to the serial sweep, since every walk depends only
+    /// on the immutable circuit state.
+    fn all_sensitivities_parallel(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        gates: &[GateId],
+        threads: usize,
+    ) -> Vec<Selection> {
+        let base_cost = circuit.objective_value(objective);
+        let queue = WorkQueue::new(gates.len());
+        let per_worker: Vec<Vec<(usize, Selection)>> = run_workers(threads, || {
+            let mut scratch = DistScratch::new();
+            let mut local = Vec::new();
+            while let Some(idx) = queue.claim() {
+                let sel =
+                    self.one_sensitivity(circuit, objective, base_cost, gates[idx], &mut scratch);
+                local.push((idx, sel));
+            }
+            local
+        });
+        let mut out: Vec<Option<Selection>> = vec![None; gates.len()];
+        for (idx, sel) in per_worker.into_iter().flatten() {
+            out[idx] = Some(sel);
+        }
+        out.into_iter()
+            .map(|s| s.expect("every gate index was claimed exactly once"))
             .collect()
     }
 
@@ -170,5 +250,30 @@ mod tests {
     #[should_panic(expected = "Δw must be finite and positive")]
     fn zero_delta_w_rejected() {
         BruteForceSelector::new(0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let nl = shapes::grid("g", 4, 4);
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        let serial = BruteForceSelector::new(1.0).with_threads(1);
+        let want = serial.all_sensitivities(&circuit, obj);
+        // 0 is clamped to 1; counts above the gate count are capped.
+        assert_eq!(BruteForceSelector::new(1.0).with_threads(0).threads(), 1);
+        for threads in [2, 3, 8, 500] {
+            let par = BruteForceSelector::new(1.0).with_threads(threads);
+            assert_eq!(
+                want,
+                par.all_sensitivities(&circuit, obj),
+                "threads={threads}"
+            );
+            assert_eq!(
+                serial.select_top_k(&circuit, obj, 4),
+                par.select_top_k(&circuit, obj, 4),
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -12,22 +12,50 @@
 
 use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
+use crate::parallel::{default_threads, normalize_threads, run_workers, WorkQueue};
 use crate::selection::Selection;
 use statsize_dist::{lattice_shift_bound, DistScratch};
+use statsize_netlist::GateId;
 use statsize_ssta::{ConeWalk, TimingNode};
 use std::collections::HashMap;
 
+/// Folds a candidate into the running best using the deterministic
+/// (sensitivity, lowest gate id) total order. Every reduction in this
+/// module — worker-local, cross-worker, and serial — must go through
+/// this one helper: the parallel-equals-serial contract depends on all
+/// of them comparing identically.
+fn fold_best(best: Option<Selection>, cand: Selection) -> Option<Selection> {
+    if best.is_none_or(|b| cand.better_than(&b)) {
+        Some(cand)
+    } else {
+        best
+    }
+}
+
 /// Approximate selector: rank candidates by the perturbation-front bound
 /// after a fixed number of propagation levels.
+///
+/// Candidate scores are independent of each other (there is no shared
+/// pruning threshold), so the sweep parallelizes embarrassingly: with
+/// [`with_threads`](Self::with_threads) `> 1`, workers steal candidates
+/// from a shared cursor, keep a local best, and the final reduction uses
+/// the same deterministic (sensitivity, lowest gate id) order as the
+/// serial scan — the result is bit-identical for every thread count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeuristicSelector {
     delta_w: f64,
     lookahead: usize,
+    threads: usize,
 }
 
 impl HeuristicSelector {
     /// Creates a selector propagating each front at most `lookahead`
     /// levels beyond its initialization before scoring it.
+    ///
+    /// The sweep runs serially by default; see
+    /// [`with_threads`](Self::with_threads) (and the
+    /// `STATSIZE_SELECTOR_THREADS` environment variable, which overrides
+    /// the default for every selector).
     ///
     /// # Panics
     ///
@@ -37,7 +65,11 @@ impl HeuristicSelector {
             delta_w.is_finite() && delta_w > 0.0,
             "Δw must be finite and positive, got {delta_w}"
         );
-        Self { delta_w, lookahead }
+        Self {
+            delta_w,
+            lookahead,
+            threads: default_threads(),
+        }
     }
 
     /// The trial width increment.
@@ -50,65 +82,113 @@ impl HeuristicSelector {
         self.lookahead
     }
 
+    /// Overrides the worker-thread count for the candidate sweep,
+    /// mirroring [`MonteCarlo::with_threads`](statsize_ssta::MonteCarlo::with_threads):
+    /// results are bit-identical for every thread count. `0` is clamped
+    /// to 1; counts above the number of candidate gates are capped at it.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count (before per-call capping at the
+    /// candidate count).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// One candidate's bounded-lookahead score: the front bound, or the
+    /// exact sensitivity if the front reached the sink within the
+    /// lookahead.
+    fn score(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        base_cost: f64,
+        gate: GateId,
+        scratch: &mut DistScratch,
+    ) -> Selection {
+        let base = circuit.ssta();
+        let overrides = circuit.overrides_for_resize(gate, self.delta_w);
+        let mut walk =
+            ConeWalk::new(circuit.graph(), circuit.delays(), base, overrides).evicting_retired();
+        let own_level = circuit
+            .graph()
+            .level(circuit.graph().out_node_of_gate(gate));
+
+        let mut deltas: HashMap<TimingNode, f64> = HashMap::new();
+        let mut budget = self.lookahead;
+        let mut exact: Option<f64> = None;
+        while let Some(level) = walk.next_level() {
+            if level > own_level {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+            }
+            let report = walk
+                .step_level_with(scratch)
+                .expect("level observed pending");
+            for &node in &report.computed {
+                if node == TimingNode::SINK {
+                    continue;
+                }
+                let p = walk.perturbed(node).expect("just computed");
+                deltas.insert(node, lattice_shift_bound(base.arrival(node), p));
+            }
+            for &node in &report.retired {
+                deltas.remove(&node);
+            }
+            if let Some(sink) = walk.sink_arrival() {
+                exact = Some((base_cost - objective.value(sink)) / self.delta_w);
+                break;
+            }
+        }
+        let score = exact.unwrap_or_else(|| {
+            deltas.values().fold(f64::NEG_INFINITY, |a, &b| a.max(b)) / self.delta_w
+        });
+        walk.recycle_into(scratch);
+        Selection {
+            gate,
+            sensitivity: score,
+        }
+    }
+
     /// Selects the gate with the best bounded-lookahead score. The
     /// reported sensitivity is the front bound (exact if the front reached
     /// the sink within the lookahead). Returns `None` when no candidate
     /// scores positive.
     pub fn select(&self, circuit: &TimedCircuit<'_>, objective: Objective) -> Option<Selection> {
-        let base = circuit.ssta();
         let base_cost = circuit.objective_value(objective);
-        let mut best: Option<Selection> = None;
-        // One buffer pool reused across all candidate lookaheads.
-        let mut scratch = DistScratch::new();
+        let gates: Vec<GateId> = circuit.netlist().gate_ids().collect();
+        let threads = normalize_threads(self.threads, gates.len());
 
-        for gate in circuit.netlist().gate_ids() {
-            let overrides = circuit.overrides_for_resize(gate, self.delta_w);
-            let mut walk = ConeWalk::new(circuit.graph(), circuit.delays(), base, overrides)
-                .evicting_retired();
-            let own_level = circuit
-                .graph()
-                .level(circuit.graph().out_node_of_gate(gate));
-
-            let mut deltas: HashMap<TimingNode, f64> = HashMap::new();
-            let mut budget = self.lookahead;
-            let mut exact: Option<f64> = None;
-            while let Some(level) = walk.next_level() {
-                if level > own_level {
-                    if budget == 0 {
-                        break;
-                    }
-                    budget -= 1;
+        let best: Option<Selection> = if threads > 1 {
+            let queue = WorkQueue::new(gates.len());
+            let local_bests: Vec<Option<Selection>> = run_workers(threads, || {
+                let mut scratch = DistScratch::new();
+                let mut best: Option<Selection> = None;
+                while let Some(idx) = queue.claim() {
+                    let cand = self.score(circuit, objective, base_cost, gates[idx], &mut scratch);
+                    best = fold_best(best, cand);
                 }
-                let report = walk
-                    .step_level_with(&mut scratch)
-                    .expect("level observed pending");
-                for &node in &report.computed {
-                    if node == TimingNode::SINK {
-                        continue;
-                    }
-                    let p = walk.perturbed(node).expect("just computed");
-                    deltas.insert(node, lattice_shift_bound(base.arrival(node), p));
-                }
-                for &node in &report.retired {
-                    deltas.remove(&node);
-                }
-                if let Some(sink) = walk.sink_arrival() {
-                    exact = Some((base_cost - objective.value(sink)) / self.delta_w);
-                    break;
-                }
-            }
-            let score = exact.unwrap_or_else(|| {
-                deltas.values().fold(f64::NEG_INFINITY, |a, &b| a.max(b)) / self.delta_w
+                best
             });
-            let candidate = Selection {
-                gate,
-                sensitivity: score,
-            };
-            if best.is_none_or(|b| candidate.better_than(&b)) {
-                best = Some(candidate);
+            // Deterministic reduction: `better_than` is a total order on
+            // (sensitivity, gate id), so the overall best is independent
+            // of which worker scored which candidate.
+            local_bests.into_iter().flatten().fold(None, fold_best)
+        } else {
+            // One buffer pool reused across all candidate lookaheads.
+            let mut scratch = DistScratch::new();
+            let mut best: Option<Selection> = None;
+            for gate in gates {
+                let cand = self.score(circuit, objective, base_cost, gate, &mut scratch);
+                best = fold_best(best, cand);
             }
-            walk.recycle_into(&mut scratch);
-        }
+            best
+        };
         best.filter(|b| b.sensitivity > 0.0)
     }
 }
@@ -144,6 +224,24 @@ mod tests {
             .unwrap();
         // The score is a bound: at least the exact sensitivity of the gate.
         assert!(sel.sensitivity > 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let nl = shapes::grid("g", 3, 5);
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        let want = HeuristicSelector::new(1.0, 2)
+            .with_threads(1)
+            .select(&circuit, obj);
+        assert_eq!(HeuristicSelector::new(1.0, 2).with_threads(0).threads(), 1);
+        for threads in [2, 4, 100] {
+            let got = HeuristicSelector::new(1.0, 2)
+                .with_threads(threads)
+                .select(&circuit, obj);
+            assert_eq!(want, got, "threads={threads}");
+        }
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //! [`Optimizer`] drives any selector in the coordinate-descent loop of the
 //! paper's Figure 6, recording the full area/delay trajectory.
 //!
+//! Every statistical selector (and the optimizer) takes a `with_threads`
+//! knob: candidate fronts are independent except for the shared pruning
+//! threshold `Max_S`, so the sweeps scale across cores with a
+//! work-stealing scan while returning **bit-identical** selections for
+//! every thread count. The [`THREADS_ENV`] environment variable overrides
+//! the (serial) default globally — CI uses it to push the whole test
+//! suite through the parallel path.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +62,7 @@ mod det_opt;
 mod heuristic;
 mod objective;
 mod optimizer;
+mod parallel;
 mod pruned;
 mod selection;
 
@@ -63,5 +72,6 @@ pub use det_opt::DeterministicSelector;
 pub use heuristic::HeuristicSelector;
 pub use objective::Objective;
 pub use optimizer::{IterationRecord, OptimizationResult, Optimizer, SelectorKind, StopReason};
+pub use parallel::THREADS_ENV;
 pub use pruned::{PruneStats, PrunedSelector};
 pub use selection::Selection;

@@ -120,6 +120,7 @@ pub struct Optimizer {
     width_limit: Option<f64>,
     min_sensitivity: f64,
     moves_per_iteration: usize,
+    threads: usize,
 }
 
 impl Optimizer {
@@ -135,7 +136,26 @@ impl Optimizer {
             width_limit: None,
             min_sensitivity: 0.0,
             moves_per_iteration: 1,
+            threads: crate::parallel::default_threads(),
         }
+    }
+
+    /// Overrides the worker-thread count handed to the statistical
+    /// selectors each iteration (brute-force, pruned, heuristic — the
+    /// deterministic selector is a single STA pass and ignores it),
+    /// mirroring [`MonteCarlo::with_threads`](statsize_ssta::MonteCarlo::with_threads).
+    /// The optimization trajectory is bit-identical for every thread
+    /// count. `0` is clamped to 1; counts above the number of candidate
+    /// gates are capped at it per selection sweep.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured selector worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Commits up to `moves` sizing moves per selection round — the
@@ -249,19 +269,20 @@ impl Optimizer {
                     None,
                 ),
                 SelectorKind::BruteForce => (
-                    BruteForceSelector::new(self.delta_w).select_top_k(circuit, self.objective, k),
+                    BruteForceSelector::new(self.delta_w)
+                        .with_threads(self.threads)
+                        .select_top_k(circuit, self.objective, k),
                     None,
                 ),
                 SelectorKind::Pruned => {
-                    let (s, stats) = PrunedSelector::new(self.delta_w).select_top_k_with_stats(
-                        circuit,
-                        self.objective,
-                        k,
-                    );
+                    let (s, stats) = PrunedSelector::new(self.delta_w)
+                        .with_threads(self.threads)
+                        .select_top_k_with_stats(circuit, self.objective, k);
                     (s, Some(stats))
                 }
                 SelectorKind::Heuristic { lookahead } => (
                     HeuristicSelector::new(self.delta_w, lookahead)
+                        .with_threads(self.threads)
                         .select(circuit, self.objective)
                         .into_iter()
                         .collect(),
@@ -403,6 +424,35 @@ mod tests {
         if result.iterations_run() == 3 {
             assert_eq!(result.stop, StopReason::MaxIterations);
         }
+    }
+
+    #[test]
+    fn parallel_run_reproduces_the_serial_trajectory() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let run_with = |threads: usize| {
+            let mut c = circuit_of(&nl, &lib);
+            Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+                .with_max_iterations(5)
+                .with_threads(threads)
+                .run(&mut c)
+        };
+        assert_eq!(
+            Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+                .with_threads(0)
+                .threads(),
+            1
+        );
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        assert_eq!(serial.final_objective, parallel.final_objective);
+        let gates = |r: &OptimizationResult| -> Vec<_> {
+            r.iterations
+                .iter()
+                .map(|i| (i.gate, i.sensitivity))
+                .collect()
+        };
+        assert_eq!(gates(&serial), gates(&parallel));
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Shared infrastructure for the work-stealing parallel candidate sweeps.
+//!
+//! The selectors' per-candidate work (one perturbation front each) is
+//! independent except for the pruning threshold `Max_S`, so the sweep
+//! parallelizes with three tiny lock-free pieces instead of a scheduler
+//! dependency:
+//!
+//! * [`WorkQueue`] — a shared atomic cursor over an indexed work list.
+//!   Workers *steal* the next unclaimed index whenever they finish their
+//!   current item, so load balances automatically even when candidate
+//!   costs vary by orders of magnitude (a pruned front costs a handful of
+//!   levels, a surviving front costs its whole cone).
+//! * [`SharedMax`] — the paper's `Max_S` published through an `AtomicU64`
+//!   holding `f64` bits, raised by monotone compare-and-swap. Workers
+//!   prune against the freshest exact sensitivity any worker has
+//!   completed, without taking a lock on the hot path.
+//! * [`normalize_threads`] / [`default_threads`] — the thread-count knob
+//!   semantics shared by every selector (mirroring
+//!   [`MonteCarlo::with_threads`](statsize_ssta::MonteCarlo::with_threads)).
+//!
+//! Everything here is *schedule-independent by construction*: the value
+//! read from [`SharedMax`] only ever lags the true threshold (pruning
+//! less, never wrongly), and the reduction of per-worker results is
+//! performed with the same deterministic ordering the serial sweeps use —
+//! so results are bit-identical for every thread count.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Environment variable overriding every selector's default thread count
+/// (explicit [`with_threads`](crate::PrunedSelector::with_threads) calls
+/// still win). CI sets it to force the parallel sweep through the whole
+/// test suite.
+pub const THREADS_ENV: &str = "STATSIZE_SELECTOR_THREADS";
+
+/// The default selector thread count: [`THREADS_ENV`] when set to a
+/// positive integer, otherwise 1 (serial — parallelism is opt-in so the
+/// serial reference path stays the default).
+///
+/// Read afresh on every selector construction (not snapshotted at first
+/// use), so setting the variable mid-process affects selectors built
+/// afterwards; construction is nowhere near a hot path.
+pub(crate) fn default_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Spawns `threads` scoped workers running the same closure (each worker
+/// typically drains a shared [`WorkQueue`]) and collects their results
+/// in worker-index order, propagating any worker panic. The one place
+/// the spawn/join/panic pattern of every selector sweep lives.
+pub(crate) fn run_workers<T, F>(threads: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn() -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(&worker)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("selector worker panicked"))
+            .collect()
+    })
+}
+
+/// Normalizes a requested thread count against the amount of available
+/// work: `0` (a degenerate "no threads" request) is clamped to 1, and
+/// counts above `work_items` are capped so no worker is ever spawned with
+/// nothing to claim.
+pub(crate) fn normalize_threads(requested: usize, work_items: usize) -> usize {
+    requested.clamp(1, work_items.max(1))
+}
+
+/// A shared atomic work cursor: the degenerate (single-ended) form of a
+/// work-stealing deque, sufficient because work items are claimed one at
+/// a time from a pre-indexed list. Claiming is one `fetch_add`.
+pub(crate) struct WorkQueue {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl WorkQueue {
+    /// A queue over work items `0..len`.
+    pub(crate) fn new(len: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    /// Steals the next unclaimed index, or `None` when the queue is
+    /// drained.
+    pub(crate) fn claim(&self) -> Option<usize> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        (idx < self.len).then_some(idx)
+    }
+}
+
+/// A monotonically increasing non-negative `f64` shared across workers:
+/// the live pruning threshold (`Max_S` for `k = 1`, the k-th best
+/// completed sensitivity in general).
+///
+/// Reads are single atomic loads (no lock on the per-level hot path);
+/// raises are monotone CAS-max loops. Relaxed ordering is sufficient for
+/// correctness: a stale read only *under*-estimates the threshold, which
+/// makes pruning more conservative, never wrong — and the completed-set
+/// accounting that the final result is reduced from lives behind a mutex,
+/// not here.
+pub(crate) struct SharedMax(AtomicU64);
+
+impl SharedMax {
+    /// Starts at `floor` (the selectors use 0.0: candidates are never
+    /// pruned against a negative threshold).
+    pub(crate) fn new(floor: f64) -> Self {
+        debug_assert!(floor >= 0.0 && floor.is_finite());
+        Self(AtomicU64::new(floor.to_bits()))
+    }
+
+    /// The current threshold.
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Raises the threshold to `value` if it is higher than the current
+    /// one (no-op otherwise).
+    pub(crate) fn raise(&self, value: f64) {
+        debug_assert!(value >= 0.0 && value.is_finite());
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+                (value > f64::from_bits(current)).then(|| value.to_bits())
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_clamps_zero_and_caps_at_work() {
+        assert_eq!(normalize_threads(0, 10), 1);
+        assert_eq!(normalize_threads(1, 10), 1);
+        assert_eq!(normalize_threads(4, 10), 4);
+        assert_eq!(normalize_threads(64, 10), 10);
+        // No work at all still normalizes to one (idle) worker slot.
+        assert_eq!(normalize_threads(0, 0), 1);
+        assert_eq!(normalize_threads(8, 0), 1);
+    }
+
+    #[test]
+    fn work_queue_hands_out_each_index_once() {
+        let q = WorkQueue::new(3);
+        assert_eq!(q.claim(), Some(0));
+        assert_eq!(q.claim(), Some(1));
+        assert_eq!(q.claim(), Some(2));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn shared_max_is_monotone() {
+        let m = SharedMax::new(0.0);
+        assert_eq!(m.get(), 0.0);
+        m.raise(1.5);
+        assert_eq!(m.get(), 1.5);
+        m.raise(0.5); // lower: ignored
+        assert_eq!(m.get(), 1.5);
+        m.raise(2.25);
+        assert_eq!(m.get(), 2.25);
+    }
+
+    #[test]
+    fn shared_max_concurrent_raises_settle_on_the_maximum() {
+        let m = SharedMax::new(0.0);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let m = &m;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        m.raise((t * 1000 + i) as f64 / 8000.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get(), 7999.0 / 8000.0);
+    }
+}

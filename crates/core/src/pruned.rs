@@ -18,19 +18,53 @@
 //! for which this is exactly sufficient: `Smx < Max_S` implies
 //! `max(Smx, 0) < Max_S` whenever `Max_S > 0`, and with `Max_S = 0` a
 //! pruned candidate provably has no positive sensitivity.
+//!
+//! # Parallel sweep
+//!
+//! With [`with_threads`](PrunedSelector::with_threads) `> 1` the sweep
+//! runs as a two-phase work-stealing scan (infrastructure in the crate's
+//! `parallel` module):
+//! workers steal candidates from a shared atomic cursor, initialization
+//! runs first for every front, and the propagation phase claims fronts in
+//! descending initial-bound order — the parallel analogue of the serial
+//! heap's best-bound-first discipline. The live threshold is the paper's
+//! `Max_S` published through an atomic monotone max, so every worker
+//! prunes against the freshest exact sensitivity completed anywhere.
+//!
+//! The *returned selections are bit-identical to the serial sweep for
+//! every thread count*, by construction rather than by luck: a candidate
+//! is only ever pruned when its bound — hence its exact sensitivity — is
+//! strictly below the threshold at some moment, and the threshold never
+//! exceeds the final k-th best sensitivity. Every true top-k member
+//! therefore completes under *any* schedule, with a sensitivity computed
+//! by the same deterministic lattice operations, and the final reduction
+//! sorts by (sensitivity, lowest gate id) — a total order. Only the
+//! [`PruneStats`] *counters* are schedule-dependent: which candidates get
+//! pruned versus completed depends on when each worker observes `Max_S`
+//! (the invariant `pruned + completed == candidates` always holds).
 
 use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
+use crate::parallel::{default_threads, normalize_threads, run_workers, SharedMax, WorkQueue};
 use crate::selection::Selection;
 use statsize_dist::{lattice_shift_bound, DistScratch};
 use statsize_netlist::GateId;
 use statsize_ssta::{ConeWalk, SstaAnalysis, StepReport, TimingNode};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Mutex;
 
 /// Work statistics of one pruned selection, quantifying how effective the
 /// perturbation bounds were (the paper reports "as many as 55 out of 56
 /// candidate nodes are pruned").
+///
+/// Invariant: `pruned + completed == candidates` — every candidate front
+/// ends exactly one way. Under the parallel sweep the *split* between the
+/// two counters may differ from the serial sweep's (each worker observes
+/// the shared `Max_S` threshold at different moments, so a candidate the
+/// serial sweep pruned may complete in a parallel run and vice versa),
+/// and `levels_propagated`/`nodes_computed` vary accordingly; the
+/// returned [`Selection`]s are bit-identical regardless.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PruneStats {
     /// Number of candidate gates considered (all gates in the circuit).
@@ -54,6 +88,15 @@ impl PruneStats {
             self.pruned as f64 / self.candidates as f64
         }
     }
+
+    /// Folds another stats record into this one (per-worker aggregation).
+    fn merge(&mut self, other: &PruneStats) {
+        self.candidates += other.candidates;
+        self.completed += other.completed;
+        self.pruned += other.pruned;
+        self.levels_propagated += other.levels_propagated;
+        self.nodes_computed += other.nodes_computed;
+    }
 }
 
 /// The paper's pruned statistical selector. Produces results identical to
@@ -62,6 +105,7 @@ impl PruneStats {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrunedSelector {
     delta_w: f64,
+    threads: usize,
 }
 
 /// Safety slack (ps per unit width) applied to the pruning comparison.
@@ -141,8 +185,23 @@ impl Ord for HeapEntry {
     }
 }
 
+/// The k-th-best pruning threshold over a best-first-sorted completed
+/// list (the paper's `Max_S` when `k = 1`), never below 0.
+fn threshold_of(completed: &[Selection], k: usize) -> f64 {
+    if completed.len() < k {
+        0.0
+    } else {
+        completed[k - 1].sensitivity.max(0.0)
+    }
+}
+
 impl PrunedSelector {
     /// Creates a selector with the given trial width increment `Δw`.
+    ///
+    /// The sweep runs serially by default; see
+    /// [`with_threads`](Self::with_threads) (and the
+    /// `STATSIZE_SELECTOR_THREADS` environment variable, which overrides
+    /// the default for every selector).
     ///
     /// # Panics
     ///
@@ -152,12 +211,33 @@ impl PrunedSelector {
             delta_w.is_finite() && delta_w > 0.0,
             "Δw must be finite and positive, got {delta_w}"
         );
-        Self { delta_w }
+        Self {
+            delta_w,
+            threads: default_threads(),
+        }
     }
 
     /// The trial width increment.
     pub fn delta_w(&self) -> f64 {
         self.delta_w
+    }
+
+    /// Overrides the worker-thread count for the candidate sweep,
+    /// mirroring [`MonteCarlo::with_threads`](statsize_ssta::MonteCarlo::with_threads):
+    /// the returned selections are bit-identical for every thread count.
+    /// Degenerate values are normalized — `0` is clamped to 1, and counts
+    /// above the number of candidate gates are capped at it, so no worker
+    /// is ever spawned with nothing to do.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count (before per-call capping at the
+    /// candidate count).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Finds the most sensitive gate — identical to brute force — or
@@ -223,6 +303,58 @@ impl PrunedSelector {
             "pruned selection requires a shift-bounded objective; \
              use BruteForceSelector for {objective}"
         );
+        let candidates = circuit.netlist().gate_count();
+        let threads = normalize_threads(self.threads, candidates);
+        if threads > 1 {
+            self.select_top_k_parallel(circuit, objective, k, threads)
+        } else {
+            self.select_top_k_serial(circuit, objective, k)
+        }
+    }
+
+    /// Initializes one candidate front (Figure 7): temporary resize,
+    /// propagate the seed perturbations up to the gate's own level,
+    /// compute the initial bound.
+    fn initialize_candidate<'c>(
+        &self,
+        circuit: &'c TimedCircuit<'_>,
+        gate: GateId,
+        scratch: &mut DistScratch,
+        stats: &mut PruneStats,
+    ) -> Candidate<'c> {
+        let base = circuit.ssta();
+        let overrides = circuit.overrides_for_resize(gate, self.delta_w);
+        let walk =
+            ConeWalk::new(circuit.graph(), circuit.delays(), base, overrides).evicting_retired();
+        let mut cand = Candidate {
+            gate,
+            walk,
+            deltas: HashMap::new(),
+            smx: f64::NEG_INFINITY,
+        };
+        let own_level = circuit
+            .graph()
+            .level(circuit.graph().out_node_of_gate(gate));
+        while cand.walk.next_level().is_some_and(|l| l <= own_level) {
+            let report = cand
+                .walk
+                .step_level_with(scratch)
+                .expect("level observed pending");
+            stats.levels_propagated += 1;
+            stats.nodes_computed += report.computed.len();
+            cand.absorb(&report, base, self.delta_w);
+        }
+        cand
+    }
+
+    /// The serial reference sweep: best-bound-first propagation with a
+    /// global heap (Figure 6 exactly as written).
+    fn select_top_k_serial(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        k: usize,
+    ) -> (Vec<Selection>, PruneStats) {
         let base = circuit.ssta();
         let base_cost = circuit.objective_value(objective);
         let mut stats = PruneStats {
@@ -235,34 +367,12 @@ impl PrunedSelector {
         // propagation step, wherever it happens.
         let mut scratch = DistScratch::new();
 
-        // --- Initialize every candidate (Figure 7): temporary resize,
-        // propagate the seed perturbations up to the gate's own level,
-        // compute the initial bound. ---
-        let mut candidates: Vec<Option<Candidate<'_>>> = Vec::new();
-        for gate in circuit.netlist().gate_ids() {
-            let overrides = circuit.overrides_for_resize(gate, self.delta_w);
-            let walk = ConeWalk::new(circuit.graph(), circuit.delays(), base, overrides)
-                .evicting_retired();
-            let mut cand = Candidate {
-                gate,
-                walk,
-                deltas: HashMap::new(),
-                smx: f64::NEG_INFINITY,
-            };
-            let own_level = circuit
-                .graph()
-                .level(circuit.graph().out_node_of_gate(gate));
-            while cand.walk.next_level().is_some_and(|l| l <= own_level) {
-                let report = cand
-                    .walk
-                    .step_level_with(&mut scratch)
-                    .expect("level observed pending");
-                stats.levels_propagated += 1;
-                stats.nodes_computed += report.computed.len();
-                cand.absorb(&report, base, self.delta_w);
-            }
-            candidates.push(Some(cand));
-        }
+        // --- Initialize every candidate (Figure 7). ---
+        let mut candidates: Vec<Option<Candidate<'_>>> = circuit
+            .netlist()
+            .gate_ids()
+            .map(|gate| Some(self.initialize_candidate(circuit, gate, &mut scratch, &mut stats)))
+            .collect();
 
         // --- Best-bound-first propagation with pruning (Figure 6). ---
         let mut heap: BinaryHeap<HeapEntry> = candidates
@@ -277,13 +387,6 @@ impl PrunedSelector {
         // threshold is the k-th best completed sensitivity (the paper's
         // `Max_S` when k = 1), never below 0.
         let mut completed: Vec<Selection> = Vec::new();
-        let threshold = |completed: &Vec<Selection>| -> f64 {
-            if completed.len() < k {
-                0.0
-            } else {
-                completed[k - 1].sensitivity.max(0.0)
-            }
-        };
 
         while let Some(entry) = heap.pop() {
             let slot = &mut candidates[entry.idx];
@@ -295,7 +398,7 @@ impl PrunedSelector {
             }
             // Prune: the bound says this candidate can never enter the
             // top k (minus the floating-point safety slack).
-            if cand.smx < threshold(&completed) - PRUNE_SLACK {
+            if cand.smx < threshold_of(&completed, k) - PRUNE_SLACK {
                 stats.pruned += 1;
                 if let Some(c) = slot.take() {
                     c.walk.recycle_into(&mut scratch);
@@ -335,6 +438,132 @@ impl PrunedSelector {
         completed.retain(|s| s.sensitivity > 0.0);
         (completed, stats)
     }
+
+    /// The work-stealing parallel sweep — bit-identical selections (see
+    /// the module docs for why any pruning schedule yields the same
+    /// top-k).
+    fn select_top_k_parallel(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        k: usize,
+        threads: usize,
+    ) -> (Vec<Selection>, PruneStats) {
+        let base = circuit.ssta();
+        let base_cost = circuit.objective_value(objective);
+        let gates: Vec<GateId> = circuit.netlist().gate_ids().collect();
+        let n = gates.len();
+        let mut stats = PruneStats {
+            candidates: n,
+            ..PruneStats::default()
+        };
+
+        // --- Phase 1: initialize every front (Figure 7), workers
+        // stealing candidate indices from a shared cursor. Each worker
+        // owns a scratch pool; initialized fronts are parked in
+        // per-candidate slots for the propagation phase (each slot is
+        // locked exactly twice — once to park, once to claim — so the
+        // mutexes are uncontended bookkeeping, not a hot path). ---
+        let slots: Vec<Mutex<Option<Candidate<'_>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let init_queue = WorkQueue::new(n);
+        let init_stats: Vec<PruneStats> = run_workers(threads, || {
+            let mut scratch = DistScratch::new();
+            let mut local = PruneStats::default();
+            while let Some(idx) = init_queue.claim() {
+                let cand = self.initialize_candidate(circuit, gates[idx], &mut scratch, &mut local);
+                *slots[idx].lock().expect("init worker panicked") = Some(cand);
+            }
+            local
+        });
+        for s in &init_stats {
+            stats.merge(s);
+        }
+
+        // Claim order for the propagation phase: descending initial
+        // bound, ties toward the lower gate index — the parallel
+        // analogue of the serial heap's best-bound-first discipline, so
+        // the strongest candidate completes early and raises the shared
+        // threshold for everyone else.
+        let mut by_bound: Vec<(f64, usize)> = slots
+            .iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                let smx = slot
+                    .lock()
+                    .expect("init worker panicked")
+                    .as_ref()
+                    .expect("phase 1 initialized every slot")
+                    .smx;
+                (smx, idx)
+            })
+            .collect();
+        by_bound.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let order: Vec<usize> = by_bound.into_iter().map(|(_, idx)| idx).collect();
+
+        // --- Phase 2: advance claimed fronts to the sink or prune them
+        // against the live shared threshold (Figure 6's loop, fronts
+        // distributed across workers). ---
+        let threshold = SharedMax::new(0.0);
+        let completed: Mutex<Vec<Selection>> = Mutex::new(Vec::new());
+        let sweep_queue = WorkQueue::new(n);
+        let sweep_stats: Vec<PruneStats> = run_workers(threads, || {
+            let mut scratch = DistScratch::new();
+            let mut local = PruneStats::default();
+            while let Some(pos) = sweep_queue.claim() {
+                let idx = order[pos];
+                let mut cand = slots[idx]
+                    .lock()
+                    .expect("sweep worker panicked")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                loop {
+                    // Prune: the bound says this candidate can never
+                    // enter the top k. A stale (lagging) threshold read
+                    // only delays pruning — it can never prune a
+                    // candidate the final threshold would keep.
+                    if cand.smx < threshold.get() - PRUNE_SLACK {
+                        local.pruned += 1;
+                        cand.walk.recycle_into(&mut scratch);
+                        break;
+                    }
+                    let report = cand
+                        .walk
+                        .step_level_with(&mut scratch)
+                        .expect("unfinished candidates always have pending levels");
+                    local.levels_propagated += 1;
+                    local.nodes_computed += report.computed.len();
+                    cand.absorb(&report, base, self.delta_w);
+
+                    if let Some(sink) = cand.walk.sink_arrival() {
+                        // Front reached the sink: exact sensitivity,
+                        // published so every worker prunes against it.
+                        let sensitivity = (base_cost - objective.value(sink)) / self.delta_w;
+                        local.completed += 1;
+                        let selection = Selection {
+                            gate: cand.gate,
+                            sensitivity,
+                        };
+                        let mut done = completed.lock().expect("sweep worker panicked");
+                        let at = done.partition_point(|existing| existing.better_than(&selection));
+                        done.insert(at, selection);
+                        threshold.raise(threshold_of(&done, k));
+                        drop(done);
+                        cand.walk.recycle_into(&mut scratch);
+                        break;
+                    }
+                }
+            }
+            local
+        });
+        for s in &sweep_stats {
+            stats.merge(s);
+        }
+
+        let mut completed = completed.into_inner().expect("sweep worker panicked");
+        completed.truncate(k);
+        completed.retain(|s| s.sensitivity > 0.0);
+        (completed, stats)
+    }
 }
 
 #[cfg(test)]
@@ -361,7 +590,11 @@ mod tests {
                         b.sensitivity, p.sensitivity,
                         "step {step}: sensitivity mismatch"
                     );
-                    assert!(stats.completed + stats.pruned <= stats.candidates);
+                    assert_eq!(
+                        stats.completed + stats.pruned,
+                        stats.candidates,
+                        "every candidate ends exactly one way"
+                    );
                     circuit.commit_resize(b.gate, 1.0);
                 }
                 (b, p) => panic!("step {step}: brute {b:?} vs pruned {p:?}"),
@@ -408,6 +641,47 @@ mod tests {
         // Pruned fronts must do far less work than full propagation for
         // every candidate would.
         assert!(stats.completed >= 1);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let nl = shapes::grid("g", 4, 5);
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        let serial = PrunedSelector::new(1.0).with_threads(1);
+        let (want_top, serial_stats) = serial.select_top_k_with_stats(&circuit, obj, 3);
+        for threads in [2, 3, 8, 999] {
+            let par = PrunedSelector::new(1.0).with_threads(threads);
+            let (got_top, stats) = par.select_top_k_with_stats(&circuit, obj, 3);
+            assert_eq!(want_top, got_top, "threads={threads}");
+            assert_eq!(
+                stats.completed + stats.pruned,
+                stats.candidates,
+                "threads={threads}: every candidate ends exactly one way"
+            );
+            assert_eq!(stats.candidates, serial_stats.candidates);
+        }
+    }
+
+    #[test]
+    fn thread_knob_normalizes_degenerate_counts() {
+        // 0 threads is a degenerate request: clamped to 1, runs serially.
+        let sel = PrunedSelector::new(1.0).with_threads(0);
+        assert_eq!(sel.threads(), 1);
+        // More threads than candidates: capped at the candidate count at
+        // sweep time, and the result is unchanged.
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        let a = PrunedSelector::new(1.0)
+            .with_threads(1)
+            .select(&circuit, obj);
+        let b = PrunedSelector::new(1.0)
+            .with_threads(1000)
+            .select(&circuit, obj);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,6 +1,34 @@
 //! Empirical (sampled) distributions, e.g. Monte-Carlo results.
 
 use crate::lattice::Dist;
+use std::fmt;
+
+/// An invalid construction of an [`Empirical`] distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmpiricalError {
+    /// The sample vector was empty.
+    Empty,
+    /// A sample was NaN or infinite.
+    NonFinite {
+        /// Index of the offending sample in the input vector.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for EmpiricalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EmpiricalError::Empty => write!(f, "sample set must be non-empty"),
+            EmpiricalError::NonFinite { index, value } => {
+                write!(f, "samples must be finite, got {value} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmpiricalError {}
 
 /// An empirical distribution over a set of samples, stored sorted.
 ///
@@ -14,19 +42,40 @@ pub struct Empirical {
 }
 
 impl Empirical {
+    /// Creates an empirical distribution from raw samples, rejecting
+    /// invalid input with a descriptive error instead of panicking.
+    ///
+    /// Sorting uses [`f64::total_cmp`], which is total even on NaN — the
+    /// non-finite check above it is a *validation* step, not a crutch the
+    /// sort depends on, so a bug upstream can never abort mid-sort.
+    ///
+    /// # Errors
+    ///
+    /// [`EmpiricalError::Empty`] when `samples` is empty;
+    /// [`EmpiricalError::NonFinite`] (with the first offending index and
+    /// value) when any sample is NaN or infinite.
+    pub fn try_new(mut samples: Vec<f64>) -> Result<Self, EmpiricalError> {
+        if samples.is_empty() {
+            return Err(EmpiricalError::Empty);
+        }
+        if let Some((index, &value)) = samples.iter().enumerate().find(|&(_, x)| !x.is_finite()) {
+            return Err(EmpiricalError::NonFinite { index, value });
+        }
+        samples.sort_by(f64::total_cmp);
+        Ok(Self { sorted: samples })
+    }
+
     /// Creates an empirical distribution from raw samples.
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty or contains a non-finite value.
-    pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "sample set must be non-empty");
-        assert!(
-            samples.iter().all(|x| x.is_finite()),
-            "samples must be finite"
-        );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-        Self { sorted: samples }
+    /// Panics if `samples` is empty or contains a non-finite value; use
+    /// [`try_new`](Empirical::try_new) to handle those as errors.
+    pub fn new(samples: Vec<f64>) -> Self {
+        match Self::try_new(samples) {
+            Ok(e) => e,
+            Err(err) => panic!("{err}"),
+        }
     }
 
     /// Number of samples.
@@ -77,13 +126,24 @@ impl Empirical {
     /// The `p`-quantile by linear interpolation of order statistics
     /// (the common "type 7" estimator).
     ///
+    /// Edge semantics, pinned down so no probability in the closed unit
+    /// interval can index out of bounds:
+    ///
+    /// * `p = 0.0` returns [`min`](Empirical::min) exactly (the rank
+    ///   `h = p·(n−1)` is 0 with zero interpolation fraction);
+    /// * `p = 1.0` returns [`max`](Empirical::max) exactly (the rank is
+    ///   the last order statistic, and the `lo + 1 ≥ n` guard short-cuts
+    ///   before any out-of-bounds neighbour access);
+    /// * NaN panics — a NaN probability fails the range check below, it
+    ///   is never used as an index.
+    ///
     /// # Panics
     ///
-    /// Panics if `p` is not in `(0, 1)`.
+    /// Panics if `p` is NaN or outside `[0, 1]`.
     pub fn percentile(&self, p: f64) -> f64 {
         assert!(
-            p > 0.0 && p < 1.0,
-            "probability must lie in (0, 1), got {p}"
+            (0.0..=1.0).contains(&p),
+            "probability must lie in [0, 1], got {p}"
         );
         let h = p * (self.len() - 1) as f64;
         let lo = h.floor() as usize;
@@ -142,6 +202,30 @@ mod tests {
     }
 
     #[test]
+    fn percentile_endpoints_are_min_and_max() {
+        let e = Empirical::new(vec![5.0, -2.0, 7.5, 0.0]);
+        assert_eq!(e.percentile(0.0), e.min());
+        assert_eq!(e.percentile(1.0), e.max());
+        // A single sample: every probability returns that sample.
+        let single = Empirical::new(vec![3.25]);
+        assert_eq!(single.percentile(0.0), 3.25);
+        assert_eq!(single.percentile(0.5), 3.25);
+        assert_eq!(single.percentile(1.0), 3.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie in [0, 1]")]
+    fn percentile_rejects_nan() {
+        Empirical::new(vec![1.0, 2.0]).percentile(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie in [0, 1]")]
+    fn percentile_rejects_out_of_range() {
+        Empirical::new(vec![1.0, 2.0]).percentile(1.5);
+    }
+
+    #[test]
     fn cdf_counts_inclusive() {
         let e = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(e.cdf_at(0.5), 0.0);
@@ -154,6 +238,15 @@ mod tests {
         let a = Empirical::new(vec![1.0, 2.0, 3.0]);
         let b = Empirical::new(vec![3.0, 1.0, 2.0]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_zero_sorts_stably_with_total_cmp() {
+        // total_cmp orders -0.0 before +0.0; both are finite and valid.
+        let e = Empirical::new(vec![0.0, -0.0, -1.0]);
+        assert_eq!(e.min(), -1.0);
+        assert!(e.samples()[1].is_sign_negative());
+        assert!(!e.samples()[2].is_sign_negative());
     }
 
     #[test]
@@ -171,8 +264,37 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_empty() {
+        assert_eq!(Empirical::try_new(vec![]), Err(EmpiricalError::Empty));
+    }
+
+    #[test]
+    fn try_new_reports_first_non_finite_sample() {
+        let err = Empirical::try_new(vec![1.0, f64::NAN, f64::INFINITY]).unwrap_err();
+        match err {
+            EmpiricalError::NonFinite { index, value } => {
+                assert_eq!(index, 1);
+                assert!(value.is_nan());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = Empirical::try_new(vec![f64::NEG_INFINITY]).unwrap_err();
+        assert!(matches!(
+            err,
+            EmpiricalError::NonFinite { index: 0, value } if value == f64::NEG_INFINITY
+        ));
+        assert!(err.to_string().contains("must be finite"));
+    }
+
+    #[test]
     #[should_panic(expected = "sample set must be non-empty")]
     fn empty_samples_rejected() {
         Empirical::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "samples must be finite")]
+    fn non_finite_samples_rejected() {
+        Empirical::new(vec![1.0, f64::NAN]);
     }
 }

@@ -248,13 +248,27 @@ impl Dist {
 
     /// The `p`-quantile of the interpolated CDF — the paper's `T(A, p)`.
     ///
+    /// Edge semantics, pinned down so no probability in the closed unit
+    /// interval can misbehave:
+    ///
+    /// * `p = 0.0` returns the infimum of the interpolated support: the
+    ///   left edge `(offset − ½)·dt` of the first bin carrying mass (the
+    ///   scan below hits that bin with interpolation fraction 0);
+    /// * `p = 1.0` returns the supremum of the interpolated support,
+    ///   `(offset + len − ½)·dt`, up to float dust: either the scan
+    ///   crosses `cum ≥ 1` inside the last bin (tails are trimmed, so it
+    ///   always carries mass), or the cumulative stays a few ulp under 1
+    ///   and the fallback after the loop returns exactly that edge;
+    /// * NaN panics — a NaN probability fails the range check, it never
+    ///   reaches the scan.
+    ///
     /// # Panics
     ///
-    /// Panics if `p` is not in `(0, 1)`.
+    /// Panics if `p` is NaN or outside `[0, 1]`.
     pub fn percentile(&self, p: f64) -> f64 {
         assert!(
-            p > 0.0 && p < 1.0,
-            "probability must lie in (0, 1), got {p}"
+            (0.0..=1.0).contains(&p),
+            "probability must lie in [0, 1], got {p}"
         );
         let mut below = 0.0;
         for (i, &m) in self.mass.iter().enumerate() {
@@ -273,10 +287,14 @@ impl Dist {
     }
 
     /// Draws one value distributed according to the interpolated CDF.
+    ///
+    /// The uniform draw lies in `[0, 1)`, entirely inside
+    /// [`percentile`](Dist::percentile)'s closed domain, so no clamping is
+    /// needed: `u = 0.0` maps to the support's left edge.
     pub fn sample<R: rand::RngCore>(&self, rng: &mut R) -> f64 {
         use rand::Rng;
         let u: f64 = rng.gen::<f64>();
-        self.percentile(u.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON / 2.0))
+        self.percentile(u)
     }
 
     fn assert_same_lattice(&self, other: &Dist) {
@@ -898,8 +916,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "probability must lie in (0, 1)")]
+    #[should_panic(expected = "probability must lie in [0, 1]")]
     fn percentile_validates_probability() {
-        uniform(1.0, 0, 2).percentile(1.0);
+        uniform(1.0, 0, 2).percentile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie in [0, 1]")]
+    fn percentile_rejects_nan() {
+        uniform(1.0, 0, 2).percentile(f64::NAN);
+    }
+
+    #[test]
+    fn percentile_endpoints_hit_the_support_edges() {
+        // Two bins of mass 0.5 at t = 0 and t = 1: the interpolated
+        // support spans [−0.5, 1.5).
+        let d = uniform(1.0, 0, 2);
+        assert_eq!(d.percentile(0.0), -0.5);
+        assert!(
+            (d.percentile(1.0) - 1.5).abs() < 1e-9,
+            "p=1 must land on the right support edge, got {}",
+            d.percentile(1.0)
+        );
+        // Endpoints bracket every interior quantile.
+        for p in [0.001, 0.25, 0.5, 0.75, 0.999] {
+            let q = d.percentile(p);
+            assert!(d.percentile(0.0) <= q && q <= d.percentile(1.0), "p={p}");
+        }
+        // A point mass: all quantiles inside its (single-bin) support.
+        let pt = Dist::point(0.5, 10.0);
+        assert!(pt.percentile(0.0) >= 9.5 && pt.percentile(1.0) <= 10.75);
     }
 }

@@ -54,7 +54,7 @@ mod lattice;
 mod scratch;
 mod shift;
 
-pub use empirical::Empirical;
+pub use empirical::{Empirical, EmpiricalError};
 pub use gaussian::TruncatedGaussian;
 pub use lattice::{Dist, DistError};
 pub use scratch::DistScratch;

@@ -68,3 +68,23 @@ pub use node::TimingNode;
 pub use propagate::{ConeWalk, DelayOverrides, StepReport};
 pub use slack::SlackAnalysis;
 pub use sta::{run_sta, run_sta_with, StaResult};
+
+// Compile-time thread-safety audit. The parallel selector sweeps in
+// `statsize-core` move `ConeWalk`s (with their `DelayOverrides` and
+// `StepReport`s) across worker threads and share the base `SstaAnalysis`,
+// `TimingGraph`, and `ArcDelays` by reference. These assertions make the
+// contract auditable in one place and fail to compile if a future field
+// (an `Rc`, a raw pointer, a `RefCell`) silently breaks it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<ConeWalk<'static>>();
+    assert_send::<StepReport>();
+    assert_send::<DelayOverrides>();
+    assert_sync::<DelayOverrides>();
+    assert_send::<SstaAnalysis>();
+    assert_sync::<SstaAnalysis>();
+    assert_sync::<TimingGraph>();
+    assert_sync::<ArcDelays>();
+    assert_send::<MonteCarlo>();
+};

@@ -63,10 +63,21 @@ impl MonteCarlo {
     }
 
     /// Overrides the worker-thread count (the result is unaffected).
+    ///
+    /// Degenerate values are normalized rather than honored literally:
+    /// `0` is clamped to 1 (a request for "no threads" still has to run
+    /// the trials somewhere), and counts above the number of seed blocks
+    /// (`samples / 4096`, rounded up) spawn only one thread per block —
+    /// never an empty worker.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// The normalized worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of trials.
@@ -329,6 +340,23 @@ mod tests {
     #[should_panic(expected = "sample count must be positive")]
     fn zero_samples_rejected() {
         MonteCarlo::new(0, 1, SamplingMode::PerGate);
+    }
+
+    #[test]
+    fn degenerate_thread_counts_are_normalized() {
+        let nl = bench::c17();
+        let (graph, delays, var) = setup(&nl, 0.5);
+        // 0 threads is clamped to 1, not "spawn nothing".
+        let zero = MonteCarlo::new(9_000, 13, SamplingMode::PerGate).with_threads(0);
+        assert_eq!(zero.threads(), 1);
+        let a = zero.run(&graph, &delays, &var);
+        // Far more threads than seed blocks (9 000 samples → 3 blocks):
+        // chunking caps workers at one per block, and the result is
+        // still bit-identical.
+        let b = MonteCarlo::new(9_000, 13, SamplingMode::PerGate)
+            .with_threads(64)
+            .run(&graph, &delays, &var);
+        assert_eq!(a, b);
     }
 
     #[test]

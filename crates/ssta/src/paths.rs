@@ -175,7 +175,7 @@ mod tests {
         assert!(!paths.truncated());
         // Path delays are ordered like chain lengths.
         let mut sorted = paths.delays().to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         assert!(sorted[0] < sorted[1] && sorted[1] < sorted[2]);
     }
 

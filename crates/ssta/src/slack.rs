@@ -118,11 +118,7 @@ impl SlackAnalysis {
                 Some((gate, self.slack(ssta, node).mean()))
             })
             .collect();
-        ranked.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite slack")
-                .then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         ranked.truncate(limit);
         ranked
     }
