@@ -4,10 +4,11 @@
 //! Measures the same operations as the `dist_ops` criterion bench —
 //! convolution, independent max, percentile query, and the whole-bin
 //! shift measure — plus the allocation-free `_into`/fused variants, an
-//! end-to-end `cone_walk` over generated benchmark circuits, and whole
+//! end-to-end `cone_walk` over generated benchmark circuits, whole
 //! pruned selection sweeps at 1/2/4/8 worker threads
-//! (`pruned_parallel/*`), with a deterministic sample loop, and emits one
-//! JSON object per operation/size pair.
+//! (`pruned_parallel/*`), and a 3-circuit sharded campaign
+//! (`campaign/*`), with a deterministic sample loop, and emits one JSON
+//! object per operation/size pair.
 //!
 //! Usage: `cargo run --release -p statsize-bench --bin bench_baseline
 //! [--out=PATH] [--quick] [--compare=PATH]`
@@ -20,7 +21,7 @@
 //!   its median next to each fresh measurement with the relative delta.
 //!   Purely informational: no thresholds, never fails.
 
-use statsize::{Objective, PrunedSelector, TimedCircuit};
+use statsize::{Campaign, CampaignJob, Objective, PrunedSelector, SelectorKind, TimedCircuit};
 use statsize_bench::emit::JsonObject;
 use statsize_bench::suite;
 use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
@@ -256,6 +257,31 @@ fn main() {
                 format!("pruned_parallel/{circuit}/t{threads}"),
                 measure(effort, || {
                     black_box(selector.select(black_box(&timed), objective));
+                }),
+            );
+        }
+    }
+
+    // End-to-end sharded campaign over a 3-circuit corpus (the smallest
+    // real circuit plus two generated profiles), 2 sizing iterations
+    // each: the unit of work `statsize-campaign` repeats per corpus.
+    // `s1` is the serial reference; `s2` steals circuits across two
+    // shard workers (on a single-core host this shows scheduling
+    // overhead, not speedup — compare on multi-core hardware).
+    {
+        let jobs: Vec<CampaignJob> = ["c17", "c432", "c880"]
+            .iter()
+            .map(|name| CampaignJob::new(*name, suite::build_circuit(name, 1)))
+            .collect();
+        let lib = CellLibrary::synthetic_180nm();
+        for shards in [1usize, 2] {
+            let campaign = Campaign::new(Objective::percentile(0.99), SelectorKind::Pruned)
+                .with_max_iterations(2)
+                .with_shards(shards);
+            record(
+                format!("campaign/c17+c432+c880/s{shards}"),
+                measure(effort, || {
+                    black_box(campaign.run(black_box(&jobs), &lib));
                 }),
             );
         }

@@ -1,0 +1,212 @@
+//! Sharded multi-circuit optimization campaigns.
+//!
+//! Optimizes every circuit of a corpus in one invocation, stealing
+//! circuits across shard workers, and writes a structured JSON report.
+//!
+//! ```text
+//! cargo run --release -p statsize-bench --bin statsize-campaign -- \
+//!     [--corpus-dir=DIR] [--profiles=c17,c432,gen12000] [--shards=N] \
+//!     [--out=PATH] [--iters=N] [--dt=PS] [--seed=N] [--threads=N] \
+//!     [--selector=pruned|brute|deterministic|heuristic:K] [--timing]
+//! ```
+//!
+//! * `--corpus-dir=DIR` — load every `*.bench` file in `DIR` (sorted by
+//!   name) as a job.
+//! * `--profiles=a,b,c` — add generated jobs: `c17`, any ISCAS-85
+//!   profile name, or `gen<N>` for a scaled profile with `N` nodes.
+//! * `--shards=N` — circuit-level workers (default 1).
+//! * `--threads=N` — **total** selector-thread budget divided across
+//!   shards (default: one selector thread per shard).
+//! * `--out=PATH` — report path (default `campaign_report.json`).
+//! * `--timing` — include wall-clock fields in the report. Off by
+//!   default so the report bytes are **bit-identical across shard
+//!   counts**; timings always print to stdout.
+//!
+//! Exit status is non-zero on any circuit error: unreadable or invalid
+//! corpus files, unknown profile names, or an outcome that failed to
+//! hold the optimizer's improvement invariant.
+
+use statsize::{Campaign, CampaignJob, Objective, SelectorKind};
+use statsize_bench::emit::{ps_as_ns, Table};
+use statsize_bench::{campaign, suite};
+use statsize_cells::CellLibrary;
+use statsize_netlist::corpus;
+use std::process::ExitCode;
+
+struct Args {
+    corpus_dir: Option<String>,
+    profiles: Vec<String>,
+    shards: usize,
+    threads: usize,
+    out: String,
+    iters: usize,
+    dt: f64,
+    seed: u64,
+    selector: SelectorKind,
+    timing: bool,
+}
+
+fn usage(arg: &str) -> ! {
+    panic!(
+        "unrecognized argument `{arg}`\n\
+         usage: --corpus-dir=DIR --profiles=c17,c432,gen12000 --shards=N \
+         --out=PATH --iters=N --dt=PS --seed=N --threads=N \
+         --selector=pruned|brute|deterministic|heuristic:K --timing"
+    );
+}
+
+fn parse_selector(v: &str) -> SelectorKind {
+    match v {
+        "pruned" => SelectorKind::Pruned,
+        "brute" => SelectorKind::BruteForce,
+        "deterministic" => SelectorKind::Deterministic,
+        _ => match v.strip_prefix("heuristic:").and_then(|k| k.parse().ok()) {
+            Some(lookahead) => SelectorKind::Heuristic { lookahead },
+            None => usage(&format!("--selector={v}")),
+        },
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        corpus_dir: None,
+        profiles: Vec::new(),
+        shards: 1,
+        threads: 0,
+        out: "campaign_report.json".to_string(),
+        iters: 40,
+        dt: 2.0,
+        seed: 1,
+        selector: SelectorKind::Pruned,
+        timing: false,
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--corpus-dir=") {
+            args.corpus_dir = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--profiles=") {
+            args.profiles = v.split(',').map(|s| s.trim().to_string()).collect();
+        } else if let Some(v) = arg.strip_prefix("--shards=") {
+            args.shards = v.parse().unwrap_or_else(|_| usage(&arg));
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            args.threads = v.parse().unwrap_or_else(|_| usage(&arg));
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            args.out = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--iters=") {
+            args.iters = v.parse().unwrap_or_else(|_| usage(&arg));
+        } else if let Some(v) = arg.strip_prefix("--dt=") {
+            args.dt = v.parse().unwrap_or_else(|_| usage(&arg));
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            args.seed = v.parse().unwrap_or_else(|_| usage(&arg));
+        } else if let Some(v) = arg.strip_prefix("--selector=") {
+            args.selector = parse_selector(v);
+        } else if arg == "--timing" {
+            args.timing = true;
+        } else {
+            usage(&arg);
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Assemble the job list: corpus files first (already name-sorted),
+    // then generated profiles in the order given.
+    let mut jobs: Vec<CampaignJob> = Vec::new();
+    if let Some(dir) = &args.corpus_dir {
+        match corpus::load_dir(dir) {
+            Ok(entries) => {
+                for e in entries {
+                    println!(
+                        "loaded {} ({} nodes) from {}",
+                        e.name,
+                        e.netlist.stats().timing_nodes,
+                        e.path.display()
+                    );
+                    jobs.push(CampaignJob::new(e.name, e.netlist));
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for name in &args.profiles {
+        if !suite::is_known_circuit(name) {
+            eprintln!(
+                "error: unknown profile `{name}` \
+                 (expected c17, an ISCAS-85 name, or gen<N> with N >= 32)"
+            );
+            return ExitCode::from(2);
+        }
+        jobs.push(CampaignJob::new(
+            name.clone(),
+            suite::build_circuit(name, args.seed),
+        ));
+    }
+    if jobs.is_empty() {
+        eprintln!("error: no circuits — pass --corpus-dir and/or --profiles");
+        return ExitCode::from(2);
+    }
+
+    let objective = Objective::percentile(0.99);
+    let report = Campaign::new(objective, args.selector)
+        .with_max_iterations(args.iters)
+        .with_dt(args.dt)
+        .with_shards(args.shards)
+        .with_total_threads(args.threads)
+        .run(&jobs, &CellLibrary::synthetic_180nm());
+
+    // Human-readable summary (always includes wall clocks).
+    let mut table = Table::new([
+        "circuit",
+        "nodes",
+        "iters",
+        "T99 before (ns)",
+        "T99 after (ns)",
+        "wall (ms)",
+    ]);
+    let mut failures = 0usize;
+    for o in &report.outcomes {
+        table.row([
+            o.name.clone(),
+            o.nodes.to_string(),
+            o.iterations.to_string(),
+            ps_as_ns(o.initial_objective),
+            ps_as_ns(o.final_objective),
+            format!("{:.1}", o.wall.as_secs_f64() * 1e3),
+        ]);
+        // The optimizer's contract: the objective never degrades (a NaN
+        // objective is equally a failure).
+        if o.final_objective.is_nan() || o.final_objective > o.initial_objective + 1e-9 {
+            eprintln!(
+                "error: {} degraded from {} to {} ps",
+                o.name, o.initial_objective, o.final_objective
+            );
+            failures += 1;
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "{} circuits, {} shards x {} selector threads, total {:.1} ms",
+        report.outcomes.len(),
+        report.shards,
+        report.threads_per_shard,
+        report.wall.as_secs_f64() * 1e3
+    );
+
+    let json = campaign::render_report(&report, &objective.to_string(), args.timing);
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("error: cannot write report to `{}`: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", args.out);
+
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

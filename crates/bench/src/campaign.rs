@@ -1,0 +1,110 @@
+//! JSON rendering of campaign reports (the `statsize-campaign` artifact).
+//!
+//! The emitted document has a **deterministic core**: with
+//! `include_timing == false` (the default of the CLI), the bytes depend
+//! only on the corpus and the campaign configuration — bit-identical
+//! across shard counts and machines — so CI can diff reports directly.
+//! `include_timing == true` appends the schedule-dependent extras for
+//! human consumption: per-circuit and total wall clocks, shard
+//! metadata, and the pruned/completed split (whose sum, `candidates`,
+//! is deterministic and always present).
+
+use crate::emit::JsonObject;
+use statsize::{CampaignReport, CircuitOutcome};
+
+/// Renders one circuit outcome as a JSON object string.
+fn render_outcome(outcome: &CircuitOutcome, objective: &str, include_timing: bool) -> String {
+    let mut o = JsonObject::new();
+    o.string("name", &outcome.name)
+        .integer("nodes", outcome.nodes as u64)
+        .integer("edges", outcome.edges as u64)
+        .integer("depth", outcome.depth as u64)
+        .string("objective", objective)
+        .number("initial_objective_ps", outcome.initial_objective)
+        .number("final_objective_ps", outcome.final_objective)
+        .number("initial_width", outcome.initial_width)
+        .number("final_width", outcome.final_width)
+        .integer("iterations", outcome.iterations as u64)
+        .string("stop", &format!("{:?}", outcome.stop))
+        .integer("candidates", outcome.candidates as u64);
+    if include_timing {
+        // The pruned/completed *split* is schedule-dependent (only the
+        // sum, `candidates`, is deterministic — see `OutcomeKey`), so it
+        // rides with the timing fields rather than the deterministic
+        // core.
+        o.integer("pruned", outcome.pruned as u64)
+            .integer("completed", outcome.completed as u64)
+            .number("wall_ms", outcome.wall.as_secs_f64() * 1e3);
+    }
+    o.render()
+}
+
+/// Renders a whole campaign report as a single-line JSON document.
+///
+/// `objective` is the display form of the objective the campaign
+/// minimized (e.g. `T(99%)`), recorded per circuit so reports from
+/// different campaigns remain self-describing when concatenated.
+pub fn render_report(report: &CampaignReport, objective: &str, include_timing: bool) -> String {
+    let results: Vec<String> = report
+        .outcomes
+        .iter()
+        .map(|o| render_outcome(o, objective, include_timing))
+        .collect();
+    let mut doc = JsonObject::new();
+    doc.string("report", "statsize-campaign")
+        .integer("circuits", report.outcomes.len() as u64);
+    if include_timing {
+        // Schedule metadata lives with the timings: like the wall clock,
+        // it describes *how* the campaign ran, not what it computed, and
+        // must not break the bit-identical-across-shard-counts contract.
+        doc.integer("shards", report.shards as u64)
+            .integer("threads_per_shard", report.threads_per_shard as u64);
+    }
+    doc.array("results", &results);
+    if include_timing {
+        doc.number("wall_ms", report.wall.as_secs_f64() * 1e3);
+    }
+    doc.render() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize::{Campaign, CampaignJob, Objective, SelectorKind};
+    use statsize_cells::CellLibrary;
+    use statsize_netlist::bench;
+
+    fn small_report() -> CampaignReport {
+        let jobs = vec![CampaignJob::new("c17", bench::c17())];
+        let lib = CellLibrary::synthetic_180nm();
+        Campaign::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_max_iterations(2)
+            .run(&jobs, &lib)
+    }
+
+    #[test]
+    fn deterministic_rendering_excludes_wall_clock() {
+        let report = small_report();
+        let json = render_report(&report, "T(99%)", false);
+        assert!(json.contains("\"name\":\"c17\""));
+        assert!(json.contains("\"objective\":\"T(99%)\""));
+        assert!(!json.contains("shards"), "schedule metadata is timing-only");
+        assert!(!json.contains("wall_ms"));
+        assert!(
+            !json.contains("\"pruned\""),
+            "the schedule-dependent prune split is timing-only"
+        );
+        assert!(json.contains("\"candidates\""), "the sum is deterministic");
+        // Two renders of the same report are byte-identical.
+        assert_eq!(json, render_report(&report, "T(99%)", false));
+    }
+
+    #[test]
+    fn timing_mode_appends_wall_fields() {
+        let report = small_report();
+        let json = render_report(&report, "T(99%)", true);
+        assert!(json.contains("\"wall_ms\":"));
+        assert!(json.contains("\"shards\":1"));
+        assert!(json.contains("\"pruned\":"));
+    }
+}

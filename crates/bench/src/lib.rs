@@ -16,9 +16,15 @@
 //!
 //! All binaries accept `--circuits=c432,c880`, `--iters=N`, `--dt=PS`,
 //! `--seed=N`, `--mc=N` and `--full` (paper-scale budgets; slow).
+//!
+//! Beyond the paper artefacts, `statsize-campaign` drives sharded
+//! multi-circuit optimization campaigns over a `.bench` corpus directory
+//! and/or generated profiles, emitting the JSON report rendered by
+//! [`campaign`].
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod config;
 pub mod emit;
 pub mod suite;

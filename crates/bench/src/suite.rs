@@ -1,10 +1,13 @@
 //! Benchmark-circuit construction.
 
+use statsize_netlist::generator::ScaledProfile;
 use statsize_netlist::{bench, generator, Netlist};
 
-/// Builds a benchmark circuit by name: the embedded real `c17`, or a
+/// Builds a benchmark circuit by name: the embedded real `c17`, a
 /// synthetic circuit matching the paper's ISCAS-85 profile (see
-/// `DESIGN.md` for the substitution rationale).
+/// `DESIGN.md` for the substitution rationale), or — for names of the
+/// form `gen<N>` (e.g. `gen12000`) — a scaled synthetic profile with
+/// `N` timing nodes.
 ///
 /// # Panics
 ///
@@ -13,8 +16,23 @@ pub fn build_circuit(name: &str, seed: u64) -> Netlist {
     if name == "c17" {
         return bench::c17();
     }
+    if let Some(nodes) = scaled_nodes(name) {
+        return generator::generate_scaled(&ScaledProfile::with_nodes(nodes), seed);
+    }
     generator::generate_iscas(name, seed)
         .unwrap_or_else(|| panic!("unknown benchmark circuit `{name}`"))
+}
+
+/// True when `name` resolves to some circuit `build_circuit` can build.
+pub fn is_known_circuit(name: &str) -> bool {
+    name == "c17" || scaled_nodes(name).is_some() || generator::profile(name).is_some()
+}
+
+/// Parses a `gen<N>` scaled-profile name into its node count.
+fn scaled_nodes(name: &str) -> Option<usize> {
+    name.strip_prefix("gen")
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 32)
 }
 
 #[cfg(test)]
@@ -30,6 +48,18 @@ mod tests {
     fn profiles_resolve() {
         let nl = build_circuit("c880", 1);
         assert_eq!(nl.stats().timing_nodes, 425);
+    }
+
+    #[test]
+    fn scaled_names_resolve() {
+        let nl = build_circuit("gen400", 1);
+        assert_eq!(nl.stats().timing_nodes, 400);
+        assert!(is_known_circuit("gen400"));
+        assert!(is_known_circuit("c17"));
+        assert!(is_known_circuit("c6288"));
+        assert!(!is_known_circuit("c404"));
+        assert!(!is_known_circuit("gen4")); // below the scaled floor
+        assert!(!is_known_circuit("genx"));
     }
 
     #[test]

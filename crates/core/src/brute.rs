@@ -2,7 +2,7 @@
 
 use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
-use crate::parallel::{default_threads, normalize_threads, run_workers, WorkQueue};
+use crate::parallel::{default_threads, normalize_threads, run_indexed};
 use crate::selection::Selection;
 use statsize_dist::DistScratch;
 use statsize_netlist::GateId;
@@ -138,24 +138,9 @@ impl BruteForceSelector {
         threads: usize,
     ) -> Vec<Selection> {
         let base_cost = circuit.objective_value(objective);
-        let queue = WorkQueue::new(gates.len());
-        let per_worker: Vec<Vec<(usize, Selection)>> = run_workers(threads, || {
-            let mut scratch = DistScratch::new();
-            let mut local = Vec::new();
-            while let Some(idx) = queue.claim() {
-                let sel =
-                    self.one_sensitivity(circuit, objective, base_cost, gates[idx], &mut scratch);
-                local.push((idx, sel));
-            }
-            local
-        });
-        let mut out: Vec<Option<Selection>> = vec![None; gates.len()];
-        for (idx, sel) in per_worker.into_iter().flatten() {
-            out[idx] = Some(sel);
-        }
-        out.into_iter()
-            .map(|s| s.expect("every gate index was claimed exactly once"))
-            .collect()
+        run_indexed(threads, gates.len(), DistScratch::new, |scratch, idx| {
+            self.one_sensitivity(circuit, objective, base_cost, gates[idx], scratch)
+        })
     }
 
     /// The `k` most sensitive gates with positive sensitivity, sorted by

@@ -1,0 +1,457 @@
+//! Multi-circuit sharded optimization campaigns.
+//!
+//! The paper evaluates gate sizing across the whole ISCAS-85 suite, not
+//! one circuit at a time. A [`Campaign`] drives the [`Optimizer`] over a
+//! list of [`CampaignJob`]s — independent circuits — sharded across a
+//! work-stealing pool built from the same primitives as the candidate
+//! sweeps ([`crate::parallel`]): shards steal whole circuits from an
+//! atomic cursor, so a corpus of mixed sizes load-balances automatically.
+//!
+//! Two levels of parallelism compose: `shards` circuit-level workers,
+//! each handing `total_threads / shards` worker threads (floored at one
+//! — every shard needs a selector thread to make progress) to its
+//! selector sweeps. As long as the budget is at least the shard count,
+//! `shards × selector-threads` never exceeds it; a budget *below* the
+//! shard count cannot be honored and degrades to one selector thread
+//! per shard, i.e. `shards` concurrent threads. Because every per-circuit optimization is bit-identical for
+//! any selector thread count (the PR 3 contract) and circuits are
+//! independent, the campaign outcome is **bit-identical to running each
+//! circuit serially** regardless of the shard count — pinned by
+//! `tests/campaign_determinism.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use statsize::{Campaign, CampaignJob, Objective, SelectorKind};
+//! use statsize_cells::CellLibrary;
+//! use statsize_netlist::bench;
+//!
+//! let jobs = vec![CampaignJob::new("c17", bench::c17())];
+//! let lib = CellLibrary::synthetic_180nm();
+//! let report = Campaign::new(Objective::percentile(0.99), SelectorKind::Pruned)
+//!     .with_max_iterations(4)
+//!     .with_shards(2)
+//!     .run(&jobs, &lib);
+//! assert_eq!(report.outcomes.len(), 1);
+//! assert!(report.outcomes[0].final_objective <= report.outcomes[0].initial_objective);
+//! ```
+
+use crate::circuit::TimedCircuit;
+use crate::objective::Objective;
+use crate::optimizer::{Optimizer, SelectorKind, StopReason};
+use crate::parallel;
+use statsize_cells::{CellLibrary, VariationModel};
+use statsize_netlist::Netlist;
+use std::time::{Duration, Instant};
+
+/// One circuit queued for optimization: a name (for the report) and the
+/// netlist itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignJob {
+    /// Report name (typically the circuit or file-stem name).
+    pub name: String,
+    /// The circuit to optimize.
+    pub netlist: Netlist,
+}
+
+impl CampaignJob {
+    /// Creates a job.
+    pub fn new<S: Into<String>>(name: S, netlist: Netlist) -> Self {
+        Self {
+            name: name.into(),
+            netlist,
+        }
+    }
+}
+
+/// The result of optimizing one circuit within a campaign.
+///
+/// All fields except [`wall`](Self::wall) and the
+/// [`pruned`](Self::pruned)/[`completed`](Self::completed) split (whose
+/// sum is deterministic, but whose split depends on the selector worker
+/// schedule when a shard runs more than one selector thread) are
+/// deterministic functions of the job and the campaign configuration —
+/// identical across shard counts and thread budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitOutcome {
+    /// Job name.
+    pub name: String,
+    /// Timing-graph node count.
+    pub nodes: usize,
+    /// Timing-graph edge count.
+    pub edges: usize,
+    /// Logic depth.
+    pub depth: usize,
+    /// Objective value before any sizing.
+    pub initial_objective: f64,
+    /// Objective value after the last committed move.
+    pub final_objective: f64,
+    /// Total gate width before any sizing.
+    pub initial_width: f64,
+    /// Total gate width after the last committed move.
+    pub final_width: f64,
+    /// Number of sizing moves committed.
+    pub iterations: usize,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Candidate gates examined across all iterations (pruned selector
+    /// only; zero otherwise).
+    pub candidates: usize,
+    /// Candidates pruned by the bound across all iterations.
+    pub pruned: usize,
+    /// Candidates propagated to the sink across all iterations.
+    pub completed: usize,
+    /// Wall-clock time of this circuit's optimization (schedule
+    /// dependent — excluded from determinism comparisons).
+    pub wall: Duration,
+}
+
+/// The schedule-independent portion of a [`CircuitOutcome`], with floats
+/// compared by their exact bit patterns. Campaign determinism tests
+/// compare these across shard counts and thread budgets.
+///
+/// Excluded: the wall clock, and the `pruned`/`completed` *split* (which
+/// depends on the selector's worker schedule — only their sum,
+/// `candidates`, is deterministic; see `PruneStats`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeKey {
+    /// Job name.
+    pub name: String,
+    /// `(nodes, edges, depth)` of the circuit.
+    pub shape: (usize, usize, usize),
+    /// Bit patterns of `(initial_objective, final_objective,
+    /// initial_width, final_width)`.
+    pub values: (u64, u64, u64, u64),
+    /// Moves committed and the stop reason.
+    pub run: (usize, StopReason),
+    /// Total candidate gates examined.
+    pub candidates: usize,
+}
+
+impl CircuitOutcome {
+    /// The deterministic key of this outcome (see [`OutcomeKey`]).
+    pub fn deterministic_key(&self) -> OutcomeKey {
+        OutcomeKey {
+            name: self.name.clone(),
+            shape: (self.nodes, self.edges, self.depth),
+            values: (
+                self.initial_objective.to_bits(),
+                self.final_objective.to_bits(),
+                self.initial_width.to_bits(),
+                self.final_width.to_bits(),
+            ),
+            run: (self.iterations, self.stop),
+            candidates: self.candidates,
+        }
+    }
+}
+
+/// The result of a whole campaign: one [`CircuitOutcome`] per job, in
+/// job order (independent of which shard ran which circuit).
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-circuit outcomes, in the order the jobs were supplied.
+    pub outcomes: Vec<CircuitOutcome>,
+    /// Shard count actually used (after clamping to the job count).
+    pub shards: usize,
+    /// Selector worker threads each shard was granted.
+    pub threads_per_shard: usize,
+    /// Wall-clock time of the whole campaign.
+    pub wall: Duration,
+}
+
+/// A multi-circuit optimization campaign: the [`Optimizer`]
+/// configuration plus the timing-model parameters shared by every
+/// circuit, and the sharding knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Campaign {
+    objective: Objective,
+    selector: SelectorKind,
+    delta_w: f64,
+    max_iterations: usize,
+    min_sensitivity: f64,
+    dt: f64,
+    variation: VariationModel,
+    shards: usize,
+    total_threads: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign with the paper's optimizer defaults
+    /// (`Δw = 1.0`, 1000 iterations max), the paper's variation model, a
+    /// 2 ps lattice, one shard, and a total thread budget equal to the
+    /// shard count.
+    pub fn new(objective: Objective, selector: SelectorKind) -> Self {
+        Self {
+            objective,
+            selector,
+            delta_w: 1.0,
+            max_iterations: 1000,
+            min_sensitivity: 0.0,
+            dt: 2.0,
+            variation: VariationModel::paper_default(),
+            shards: 1,
+            total_threads: 0,
+        }
+    }
+
+    /// Sets the per-move width increment `Δw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_w` is not finite and positive.
+    #[must_use]
+    pub fn with_delta_w(mut self, delta_w: f64) -> Self {
+        assert!(
+            delta_w.is_finite() && delta_w > 0.0,
+            "Δw must be finite and positive, got {delta_w}"
+        );
+        self.delta_w = delta_w;
+        self
+    }
+
+    /// Sets the per-circuit iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Treats sensitivities at or below `threshold` as converged (see
+    /// [`Optimizer::with_min_sensitivity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite.
+    #[must_use]
+    pub fn with_min_sensitivity(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be finite and non-negative, got {threshold}"
+        );
+        self.min_sensitivity = threshold;
+        self
+    }
+
+    /// Sets the lattice step (ps) used for every circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and positive.
+    #[must_use]
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "dt must be positive, got {dt}");
+        self.dt = dt;
+        self
+    }
+
+    /// Sets the variation model used for every circuit.
+    #[must_use]
+    pub fn with_variation(mut self, variation: VariationModel) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Sets the circuit-level shard count. `0` is clamped to 1; counts
+    /// above the job count are capped at it when the campaign runs.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the **total** worker-thread budget shared by all shards:
+    /// each shard hands `total / shards` threads to its selector sweeps,
+    /// so `shards × selector-threads` stays within the budget whenever
+    /// `total >= shards`. The per-shard count floors at 1 (a shard
+    /// cannot run with zero selector threads), so a budget smaller than
+    /// the shard count degrades to `shards` concurrent threads — lower
+    /// the shard count if a hard cap below it is needed. The default
+    /// (`0`) grants every shard a single selector thread —
+    /// circuit-level parallelism only.
+    #[must_use]
+    pub fn with_total_threads(mut self, total: usize) -> Self {
+        self.total_threads = total;
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Selector threads each shard receives under the current budget,
+    /// assuming the configured shard count. When a run caps the shard
+    /// count to a smaller job count, the budget is re-divided over the
+    /// *capped* count (see [`CampaignReport::threads_per_shard`]), so no
+    /// part of the budget is stranded on never-spawned shards.
+    pub fn threads_per_shard(&self) -> usize {
+        (self.total_threads / self.shards).max(1)
+    }
+
+    /// Optimizes every job, stealing circuits across `shards` workers.
+    ///
+    /// Outcomes are returned in job order and are bit-identical for
+    /// every shard count and thread budget.
+    pub fn run(&self, jobs: &[CampaignJob], library: &CellLibrary) -> CampaignReport {
+        let t0 = Instant::now();
+        let shards = parallel::normalize_threads(self.shards, jobs.len());
+        // Divide the budget over the shards that actually spawn, not the
+        // configured count — otherwise capping 8 shards to a 3-job corpus
+        // would strand 5 shards' worth of selector threads.
+        let threads_per_shard = (self.total_threads / shards).max(1);
+        // Shards steal whole circuits; outcomes come back in job order,
+        // so the report never depends on which shard ran which circuit.
+        let outcomes = parallel::run_indexed(
+            shards,
+            jobs.len(),
+            || (),
+            |(), idx| self.run_one(&jobs[idx], library, threads_per_shard),
+        );
+        CampaignReport {
+            outcomes,
+            shards,
+            threads_per_shard,
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// Optimizes a single job with the configured selector.
+    fn run_one(&self, job: &CampaignJob, library: &CellLibrary, threads: usize) -> CircuitOutcome {
+        let t0 = Instant::now();
+        let stats = job.netlist.stats();
+        let mut circuit = TimedCircuit::new(&job.netlist, library, self.variation, self.dt);
+        let result = Optimizer::new(self.objective, self.selector)
+            .with_delta_w(self.delta_w)
+            .with_max_iterations(self.max_iterations)
+            .with_min_sensitivity(self.min_sensitivity)
+            .with_threads(threads)
+            .run(&mut circuit);
+        let (mut candidates, mut pruned, mut completed) = (0usize, 0usize, 0usize);
+        for record in &result.iterations {
+            if let Some(p) = &record.prune {
+                candidates += p.candidates;
+                pruned += p.pruned;
+                completed += p.completed;
+            }
+        }
+        CircuitOutcome {
+            name: job.name.clone(),
+            nodes: stats.timing_nodes,
+            edges: stats.timing_edges,
+            depth: stats.depth,
+            initial_objective: result.initial_objective,
+            final_objective: result.final_objective,
+            initial_width: result.initial_width,
+            final_width: result.final_width,
+            iterations: result.iterations_run(),
+            stop: result.stop,
+            candidates,
+            pruned,
+            completed,
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsize_netlist::{bench, generator};
+
+    fn jobs() -> Vec<CampaignJob> {
+        vec![
+            CampaignJob::new("c17", bench::c17()),
+            CampaignJob::new("c432", generator::generate_iscas("c432", 1).unwrap()),
+            CampaignJob::new(
+                "gen300",
+                generator::generate_scaled(&generator::ScaledProfile::with_nodes(300), 3),
+            ),
+        ]
+    }
+
+    fn campaign() -> Campaign {
+        Campaign::new(Objective::percentile(0.99), SelectorKind::Pruned).with_max_iterations(3)
+    }
+
+    #[test]
+    fn campaign_optimizes_every_job_in_order() {
+        let lib = CellLibrary::synthetic_180nm();
+        let report = campaign().with_shards(2).run(&jobs(), &lib);
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.shards, 2);
+        let names: Vec<&str> = report.outcomes.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, ["c17", "c432", "gen300"]);
+        for o in &report.outcomes {
+            assert!(o.final_objective <= o.initial_objective, "{}", o.name);
+            assert!(o.iterations > 0, "{}", o.name);
+            assert_eq!(o.candidates, o.pruned + o.completed, "{}", o.name);
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_outcomes() {
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = jobs();
+        let serial = campaign().with_shards(1).run(&jobs, &lib);
+        for shards in [2usize, 4, 8] {
+            let sharded = campaign().with_shards(shards).run(&jobs, &lib);
+            for (a, b) in serial.outcomes.iter().zip(&sharded.outcomes) {
+                assert_eq!(
+                    a.deterministic_key(),
+                    b.deterministic_key(),
+                    "{} shards",
+                    shards
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_budget_divides_across_shards() {
+        let c = Campaign::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_shards(4)
+            .with_total_threads(8);
+        assert_eq!(c.threads_per_shard(), 2);
+        // Budget below the shard count still grants one thread each.
+        assert_eq!(c.with_total_threads(2).threads_per_shard(), 1);
+        // Zero shards clamps to one.
+        assert_eq!(c.with_shards(0).shards(), 1);
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_outcomes() {
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = jobs();
+        let narrow = campaign().with_shards(2).run(&jobs, &lib);
+        let wide = campaign()
+            .with_shards(2)
+            .with_total_threads(8)
+            .run(&jobs, &lib);
+        for (a, b) in narrow.outcomes.iter().zip(&wide.outcomes) {
+            assert_eq!(a.deterministic_key(), b.deterministic_key());
+        }
+    }
+
+    #[test]
+    fn excess_shards_are_capped_at_the_job_count() {
+        let lib = CellLibrary::synthetic_180nm();
+        let report = campaign().with_shards(64).run(&jobs(), &lib);
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn thread_budget_is_redivided_over_capped_shards() {
+        // 8 shards requested but only 3 jobs: the 8-thread budget must be
+        // divided over the 3 shards that actually spawn (8/3 = 2 each),
+        // not the configured 8 (which would strand 5 threads).
+        let lib = CellLibrary::synthetic_180nm();
+        let report = campaign()
+            .with_shards(8)
+            .with_total_threads(8)
+            .run(&jobs(), &lib);
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.threads_per_shard, 2);
+    }
+}

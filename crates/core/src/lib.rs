@@ -35,6 +35,11 @@
 //! the (serial) default globally — CI uses it to push the whole test
 //! suite through the parallel path.
 //!
+//! [`Campaign`] lifts the same work-stealing pattern to circuit
+//! granularity: a corpus of independent circuits is sharded across
+//! workers under a total thread budget, producing per-circuit outcomes
+//! that are bit-identical to serial execution for every shard count.
+//!
 //! # Example
 //!
 //! ```
@@ -57,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 mod brute;
+mod campaign;
 mod circuit;
 mod det_opt;
 mod heuristic;
@@ -67,6 +73,7 @@ mod pruned;
 mod selection;
 
 pub use brute::BruteForceSelector;
+pub use campaign::{Campaign, CampaignJob, CampaignReport, CircuitOutcome, OutcomeKey};
 pub use circuit::TimedCircuit;
 pub use det_opt::DeterministicSelector;
 pub use heuristic::HeuristicSelector;

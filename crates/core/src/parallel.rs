@@ -65,6 +65,40 @@ where
     })
 }
 
+/// Runs `len` independent work items across `threads` workers stealing
+/// indices from a shared [`WorkQueue`], scattering results back into
+/// **index order** — the one audited home of the claim/scatter idiom
+/// whose ordering the determinism contracts rest on. `init` builds each
+/// worker's private state once (e.g. a scratch pool); `work` maps
+/// `(state, index)` to the item's result. Bit-identical to the serial
+/// loop for every thread count, provided `work` reads only shared
+/// immutable state.
+pub(crate) fn run_indexed<S, T, I, F>(threads: usize, len: usize, init: I, work: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let queue = WorkQueue::new(len);
+    let per_worker: Vec<Vec<(usize, T)>> = run_workers(threads, || {
+        let mut state = init();
+        let mut local = Vec::new();
+        while let Some(idx) = queue.claim() {
+            local.push((idx, work(&mut state, idx)));
+        }
+        local
+    });
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(len, || None);
+    for (idx, item) in per_worker.into_iter().flatten() {
+        slots[idx] = Some(item);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is claimed exactly once"))
+        .collect()
+}
+
 /// Normalizes a requested thread count against the amount of available
 /// work: `0` (a degenerate "no threads" request) is clamped to 1, and
 /// counts above `work_items` are capped so no worker is ever spawned with

@@ -77,7 +77,7 @@ impl std::error::Error for DistError {}
 ///   binary operation;
 /// * total mass is 1 (renormalized exactly after each operation);
 /// * the first and last bins carry non-zero mass (tails are trimmed, at
-///   most [`1e-12`](self) of mass per side).
+///   most `1e-12` of mass per side).
 ///
 /// Continuous-valued queries ([`percentile`](Dist::percentile),
 /// [`cdf_at`](Dist::cdf_at)) interpolate the CDF with each bin's mass

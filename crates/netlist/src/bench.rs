@@ -1,7 +1,7 @@
 //! ISCAS-85 `.bench` format support.
 //!
 //! The `.bench` format is the neutral netlist format introduced with the
-//! ISCAS'85 benchmark suite (Brglez & Fujiwara, ISCAS 1985 — reference [10]
+//! ISCAS'85 benchmark suite (Brglez & Fujiwara, ISCAS 1985 — reference \[10\]
 //! of the paper). A file consists of comments (`#`), `INPUT(net)` and
 //! `OUTPUT(net)` declarations, and gate definitions of the form
 //! `net = KIND(in1, in2, ...)`.
@@ -50,15 +50,27 @@ OUTPUT(23)
 
 /// Parses `.bench` source text into a validated [`Netlist`].
 ///
+/// Declarations may span physical lines: whenever a line has more `(`
+/// than `)`, the following lines are joined onto it until the
+/// parentheses balance (real ISCAS `.bench` files wrap wide gates after
+/// a comma). `#` comments are stripped per physical line, so a
+/// continuation can carry its own trailing comment.
+///
 /// # Errors
 ///
-/// Returns [`NetlistError::Parse`] with a line number for malformed lines,
-/// or any structural validation error from
-/// [`NetlistBuilder::build`](crate::NetlistBuilder::build).
+/// Returns [`NetlistError::Parse`] with the 1-based line number where
+/// the offending declaration *starts*, or any structural validation
+/// error from [`NetlistBuilder::build`](crate::NetlistBuilder::build).
 pub fn parse(name: &str, source: &str) -> Result<Netlist, NetlistError> {
     let mut builder = NetlistBuilder::new(name);
+    // The logical line being accumulated and the physical line it began on.
+    let mut pending = String::new();
+    let mut start_line = 0usize;
+    // Running paren balance of `pending` — updated per appended physical
+    // line, never recounted over the buffer (which would make a long
+    // unterminated declaration quadratic in the file length).
+    let mut balance = 0i64;
     for (idx, raw) in source.lines().enumerate() {
-        let line_no = idx + 1;
         let line = match raw.find('#') {
             Some(pos) => &raw[..pos],
             None => raw,
@@ -67,51 +79,80 @@ pub fn parse(name: &str, source: &str) -> Result<Netlist, NetlistError> {
         if line.is_empty() {
             continue;
         }
-        if let Some(rest) = strip_directive(line, "INPUT") {
-            builder.input(rest)?;
-        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
-            builder.output(rest)?;
-        } else if let Some(eq) = line.find('=') {
-            let out = line[..eq].trim();
-            let rhs = line[eq + 1..].trim();
-            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
-                line: line_no,
-                message: format!("expected `KIND(inputs)` after `=`, got `{rhs}`"),
-            })?;
-            if !rhs.ends_with(')') {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: "missing closing parenthesis".to_string(),
-                });
-            }
-            let kind: GateKind = rhs[..open]
-                .trim()
-                .parse()
-                .map_err(|e| NetlistError::Parse {
-                    line: line_no,
-                    message: format!("{e}"),
-                })?;
-            let args = &rhs[open + 1..rhs.len() - 1];
-            let inputs: Vec<&str> = args
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .collect();
-            if inputs.is_empty() {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: format!("gate `{out}` has no inputs"),
-                });
-            }
-            builder.gate(kind, out, &inputs)?;
+        if pending.is_empty() {
+            start_line = idx + 1;
         } else {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: format!("unrecognized line `{line}`"),
-            });
+            pending.push(' ');
         }
+        pending.push_str(line);
+        balance += line.matches('(').count() as i64 - line.matches(')').count() as i64;
+        if balance > 0 {
+            continue; // wrapped declaration: keep accumulating
+        }
+        parse_logical_line(&mut builder, &pending, start_line)?;
+        pending.clear();
+        balance = 0;
+    }
+    if !pending.is_empty() {
+        // EOF inside a wrapped declaration.
+        return Err(NetlistError::Parse {
+            line: start_line,
+            message: "missing closing parenthesis".to_string(),
+        });
     }
     builder.build()
+}
+
+/// Parses one complete (paren-balanced) declaration.
+fn parse_logical_line(
+    builder: &mut NetlistBuilder,
+    line: &str,
+    line_no: usize,
+) -> Result<(), NetlistError> {
+    if let Some(rest) = strip_directive(line, "INPUT") {
+        builder.input(rest)?;
+    } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+        builder.output(rest)?;
+    } else if let Some(eq) = line.find('=') {
+        let out = line[..eq].trim();
+        let rhs = line[eq + 1..].trim();
+        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+            line: line_no,
+            message: format!("expected `KIND(inputs)` after `=`, got `{rhs}`"),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: "missing closing parenthesis".to_string(),
+            });
+        }
+        let kind: GateKind = rhs[..open]
+            .trim()
+            .parse()
+            .map_err(|e| NetlistError::Parse {
+                line: line_no,
+                message: format!("{e}"),
+            })?;
+        let args = &rhs[open + 1..rhs.len() - 1];
+        let inputs: Vec<&str> = args
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if inputs.is_empty() {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("gate `{out}` has no inputs"),
+            });
+        }
+        builder.gate(kind, out, &inputs)?;
+    } else {
+        return Err(NetlistError::Parse {
+            line: line_no,
+            message: format!("unrecognized line `{line}`"),
+        });
+    }
+    Ok(())
 }
 
 /// Serializes a netlist back into `.bench` text.
@@ -230,6 +271,32 @@ mod tests {
         assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
 
         let err = parse("t", "INPUT(a)\nb = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn wrapped_gate_declarations_parse() {
+        // Real ISCAS .bench files wrap wide gates after a comma; comments
+        // and blank lines may interleave with the continuation.
+        let nl = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(m)\n\
+             m = AND(a, # first\n\n   b, # second\n   c)\n",
+        )
+        .unwrap();
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.gate(nl.gate_ids().next().unwrap()).fanin(), 3);
+    }
+
+    #[test]
+    fn wrapped_directives_parse() {
+        let nl = parse("t", "INPUT(\na\n)\nOUTPUT(b)\nb = NOT(a)\n").unwrap();
+        assert_eq!(nl.primary_inputs().len(), 1);
+    }
+
+    #[test]
+    fn unterminated_wrap_reports_the_start_line() {
+        let err = parse("t", "INPUT(a)\nb = NAND(a,\na\n").unwrap_err();
         assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
     }
 

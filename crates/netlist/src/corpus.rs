@@ -1,0 +1,221 @@
+//! Directory-scanning `.bench` corpus loader.
+//!
+//! Campaign runs (see the `statsize` crate's `campaign` module) optimize
+//! many circuits in one invocation. This module turns a directory of
+//! `.bench` files into a deterministic, validated list of netlists,
+//! layered on [`bench::parse`]: every `*.bench`
+//! file in the directory (non-recursive) is parsed under its file stem
+//! as the circuit name, and entries are returned sorted by name so a
+//! corpus loads identically regardless of filesystem iteration order.
+//!
+//! # Example
+//!
+//! ```no_run
+//! let corpus = statsize_netlist::corpus::load_dir("benchmarks").unwrap();
+//! for entry in &corpus {
+//!     println!("{}: {} gates", entry.name, entry.netlist.gate_count());
+//! }
+//! ```
+
+use crate::bench;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One circuit loaded from a corpus directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Circuit name: the file stem (`c432` for `c432.bench`).
+    pub name: String,
+    /// The file the circuit was loaded from.
+    pub path: PathBuf,
+    /// The parsed, validated netlist.
+    pub netlist: Netlist,
+}
+
+/// Errors produced while loading a corpus directory.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The directory could not be read, or a file inside it could not be
+    /// opened.
+    Io {
+        /// Path of the directory or file that failed.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A `.bench` file did not parse or validate.
+    Parse {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// The underlying netlist error (with line number for syntax
+        /// problems).
+        source: NetlistError,
+    },
+    /// The directory contained no `.bench` files at all — almost always
+    /// a mistyped path, surfaced as an error rather than an empty
+    /// campaign.
+    Empty {
+        /// The directory that was scanned.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, source } => {
+                write!(f, "cannot read `{}`: {source}", path.display())
+            }
+            CorpusError::Parse { path, source } => {
+                write!(f, "cannot load `{}`: {source}", path.display())
+            }
+            CorpusError::Empty { path } => {
+                write!(f, "no `.bench` files found in `{}`", path.display())
+            }
+        }
+    }
+}
+
+impl Error for CorpusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CorpusError::Io { source, .. } => Some(source),
+            CorpusError::Parse { source, .. } => Some(source),
+            CorpusError::Empty { .. } => None,
+        }
+    }
+}
+
+/// Loads every `*.bench` file in `dir` (non-recursive), sorted by
+/// circuit name.
+///
+/// # Errors
+///
+/// Fails on the first unreadable or unparsable file, or if the
+/// directory holds no `.bench` files at all.
+pub fn load_dir<P: AsRef<Path>>(dir: P) -> Result<Vec<CorpusEntry>, CorpusError> {
+    let dir = dir.as_ref();
+    let entries = std::fs::read_dir(dir).map_err(|source| CorpusError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    // An errored directory entry is a hard failure, not a skip: dropping
+    // it would silently shrink the corpus and every downstream report.
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| CorpusError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        if path.is_file() && path.extension().is_some_and(|e| e == "bench") {
+            paths.push(path);
+        }
+    }
+    // Sort by circuit name (the file stem, as documented), with the full
+    // path as a deterministic tiebreak — a plain path sort would order
+    // `a.b.bench` before `a.bench` ('.' < 'e') despite stem "a.b" > "a".
+    paths.sort_by(|a, b| (a.file_stem(), a.as_path()).cmp(&(b.file_stem(), b.as_path())));
+    if paths.is_empty() {
+        return Err(CorpusError::Empty {
+            path: dir.to_path_buf(),
+        });
+    }
+    paths.into_iter().map(load_file).collect()
+}
+
+/// Loads one `.bench` file, naming the circuit after the file stem.
+///
+/// # Errors
+///
+/// Fails if the file cannot be read or does not parse/validate.
+pub fn load_file<P: AsRef<Path>>(path: P) -> Result<CorpusEntry, CorpusError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "circuit".to_string());
+    let text = std::fs::read_to_string(path).map_err(|source| CorpusError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let netlist = bench::parse(&name, &text).map_err(|source| CorpusError::Parse {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    Ok(CorpusEntry {
+        name,
+        path: path.to_path_buf(),
+        netlist,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_scaled, ScaledProfile};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("statsize-corpus-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn load_dir_returns_sorted_validated_entries() {
+        let dir = scratch_dir("sorted");
+        std::fs::write(dir.join("b17.bench"), bench::C17).unwrap();
+        std::fs::write(dir.join("a17.bench"), bench::C17).unwrap();
+        // Stem order, not path order: a raw path sort would put
+        // "a17.b.bench" first ('.' < '.' tiebreaks at 'b' vs 'e').
+        std::fs::write(dir.join("a17.b.bench"), bench::C17).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let corpus = load_dir(&dir).unwrap();
+        let names: Vec<&str> = corpus.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a17", "a17.b", "b17"]);
+        assert_eq!(corpus[0].netlist.gate_count(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generated_circuits_survive_the_disk_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let nl = generate_scaled(&ScaledProfile::with_nodes(300), 5);
+        std::fs::write(dir.join("gen300.bench"), bench::write(&nl)).unwrap();
+        let corpus = load_dir(&dir).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus[0].netlist.stats(), nl.stats());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_failures_carry_the_path() {
+        let dir = scratch_dir("badfile");
+        std::fs::write(dir.join("bad.bench"), "INPUT(a)\nwhat is this\n").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        match err {
+            CorpusError::Parse { path, source } => {
+                assert!(path.ends_with("bad.bench"));
+                assert!(matches!(source, NetlistError::Parse { line: 2, .. }));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directories_are_an_error() {
+        let dir = scratch_dir("empty");
+        assert!(matches!(load_dir(&dir), Err(CorpusError::Empty { .. })));
+        assert!(matches!(
+            load_dir(dir.join("missing")),
+            Err(CorpusError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

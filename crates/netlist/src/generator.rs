@@ -331,6 +331,164 @@ pub fn generate(profile: &Profile, seed: u64) -> Netlist {
     b.build().expect("generated netlist must validate")
 }
 
+/// Parameters for scalable synthetic circuits beyond the ISCAS-85 suite.
+///
+/// The fixed [`ISCAS85_PROFILES`] top out at ~2.5k timing nodes (c6288);
+/// corpus-scale campaigns need circuits one to two orders of magnitude
+/// larger. A `ScaledProfile` describes such a circuit by its headline
+/// statistics; [`generate_scaled`] realizes it with an `O(nodes)` wiring
+/// algorithm (the profile-exact [`generate`] spends quadratic effort
+/// hitting Table 1's edge counts, which does not matter at this scale).
+///
+/// Unlike [`Profile`], the primary-output count is emergent: every net
+/// that no gate consumes becomes a primary output, so the generated
+/// netlist is valid by construction without a repair pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaledProfile {
+    /// Circuit name (e.g. `"gen50000"`).
+    pub name: String,
+    /// Target timing-graph node count (PIs + gate outputs + source/sink).
+    pub nodes: usize,
+    /// Primary-input count.
+    pub inputs: usize,
+    /// Target logic depth (levels of gates on the longest path).
+    pub depth: usize,
+}
+
+impl ScaledProfile {
+    /// Derives a representative profile from a node count alone, using
+    /// the ISCAS-85 suite's shape statistics: PI count grows like
+    /// `√nodes` and depth like `log₂ nodes` (combinational benchmarks
+    /// get wider much faster than they get deeper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 32` (use [`generate`] with an explicit
+    /// [`Profile`] for tiny circuits).
+    pub fn with_nodes(nodes: usize) -> Self {
+        assert!(nodes >= 32, "scaled profiles start at 32 nodes");
+        let inputs = ((nodes as f64).sqrt() * 1.5).round() as usize;
+        let depth = ((nodes as f64).log2() * 2.5).round() as usize;
+        Self {
+            name: format!("gen{nodes}"),
+            nodes,
+            inputs,
+            depth,
+        }
+    }
+}
+
+/// Generates a synthetic circuit from a [`ScaledProfile`] in `O(nodes)`
+/// time and memory — usable up to at least 50k timing nodes.
+///
+/// The structure mirrors [`generate`]: a spine of one gate per level
+/// guarantees the target depth, remaining gates land on random levels,
+/// each gate draws its first input from the previous level and any extra
+/// inputs from a geometrically biased earlier level. Average fan-in is
+/// ~1.9 (the ISCAS-85 edge/node ratio). Fully deterministic given a seed.
+///
+/// # Panics
+///
+/// Panics if the profile is internally inconsistent (fewer gates than
+/// levels, or no room for the input count).
+pub fn generate_scaled(profile: &ScaledProfile, seed: u64) -> Netlist {
+    let n_nets = profile
+        .nodes
+        .checked_sub(2)
+        .expect("profile.nodes must include source and sink");
+    let n_gates = n_nets
+        .checked_sub(profile.inputs)
+        .expect("profile.nodes too small for input count");
+    assert!(
+        n_gates >= profile.depth,
+        "profile needs at least one gate per level"
+    );
+    assert!(profile.inputs > 0, "profile needs at least one input");
+    let max_fanin = 4usize;
+    // Extra-input acceptance probability targeting ~1.9 average fan-in:
+    // fanin = 1 + Binomial(3, q), so E[fanin] = 1 + 3q.
+    let extra_q = 0.3;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5343_414c_u64);
+
+    // Level assignment: spine first, the rest uniform, then sorted so
+    // gate k's output net index grows with its level.
+    let mut gate_level = vec![0usize; n_gates];
+    for (i, lvl) in gate_level.iter_mut().enumerate().take(profile.depth) {
+        *lvl = i + 1;
+    }
+    for lvl in gate_level.iter_mut().skip(profile.depth) {
+        *lvl = rng.gen_range(1..=profile.depth);
+    }
+    gate_level.sort_unstable();
+
+    // Nets 0..inputs are PIs at level 0; gate k's output is net inputs+k.
+    let total_nets = profile.inputs + n_gates;
+    let mut nets_by_level: Vec<Vec<usize>> = vec![Vec::new(); profile.depth + 1];
+    for pi in 0..profile.inputs {
+        nets_by_level[0].push(pi);
+    }
+    for (k, &lvl) in gate_level.iter().enumerate() {
+        nets_by_level[lvl].push(profile.inputs + k);
+    }
+
+    // Wiring: constant work per input pin — random index into the level's
+    // net list, no candidate-set materialization.
+    let mut net_loads = vec![0usize; total_nets];
+    let mut gate_inputs: Vec<Vec<usize>> = Vec::with_capacity(n_gates);
+    for &lvl in &gate_level {
+        let fanin = 1 + (0..max_fanin - 1).filter(|_| rng.gen_bool(extra_q)).count();
+        let mut chosen: Vec<usize> = Vec::with_capacity(fanin);
+        let prev = &nets_by_level[lvl - 1];
+        chosen.push(prev[rng.gen_range(0..prev.len())]);
+        for _ in 1..fanin {
+            let mut src_lvl = lvl - 1;
+            while src_lvl > 0 && rng.gen_bool(0.35) {
+                src_lvl -= 1;
+            }
+            let candidates = &nets_by_level[src_lvl];
+            let pick = candidates[rng.gen_range(0..candidates.len())];
+            // Skip a duplicate pin rather than searching for a fresh net.
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &n in &chosen {
+            net_loads[n] += 1;
+        }
+        gate_inputs.push(chosen);
+    }
+
+    // Primary outputs: exactly the unconsumed nets (including any PI no
+    // gate happened to sample — valid, and rare once inputs ≪ gates).
+    let outputs: Vec<usize> = (0..total_nets).filter(|&n| net_loads[n] == 0).collect();
+
+    let names: Vec<String> = (0..total_nets)
+        .map(|n| {
+            if n < profile.inputs {
+                format!("pi{n}")
+            } else {
+                format!("n{}", n - profile.inputs)
+            }
+        })
+        .collect();
+    let mut b = NetlistBuilder::new(&profile.name);
+    for name in names.iter().take(profile.inputs) {
+        b.input(name).expect("generated PI names are unique");
+    }
+    for (k, inputs) in gate_inputs.iter().enumerate() {
+        let kind = pick_kind(&mut rng, inputs.len());
+        let input_names: Vec<&str> = inputs.iter().map(|&n| names[n].as_str()).collect();
+        b.gate(kind, &names[profile.inputs + k], &input_names)
+            .expect("generated gate wiring is valid");
+    }
+    for &o in &outputs {
+        b.output(&names[o])
+            .expect("generated output marks are unique");
+    }
+    b.build().expect("generated netlist must validate")
+}
+
 /// Picks a source net, preferring nets that nothing consumes yet and
 /// avoiding duplicates within one gate where possible.
 fn pick_net(rng: &mut StdRng, candidates: &[usize], loads: &[usize], taken: &[usize]) -> usize {
@@ -430,6 +588,39 @@ mod tests {
         let text = crate::bench::write(&nl);
         let nl2 = crate::bench::parse("c432", &text).unwrap();
         assert_eq!(nl.stats(), nl2.stats());
+    }
+
+    #[test]
+    fn scaled_profiles_generate_valid_netlists() {
+        for nodes in [32usize, 500, 12_000] {
+            let p = ScaledProfile::with_nodes(nodes);
+            let nl = generate_scaled(&p, 11);
+            let s = nl.stats();
+            assert_eq!(s.timing_nodes, p.nodes, "gen{nodes}: node count");
+            assert_eq!(s.depth, p.depth, "gen{nodes}: depth");
+            assert_eq!(s.primary_inputs, p.inputs, "gen{nodes}: inputs");
+            // Edge/node ratio lands in the ISCAS-85 envelope.
+            let ratio = s.timing_edges as f64 / s.timing_nodes as f64;
+            assert!(
+                (1.4..=2.4).contains(&ratio),
+                "gen{nodes}: edge/node ratio {ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_generation_reaches_50k_nodes() {
+        let p = ScaledProfile::with_nodes(50_000);
+        let nl = generate_scaled(&p, 1);
+        assert_eq!(nl.stats().timing_nodes, 50_000);
+        assert_eq!(nl.stats().depth, p.depth);
+    }
+
+    #[test]
+    fn scaled_generation_is_deterministic() {
+        let p = ScaledProfile::with_nodes(700);
+        assert_eq!(generate_scaled(&p, 9), generate_scaled(&p, 9));
+        assert_ne!(generate_scaled(&p, 9), generate_scaled(&p, 10));
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //!   primary inputs/outputs, and logic levels;
 //! * [`NetlistBuilder`] — incremental construction with full validation
 //!   (single driver per net, no cycles, no dangling references);
-//! * [`bench`](crate::bench) — an ISCAS-85 `.bench` format parser and
+//! * [`mod@bench`] — an ISCAS-85 `.bench` format parser and
 //!   writer, with the real `c17` benchmark embedded;
-//! * [`generator`](crate::generator) — a deterministic synthetic-benchmark
+//! * [`generator`] — a deterministic synthetic-benchmark
 //!   generator reproducing the node/edge profile of the synthesized
-//!   ISCAS-85 circuits used in the DATE'05 paper (`c432` … `c7552`);
-//! * [`shapes`](crate::shapes) — canonical circuit shapes (chains, trees,
+//!   ISCAS-85 circuits used in the DATE'05 paper (`c432` … `c7552`), plus
+//!   `O(n)` scaled profiles (`generator::generate_scaled`) up to ~50k
+//!   timing nodes;
+//! * [`corpus`] — a directory-scanning `.bench` corpus
+//!   loader for multi-circuit campaign runs;
+//! * [`shapes`] — canonical circuit shapes (chains, trees,
 //!   reconvergent diamonds, parallel path bundles) used by tests and by the
 //!   "wall of critical paths" experiment (paper Figure 1).
 //!
@@ -40,6 +44,7 @@
 
 pub mod bench;
 mod builder;
+pub mod corpus;
 mod error;
 mod gate;
 pub mod generator;

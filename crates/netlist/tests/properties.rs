@@ -4,7 +4,7 @@
 //! both structure and logic function.
 
 use proptest::prelude::*;
-use statsize_netlist::generator::{generate, Profile};
+use statsize_netlist::generator::{generate, generate_scaled, Profile, ScaledProfile};
 use statsize_netlist::{bench, shapes, GateKind, Netlist};
 use std::collections::HashMap;
 
@@ -64,6 +64,60 @@ fn assert_structurally_valid(nl: &Netlist) {
     }
 }
 
+/// Asserts that two netlists are the same circuit *by name*: identical
+/// primary-input and primary-output name sequences, and for every gate
+/// (matched through its output net name) the same kind and the same
+/// input-name sequence. Net *ids* may differ — the `.bench` text orders
+/// OUTPUT declarations before the gates that drive them, so a re-parse
+/// allocates ids in a different order — but the named structure may not.
+fn assert_same_named_structure(a: &Netlist, b: &Netlist) {
+    let net_names = |n: &Netlist, ids: &[statsize_netlist::NetId]| -> Vec<String> {
+        ids.iter().map(|&id| n.net(id).name().to_string()).collect()
+    };
+    assert_eq!(
+        net_names(a, a.primary_inputs()),
+        net_names(b, b.primary_inputs()),
+        "primary-input names"
+    );
+    assert_eq!(
+        net_names(a, a.primary_outputs()),
+        net_names(b, b.primary_outputs()),
+        "primary-output names"
+    );
+    assert_eq!(a.gate_count(), b.gate_count(), "gate count");
+    for gid in a.gate_ids() {
+        let ga = a.gate(gid);
+        let out_name = a.net(ga.output()).name();
+        let nb = b.find_net(out_name).expect("output net survives");
+        let gb_id = b.net(nb).driver().expect("net keeps its driver");
+        let gb = b.gate(gb_id);
+        assert_eq!(ga.kind(), gb.kind(), "kind of gate driving {out_name}");
+        assert_eq!(
+            net_names(a, ga.inputs()),
+            net_names(b, gb.inputs()),
+            "inputs of gate driving {out_name}"
+        );
+    }
+}
+
+/// Rewrites canonical `.bench` text into an adversarial but equivalent
+/// form: every gate declaration is wrapped after each comma, and
+/// comment/blank noise is interleaved (including trailing comments on
+/// continuation lines). Exercises the parser's multi-line handling.
+fn obfuscate_bench_text(text: &str) -> String {
+    let mut out = String::from("# obfuscated round-trip form\n\n");
+    for line in text.lines() {
+        if line.contains('=') {
+            out.push_str(&line.replace(", ", ", # wrapped\n    "));
+        } else {
+            out.push_str(line);
+            out.push_str(" # trailing");
+        }
+        out.push_str("\n\n");
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -118,6 +172,42 @@ proptest! {
     #[test]
     fn generation_is_pure(profile in profile_strategy(), seed in 0u64..100) {
         prop_assert_eq!(generate(&profile, seed), generate(&profile, seed));
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_names_kinds_topology(
+        profile in profile_strategy(),
+        seed in 0u64..200,
+    ) {
+        let nl = generate(&profile, seed);
+        let back = bench::parse(nl.name(), &bench::write(&nl)).expect("parses");
+        assert_same_named_structure(&nl, &back);
+    }
+
+    #[test]
+    fn scaled_profiles_round_trip_through_bench(
+        nodes in 32usize..500,
+        seed in 0u64..50,
+    ) {
+        let nl = generate_scaled(&ScaledProfile::with_nodes(nodes), seed);
+        assert_structurally_valid(&nl);
+        let back = bench::parse(nl.name(), &bench::write(&nl)).expect("parses");
+        assert_same_named_structure(&nl, &back);
+        prop_assert_eq!(nl.stats(), back.stats());
+    }
+
+    #[test]
+    fn multi_line_and_comment_forms_parse_identically(
+        profile in profile_strategy(),
+        seed in 0u64..50,
+    ) {
+        let nl = generate(&profile, seed);
+        let canonical = bench::write(&nl);
+        let noisy = obfuscate_bench_text(&canonical);
+        let back = bench::parse(nl.name(), &noisy).expect("wrapped form parses");
+        assert_same_named_structure(&nl, &back);
+        // Re-serializing the noisy parse recovers the canonical bytes.
+        prop_assert_eq!(canonical, bench::write(&back));
     }
 
     #[test]

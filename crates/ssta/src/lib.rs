@@ -24,7 +24,7 @@
 //!   substrate of the deterministic-optimization baseline.
 //! * [`MonteCarlo`] — sampled validation of the SSTA bound (paper §4 and
 //!   Figure 10), with per-gate or per-arc sampling.
-//! * [`paths`](crate::paths) — path-delay histograms for the "wall of
+//! * [`paths`] — path-delay histograms for the "wall of
 //!   critical paths" analysis (paper Figure 1).
 //!
 //! # Example

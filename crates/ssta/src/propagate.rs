@@ -35,7 +35,7 @@ const LINEAR_SCAN_MAX: usize = 8;
 /// deterministic. [`get`](DelayOverrides::get) is called once per gate
 /// edge of every propagated node, so lookup is a linear scan while the
 /// set is small (the common trial-resize case) and a binary search over a
-/// sorted side index once it grows past [`LINEAR_SCAN_MAX`].
+/// sorted side index once it grows past `LINEAR_SCAN_MAX`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DelayOverrides {
     entries: Vec<(GateId, Dist)>,

@@ -235,7 +235,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::Range;
 
-    /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Lengths accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn pick_len(&self, rng: &mut TestRng) -> usize;
@@ -258,7 +258,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,
