@@ -3,7 +3,7 @@
 //! computation underlying the pruning bounds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use statsize_dist::{max_percentile_shift, DistScratch, TruncatedGaussian};
+use statsize_dist::{max_percentile_shift, DistScratch, KernelBackend, TruncatedGaussian};
 
 fn arrival_like(bins: usize) -> statsize_dist::Dist {
     // An arrival-time-like distribution with the requested support width.
@@ -18,10 +18,58 @@ fn delay_like() -> statsize_dist::Dist {
 fn bench_convolve(c: &mut Criterion) {
     let mut group = c.benchmark_group("convolve");
     let delay = delay_like();
-    for bins in [64usize, 256, 1024] {
+    for bins in [64usize, 256, 1024, 2048, 4096, 8192] {
         let arrival = arrival_like(bins);
         group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
             b.iter(|| arrival.convolve(&delay))
+        });
+    }
+    group.finish();
+}
+
+fn bench_convolve_tiers(c: &mut Criterion) {
+    // The same convolution forced through each kernel tier (the env
+    // override is read once per process, so tiers are pinned via the
+    // explicit APIs): the scalar reference, the best dense SIMD backend
+    // this CPU offers, and — for wide×wide pairs past the auto
+    // crossover — the certified FFT path.
+    let mut group = c.benchmark_group("convolve_tiers");
+    let delay = delay_like();
+    let simd = KernelBackend::detected();
+    let mut scratch = DistScratch::new();
+    let a1024 = arrival_like(1024);
+    group.bench_function("1024/scalar", |b| {
+        b.iter(|| {
+            let r = a1024.convolve_dense(&delay, KernelBackend::Scalar, &mut scratch);
+            scratch.recycle(r);
+        })
+    });
+    group.bench_function("1024/simd", |b| {
+        b.iter(|| {
+            let r = a1024.convolve_dense(&delay, simd, &mut scratch);
+            scratch.recycle(r);
+        })
+    });
+    for bins in [4096usize, 8192] {
+        let a = arrival_like(bins);
+        let b2 = arrival_like(bins).shift_bins(bins as i64 / 16);
+        group.bench_function(&format!("pair_{bins}/scalar"), |b| {
+            b.iter(|| {
+                let r = a.convolve_dense(&b2, KernelBackend::Scalar, &mut scratch);
+                scratch.recycle(r);
+            })
+        });
+        group.bench_function(&format!("pair_{bins}/simd"), |b| {
+            b.iter(|| {
+                let r = a.convolve_dense(&b2, simd, &mut scratch);
+                scratch.recycle(r);
+            })
+        });
+        group.bench_function(&format!("pair_{bins}/fft"), |b| {
+            b.iter(|| {
+                let r = a.convolve_fft_into(&b2, &mut scratch);
+                scratch.recycle(r);
+            })
         });
     }
     group.finish();
@@ -94,6 +142,7 @@ fn bench_shift(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_convolve,
+    bench_convolve_tiers,
     bench_max,
     bench_convolve_into,
     bench_convolve_max_fused,

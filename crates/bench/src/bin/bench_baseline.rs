@@ -3,12 +3,17 @@
 //!
 //! Measures the same operations as the `dist_ops` criterion bench —
 //! convolution, independent max, percentile query, and the whole-bin
-//! shift measure — plus the allocation-free `_into`/fused variants, an
-//! end-to-end `cone_walk` over generated benchmark circuits, whole
-//! pruned selection sweeps at 1/2/4/8 worker threads
-//! (`pruned_parallel/*`), and a 3-circuit sharded campaign
-//! (`campaign/*`), with a deterministic sample loop, and emits one JSON
-//! object per operation/size pair.
+//! shift measure — plus the allocation-free `_into`/fused variants,
+//! wide-arrival rows (2048/4096/8192 bins), per-kernel-tier rows
+//! (`convolve/1024/{scalar,simd}` and wide×wide
+//! `convolve_pair/{4096,8192}/{scalar,simd,fft}`, forced through the
+//! explicit tier APIs — the `STATSIZE_KERNEL_TIER` override is read
+//! once per process, so one run can cover every tier), an end-to-end
+//! `cone_walk` over generated benchmark circuits, whole pruned
+//! selection sweeps at 1/2/4/8 worker threads (`pruned_parallel/*`),
+//! and a 3-circuit sharded campaign (`campaign/*`), with a
+//! deterministic sample loop, and emits one JSON object per
+//! operation/size pair.
 //!
 //! Usage: `cargo run --release -p statsize-bench --bin bench_baseline
 //! [--out=PATH] [--quick] [--compare=PATH]`
@@ -25,7 +30,7 @@ use statsize::{Campaign, CampaignJob, Objective, PrunedSelector, SelectorKind, T
 use statsize_bench::emit::JsonObject;
 use statsize_bench::suite;
 use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
-use statsize_dist::{max_percentile_shift, Dist, DistScratch, TruncatedGaussian};
+use statsize_dist::{max_percentile_shift, Dist, DistScratch, KernelBackend, TruncatedGaussian};
 use statsize_ssta::{ArcDelays, ConeWalk, DelayOverrides, SstaAnalysis, TimingGraph};
 use std::hint::black_box;
 use std::time::Instant;
@@ -216,6 +221,71 @@ fn main() {
             }),
         );
     }
+    // Wide arrival ⊛ narrow delay: the shape the tier policy's
+    // `min_short` guard keeps on the dense runtime-dispatched kernel
+    // even in auto mode (an FFT over the padded width would lose).
+    for bins in [2048usize, 4096, 8192] {
+        let arrival = arrival_like(bins);
+        record(
+            format!("convolve/{bins}"),
+            measure(effort, || {
+                black_box(black_box(&arrival).convolve(&delay));
+            }),
+        );
+    }
+
+    // Per-tier rows, forced through the explicit tier APIs. The `simd`
+    // row uses the best backend this CPU offers (`KernelBackend`
+    // dispatch target); on a machine without SIMD it degenerates to a
+    // second scalar row.
+    {
+        let simd = KernelBackend::detected();
+        let mut scratch = DistScratch::new();
+        let a1024 = arrival_like(1024);
+        record(
+            "convolve/1024/scalar".to_string(),
+            measure(effort, || {
+                let r =
+                    black_box(&a1024).convolve_dense(&delay, KernelBackend::Scalar, &mut scratch);
+                scratch.recycle(black_box(r));
+            }),
+        );
+        record(
+            "convolve/1024/simd".to_string(),
+            measure(effort, || {
+                let r = black_box(&a1024).convolve_dense(&delay, simd, &mut scratch);
+                scratch.recycle(black_box(r));
+            }),
+        );
+        // Wide×wide pairs past the auto crossover: where the certified
+        // FFT tier takes over from the dense kernels.
+        for bins in [4096usize, 8192] {
+            let a = arrival_like(bins);
+            let b = arrival_like(bins).shift_bins(bins as i64 / 16);
+            record(
+                format!("convolve_pair/{bins}/scalar"),
+                measure(effort, || {
+                    let r = black_box(&a).convolve_dense(&b, KernelBackend::Scalar, &mut scratch);
+                    scratch.recycle(black_box(r));
+                }),
+            );
+            record(
+                format!("convolve_pair/{bins}/simd"),
+                measure(effort, || {
+                    let r = black_box(&a).convolve_dense(&b, simd, &mut scratch);
+                    scratch.recycle(black_box(r));
+                }),
+            );
+            record(
+                format!("convolve_pair/{bins}/fft"),
+                measure(effort, || {
+                    let r = black_box(&a).convolve_fft_into(&b, &mut scratch);
+                    scratch.recycle(black_box(r));
+                }),
+            );
+        }
+    }
+
     let a512 = arrival_like(512);
     record(
         "percentile_p99/512".to_string(),

@@ -4,7 +4,7 @@ use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
 use crate::parallel::{default_threads, normalize_threads, run_indexed};
 use crate::selection::Selection;
-use statsize_dist::DistScratch;
+use statsize_dist::{DistScratch, TierPolicy};
 use statsize_netlist::GateId;
 use statsize_ssta::ConeWalk;
 
@@ -26,6 +26,7 @@ use statsize_ssta::ConeWalk;
 pub struct BruteForceSelector {
     delta_w: f64,
     threads: usize,
+    kernel_policy: TierPolicy,
 }
 
 impl BruteForceSelector {
@@ -47,6 +48,7 @@ impl BruteForceSelector {
         Self {
             delta_w,
             threads: default_threads(),
+            kernel_policy: TierPolicy::exact(),
         }
     }
 
@@ -69,6 +71,17 @@ impl BruteForceSelector {
     /// candidate count).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the kernel tier policy for the sweep's cone walks (default:
+    /// exact). The exact sensitivities this selector is the reference
+    /// for are percentile queries, so a caller may allow the certified
+    /// FFT tier for wide-arrival profiles; the pruned selector matches
+    /// this one bit for bit only when both run the same policy.
+    #[must_use]
+    pub fn with_kernel_policy(mut self, policy: TierPolicy) -> Self {
+        self.kernel_policy = policy;
+        self
     }
 
     /// Finds the gate with the highest exact sensitivity
@@ -95,8 +108,9 @@ impl BruteForceSelector {
         let base_cost = circuit.objective_value(objective);
         // One buffer pool for the whole sweep: each candidate's walk
         // recycles through it, so the per-candidate allocation cost is
-        // O(front width), not O(cone size).
-        let mut scratch = DistScratch::new();
+        // O(front width), not O(cone size). The pool carries the
+        // selector's kernel tier policy.
+        let mut scratch = DistScratch::with_policy(self.kernel_policy);
         gates
             .into_iter()
             .map(|gate| self.one_sensitivity(circuit, objective, base_cost, gate, &mut scratch))
@@ -138,7 +152,8 @@ impl BruteForceSelector {
         threads: usize,
     ) -> Vec<Selection> {
         let base_cost = circuit.objective_value(objective);
-        run_indexed(threads, gates.len(), DistScratch::new, |scratch, idx| {
+        let scratch = || DistScratch::with_policy(self.kernel_policy);
+        run_indexed(threads, gates.len(), scratch, |scratch, idx| {
             self.one_sensitivity(circuit, objective, base_cost, gates[idx], scratch)
         })
     }

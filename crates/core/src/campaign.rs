@@ -8,16 +8,23 @@
 //! atomic cursor, so a corpus of mixed sizes load-balances automatically.
 //!
 //! Two levels of parallelism compose: `shards` circuit-level workers,
-//! each handing `total_threads / shards` worker threads (floored at one
-//! — every shard needs a selector thread to make progress) to its
-//! selector sweeps. As long as the budget is at least the shard count,
-//! `shards × selector-threads` never exceeds it; a budget *below* the
-//! shard count cannot be honored and degrades to one selector thread
-//! per shard, i.e. `shards` concurrent threads. Because every per-circuit optimization is bit-identical for
+//! each handing a share of the total selector-thread budget to its
+//! circuit's selector sweeps. The share is **adaptive**: each job's
+//! budget is proportional to its timing-node count, normalized so that
+//! any `shards` jobs resident at once stay within the total (see
+//! [`Campaign::with_total_threads`]). A flat `total / shards` split
+//! wastes most of the budget on mixed corpora — small circuits cap
+//! their selector threads at the candidate count anyway, while the big
+//! circuits that dominate the wall clock are starved; sizing the grant
+//! by node count hands those threads to the jobs that can use them.
+//! Every share floors at one — a shard needs a selector thread to make
+//! progress — so a budget *below* the shard count cannot be honored and
+//! degrades to one selector thread per shard, i.e. `shards` concurrent
+//! threads. Because every per-circuit optimization is bit-identical for
 //! any selector thread count (the PR 3 contract) and circuits are
 //! independent, the campaign outcome is **bit-identical to running each
-//! circuit serially** regardless of the shard count — pinned by
-//! `tests/campaign_determinism.rs`.
+//! circuit serially** regardless of the shard count or the budget split
+//! — pinned by `tests/campaign_determinism.rs`.
 //!
 //! # Example
 //!
@@ -41,6 +48,7 @@ use crate::objective::Objective;
 use crate::optimizer::{Optimizer, SelectorKind, StopReason};
 use crate::parallel;
 use statsize_cells::{CellLibrary, VariationModel};
+use statsize_dist::TierPolicy;
 use statsize_netlist::Netlist;
 use std::time::{Duration, Instant};
 
@@ -154,7 +162,9 @@ pub struct CampaignReport {
     pub outcomes: Vec<CircuitOutcome>,
     /// Shard count actually used (after clamping to the job count).
     pub shards: usize,
-    /// Selector worker threads each shard was granted.
+    /// The flat per-shard selector-thread baseline (`total / shards`,
+    /// floored at one) the adaptive per-job grants redistribute around
+    /// — see [`Campaign::threads_per_shard`].
     pub threads_per_shard: usize,
     /// Wall-clock time of the whole campaign.
     pub wall: Duration,
@@ -174,6 +184,26 @@ pub struct Campaign {
     variation: VariationModel,
     shards: usize,
     total_threads: usize,
+    kernel_policy: TierPolicy,
+}
+
+/// Splits a total selector-thread budget over the jobs in proportion to
+/// their timing-node counts. The normalizer is the sum of the `shards`
+/// *largest* counts: at most `shards` jobs are ever resident at once, so
+/// that is the worst-case concurrent demand, and flooring each share
+/// keeps any such subset within `total` (whenever `total >= shards`;
+/// below that the per-job floor of one thread dominates, exactly like
+/// the flat split it replaces). Jobs too small to earn a whole thread
+/// still get one — the selector caps threads at the candidate count, so
+/// nothing is oversubscribed on their behalf.
+fn adaptive_thread_budgets(node_counts: &[usize], shards: usize, total: usize) -> Vec<usize> {
+    let mut largest: Vec<usize> = node_counts.to_vec();
+    largest.sort_unstable_by(|a, b| b.cmp(a));
+    let denom: usize = largest.iter().take(shards).sum::<usize>().max(1);
+    node_counts
+        .iter()
+        .map(|&n| ((total * n) / denom).max(1))
+        .collect()
 }
 
 impl Campaign {
@@ -192,7 +222,21 @@ impl Campaign {
             variation: VariationModel::paper_default(),
             shards: 1,
             total_threads: 0,
+            kernel_policy: TierPolicy::auto(),
         }
+    }
+
+    /// Sets the kernel tier policy used by every circuit's arrival
+    /// propagation and handed to the optimizer's selectors (default:
+    /// [`TierPolicy::auto`], matching [`TimedCircuit::new`]). The pruned
+    /// selector always strips the FFT tier from it — its pruning theory
+    /// requires exact lattice propagation — so campaign outcomes under
+    /// any policy remain bit-identical across shard counts and thread
+    /// budgets.
+    #[must_use]
+    pub fn with_kernel_policy(mut self, policy: TierPolicy) -> Self {
+        self.kernel_policy = policy;
+        self
     }
 
     /// Sets the per-move width increment `Δw`.
@@ -260,15 +304,20 @@ impl Campaign {
         self
     }
 
-    /// Sets the **total** worker-thread budget shared by all shards:
-    /// each shard hands `total / shards` threads to its selector sweeps,
-    /// so `shards × selector-threads` stays within the budget whenever
-    /// `total >= shards`. The per-shard count floors at 1 (a shard
-    /// cannot run with zero selector threads), so a budget smaller than
-    /// the shard count degrades to `shards` concurrent threads — lower
-    /// the shard count if a hard cap below it is needed. The default
-    /// (`0`) grants every shard a single selector thread —
-    /// circuit-level parallelism only.
+    /// Sets the **total** worker-thread budget shared by all shards.
+    /// Each circuit's selector sweeps are granted a share of it sized by
+    /// the circuit's timing-node count, normalized over the `shards`
+    /// largest jobs (the worst-case concurrently resident set), so the
+    /// concurrent selector-thread count stays within the budget whenever
+    /// `total >= shards` — while big circuits, which dominate the wall
+    /// clock, receive most of the threads instead of a flat
+    /// `total / shards` slice. Every share floors at 1 (a shard cannot
+    /// run with zero selector threads), so a budget smaller than the
+    /// shard count degrades to `shards` concurrent threads — lower the
+    /// shard count if a hard cap below it is needed. The default (`0`)
+    /// grants every shard a single selector thread — circuit-level
+    /// parallelism only. The budget split never changes outcomes, only
+    /// scheduling.
     #[must_use]
     pub fn with_total_threads(mut self, total: usize) -> Self {
         self.total_threads = total;
@@ -280,11 +329,17 @@ impl Campaign {
         self.shards
     }
 
-    /// Selector threads each shard receives under the current budget,
-    /// assuming the configured shard count. When a run caps the shard
-    /// count to a smaller job count, the budget is re-divided over the
-    /// *capped* count (see [`CampaignReport::threads_per_shard`]), so no
-    /// part of the budget is stranded on never-spawned shards.
+    /// The *flat* per-shard selector-thread baseline under the current
+    /// budget — `total / shards`, floored at one. The actual grants are
+    /// adaptive (sized by each circuit's node count; see
+    /// [`with_total_threads`](Self::with_total_threads)), but this
+    /// figure remains the reference point reported by
+    /// [`CampaignReport::threads_per_shard`]: it is what every shard
+    /// would receive if all jobs were the same size, and the adaptive
+    /// split redistributes around it without exceeding the same total.
+    /// When a run caps the shard count to a smaller job count, the
+    /// budget is re-divided over the *capped* count, so no part of the
+    /// budget is stranded on never-spawned shards.
     pub fn threads_per_shard(&self) -> usize {
         (self.total_threads / self.shards).max(1)
     }
@@ -300,13 +355,20 @@ impl Campaign {
         // configured count — otherwise capping 8 shards to a 3-job corpus
         // would strand 5 shards' worth of selector threads.
         let threads_per_shard = (self.total_threads / shards).max(1);
+        // Per-job selector-thread grants, sized by circuit node count
+        // under the same total (see `adaptive_thread_budgets`).
+        let node_counts: Vec<usize> = jobs
+            .iter()
+            .map(|j| j.netlist.stats().timing_nodes)
+            .collect();
+        let budgets = adaptive_thread_budgets(&node_counts, shards, self.total_threads);
         // Shards steal whole circuits; outcomes come back in job order,
         // so the report never depends on which shard ran which circuit.
         let outcomes = parallel::run_indexed(
             shards,
             jobs.len(),
             || (),
-            |(), idx| self.run_one(&jobs[idx], library, threads_per_shard),
+            |(), idx| self.run_one(&jobs[idx], library, budgets[idx]),
         );
         CampaignReport {
             outcomes,
@@ -320,12 +382,19 @@ impl Campaign {
     fn run_one(&self, job: &CampaignJob, library: &CellLibrary, threads: usize) -> CircuitOutcome {
         let t0 = Instant::now();
         let stats = job.netlist.stats();
-        let mut circuit = TimedCircuit::new(&job.netlist, library, self.variation, self.dt);
+        let mut circuit = TimedCircuit::with_kernel_policy(
+            &job.netlist,
+            library,
+            self.variation,
+            self.dt,
+            self.kernel_policy,
+        );
         let result = Optimizer::new(self.objective, self.selector)
             .with_delta_w(self.delta_w)
             .with_max_iterations(self.max_iterations)
             .with_min_sensitivity(self.min_sensitivity)
             .with_threads(threads)
+            .with_kernel_policy(self.kernel_policy)
             .run(&mut circuit);
         let (mut candidates, mut pruned, mut completed) = (0usize, 0usize, 0usize);
         for record in &result.iterations {
@@ -431,6 +500,28 @@ mod tests {
         for (a, b) in narrow.outcomes.iter().zip(&wide.outcomes) {
             assert_eq!(a.deterministic_key(), b.deterministic_key());
         }
+    }
+
+    #[test]
+    fn adaptive_budgets_favor_large_circuits_within_the_total() {
+        let counts = [1000, 10, 100, 500];
+        let budgets = adaptive_thread_budgets(&counts, 2, 8);
+        // Normalizer: the two largest jobs (1000 + 500 = 1500) — the
+        // worst-case concurrently resident set with two shards.
+        assert_eq!(budgets, vec![5, 1, 1, 2]);
+        // Any two jobs resident at once stay within the total.
+        for (i, &a) in budgets.iter().enumerate() {
+            for &b in &budgets[i + 1..] {
+                assert!(a + b <= 8, "{budgets:?}");
+            }
+        }
+        // The zero default degrades to one selector thread per job,
+        // exactly like the flat split it replaces.
+        assert_eq!(adaptive_thread_budgets(&counts, 2, 0), vec![1; 4]);
+        // A uniform corpus reduces to the flat split.
+        assert_eq!(adaptive_thread_budgets(&[50, 50, 50, 50], 4, 8), vec![2; 4]);
+        // Degenerate: no jobs.
+        assert_eq!(adaptive_thread_budgets(&[], 3, 8), Vec::<usize>::new());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::objective::Objective;
 use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
+use statsize_dist::TierPolicy;
 use statsize_netlist::{GateId, Netlist};
 use statsize_ssta::{ArcDelays, DelayOverrides, SstaAnalysis, TimingGraph};
 
@@ -12,12 +13,20 @@ use statsize_ssta::{ArcDelays, DelayOverrides, SstaAnalysis, TimingGraph};
 /// Sizing moves go through [`commit_resize`](TimedCircuit::commit_resize),
 /// which refreshes the affected delays and re-propagates arrival times in
 /// the fan-out cone only — exactly equivalent to a full SSTA rerun.
+///
+/// Arrival propagation (baseline and incremental alike) runs under the
+/// circuit's kernel [`TierPolicy`] — [`TierPolicy::auto`] by default, so
+/// wide-arrival profiles take the certified FFT tier past the crossover
+/// and everything else stays on the bit-exact dense SIMD kernel. Both
+/// paths share the one policy, which keeps the incremental-equals-full
+/// guarantee bitwise under every setting.
 #[derive(Debug)]
 pub struct TimedCircuit<'a> {
     netlist: &'a Netlist,
     model: DelayModel<'a>,
     variation: VariationModel,
     dt: f64,
+    kernel_policy: TierPolicy,
     graph: TimingGraph,
     sizes: GateSizes,
     delays: ArcDelays,
@@ -25,7 +34,9 @@ pub struct TimedCircuit<'a> {
 }
 
 impl<'a> TimedCircuit<'a> {
-    /// Builds the timing state at minimum sizes.
+    /// Builds the timing state at minimum sizes, under the default
+    /// adaptive kernel tier policy ([`TierPolicy::auto`], which honours
+    /// the `STATSIZE_KERNEL_TIER` override).
     ///
     /// `dt` is the lattice step (ps) used for all distributions.
     ///
@@ -39,21 +50,40 @@ impl<'a> TimedCircuit<'a> {
         variation: VariationModel,
         dt: f64,
     ) -> Self {
+        Self::with_kernel_policy(netlist, library, variation, dt, TierPolicy::auto())
+    }
+
+    /// [`new`](TimedCircuit::new) under an explicit kernel tier policy
+    /// for arrival propagation. [`TierPolicy::exact`] reproduces the
+    /// historical bit-exact behaviour unconditionally.
+    pub fn with_kernel_policy(
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        variation: VariationModel,
+        dt: f64,
+        kernel_policy: TierPolicy,
+    ) -> Self {
         let model = DelayModel::new(library, netlist);
         let sizes = GateSizes::minimum(netlist);
         let graph = TimingGraph::build(netlist);
         let delays = ArcDelays::compute(netlist, &model, &sizes, &variation, dt);
-        let ssta = SstaAnalysis::run(&graph, &delays);
+        let ssta = SstaAnalysis::run_with_policy(&graph, &delays, kernel_policy);
         Self {
             netlist,
             model,
             variation,
             dt,
+            kernel_policy,
             graph,
             sizes,
             delays,
             ssta,
         }
+    }
+
+    /// The kernel tier policy arrival propagation runs under.
+    pub fn kernel_policy(&self) -> TierPolicy {
+        self.kernel_policy
     }
 
     /// The underlying netlist.
@@ -171,8 +201,12 @@ impl<'a> TimedCircuit<'a> {
             &self.variation,
             affected.iter().copied(),
         );
-        self.ssta
-            .update_after_delay_change(&self.graph, &self.delays, &affected);
+        self.ssta.update_after_delay_change_with_policy(
+            &self.graph,
+            &self.delays,
+            &affected,
+            self.kernel_policy,
+        );
     }
 
     /// Recomputes everything from scratch (used by tests to validate the
@@ -185,7 +219,7 @@ impl<'a> TimedCircuit<'a> {
             &self.variation,
             self.dt,
         );
-        self.ssta = SstaAnalysis::run(&self.graph, &self.delays);
+        self.ssta = SstaAnalysis::run_with_policy(&self.graph, &self.delays, self.kernel_policy);
     }
 }
 

@@ -14,7 +14,7 @@ use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
 use crate::parallel::{default_threads, normalize_threads, run_workers, WorkQueue};
 use crate::selection::Selection;
-use statsize_dist::{lattice_shift_bound, DistScratch};
+use statsize_dist::{lattice_shift_bound, DistScratch, TierPolicy};
 use statsize_netlist::GateId;
 use statsize_ssta::{ConeWalk, TimingNode};
 use std::collections::HashMap;
@@ -46,6 +46,7 @@ pub struct HeuristicSelector {
     delta_w: f64,
     lookahead: usize,
     threads: usize,
+    kernel_policy: TierPolicy,
 }
 
 impl HeuristicSelector {
@@ -69,6 +70,7 @@ impl HeuristicSelector {
             delta_w,
             lookahead,
             threads: default_threads(),
+            kernel_policy: TierPolicy::exact(),
         }
     }
 
@@ -96,6 +98,19 @@ impl HeuristicSelector {
     /// candidate count).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the kernel tier policy for the lookahead walks (default:
+    /// exact). This selector is already approximate — its score is a
+    /// bound, not the exact sensitivity — so a non-exact policy only
+    /// perturbs scores by the certified FFT dust; the scores remain
+    /// deterministic and bit-identical across thread counts for a fixed
+    /// policy. The *exact* selectors' shift-bound theory is unaffected:
+    /// the pruned sweep always runs the exact tier.
+    #[must_use]
+    pub fn with_kernel_policy(mut self, policy: TierPolicy) -> Self {
+        self.kernel_policy = policy;
+        self
     }
 
     /// One candidate's bounded-lookahead score: the front bound, or the
@@ -167,7 +182,7 @@ impl HeuristicSelector {
         let best: Option<Selection> = if threads > 1 {
             let queue = WorkQueue::new(gates.len());
             let local_bests: Vec<Option<Selection>> = run_workers(threads, || {
-                let mut scratch = DistScratch::new();
+                let mut scratch = DistScratch::with_policy(self.kernel_policy);
                 let mut best: Option<Selection> = None;
                 while let Some(idx) = queue.claim() {
                     let cand = self.score(circuit, objective, base_cost, gates[idx], &mut scratch);
@@ -181,7 +196,7 @@ impl HeuristicSelector {
             local_bests.into_iter().flatten().fold(None, fold_best)
         } else {
             // One buffer pool reused across all candidate lookaheads.
-            let mut scratch = DistScratch::new();
+            let mut scratch = DistScratch::with_policy(self.kernel_policy);
             let mut best: Option<Selection> = None;
             for gate in gates {
                 let cand = self.score(circuit, objective, base_cost, gate, &mut scratch);

@@ -23,13 +23,16 @@
 //!
 //! With [`with_threads`](PrunedSelector::with_threads) `> 1` the sweep
 //! runs as a two-phase work-stealing scan (infrastructure in the crate's
-//! `parallel` module):
-//! workers steal candidates from a shared atomic cursor, initialization
-//! runs first for every front, and the propagation phase claims fronts in
-//! descending initial-bound order — the parallel analogue of the serial
-//! heap's best-bound-first discipline. The live threshold is the paper's
-//! `Max_S` published through an atomic monotone max, so every worker
-//! prunes against the freshest exact sensitivity completed anywhere.
+//! `parallel` module) inside a *single* spawn of the worker pool:
+//! workers steal candidates from a shared atomic cursor and initialize
+//! every front, rendezvous at a barrier (whose leader publishes the
+//! descending-initial-bound claim order — the parallel analogue of the
+//! serial heap's best-bound-first discipline), then roll straight into
+//! the propagation phase on the same threads, keeping each worker's
+//! scratch pool warm across the phase boundary. The live threshold is
+//! the paper's `Max_S` published through an atomic monotone max, so
+//! every worker prunes against the freshest exact sensitivity completed
+//! anywhere.
 //!
 //! The *returned selections are bit-identical to the serial sweep for
 //! every thread count*, by construction rather than by luck: a candidate
@@ -47,12 +50,12 @@ use crate::circuit::TimedCircuit;
 use crate::objective::Objective;
 use crate::parallel::{default_threads, normalize_threads, run_workers, SharedMax, WorkQueue};
 use crate::selection::Selection;
-use statsize_dist::{lattice_shift_bound, DistScratch};
+use statsize_dist::{lattice_shift_bound, DistScratch, TierPolicy};
 use statsize_netlist::GateId;
 use statsize_ssta::{ConeWalk, SstaAnalysis, StepReport, TimingNode};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Mutex;
+use std::sync::{Barrier, Mutex, OnceLock};
 
 /// Work statistics of one pruned selection, quantifying how effective the
 /// perturbation bounds were (the paper reports "as many as 55 out of 56
@@ -106,6 +109,7 @@ impl PruneStats {
 pub struct PrunedSelector {
     delta_w: f64,
     threads: usize,
+    kernel_policy: TierPolicy,
 }
 
 /// Safety slack (ps per unit width) applied to the pruning comparison.
@@ -214,6 +218,7 @@ impl PrunedSelector {
         Self {
             delta_w,
             threads: default_threads(),
+            kernel_policy: TierPolicy::exact(),
         }
     }
 
@@ -238,6 +243,21 @@ impl PrunedSelector {
     /// candidate count).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the kernel tier policy for the sweep's front propagation —
+    /// **with the FFT tier stripped**. The pruning guarantee rests on the
+    /// whole-bin shift bound being preserved *exactly* by every lattice
+    /// operation (Theorems 1–3); an approximate convolution, however
+    /// tightly certified, voids that invariant, so this call site is
+    /// exact-tier-only by construction: [`TierPolicy::without_fft`] is
+    /// applied to whatever the caller passes. Dense SIMD tiers remain in
+    /// effect — they are bit-identical to the scalar reference kernel,
+    /// which is exactly what the theory requires.
+    #[must_use]
+    pub fn with_kernel_policy(mut self, policy: TierPolicy) -> Self {
+        self.kernel_policy = policy.without_fft();
+        self
     }
 
     /// Finds the most sensitive gate — identical to brute force — or
@@ -364,8 +384,9 @@ impl PrunedSelector {
 
         // One buffer pool shared by every candidate front in this sweep:
         // distributions retired by any front immediately serve the next
-        // propagation step, wherever it happens.
-        let mut scratch = DistScratch::new();
+        // propagation step, wherever it happens. The pool carries the
+        // selector's (FFT-stripped) kernel tier policy.
+        let mut scratch = DistScratch::with_policy(self.kernel_policy);
 
         // --- Initialize every candidate (Figure 7). ---
         let mut candidates: Vec<Option<Candidate<'_>>> = circuit
@@ -442,6 +463,15 @@ impl PrunedSelector {
     /// The work-stealing parallel sweep — bit-identical selections (see
     /// the module docs for why any pruning schedule yields the same
     /// top-k).
+    ///
+    /// Both phases run inside a single spawn of the worker pool: each
+    /// worker initializes fronts until the init cursor drains, meets the
+    /// others at a barrier (the leader publishes the propagation claim
+    /// order there), and continues straight into the sweep with its
+    /// scratch pool — and the distributions recycled into it during
+    /// initialization — intact. Spawning once halves the thread setup
+    /// cost per selection and removes the serial gap the old
+    /// join-sort-respawn sequence put between the phases.
     fn select_top_k_parallel(
         &self,
         circuit: &TimedCircuit<'_>,
@@ -458,57 +488,63 @@ impl PrunedSelector {
             ..PruneStats::default()
         };
 
-        // --- Phase 1: initialize every front (Figure 7), workers
-        // stealing candidate indices from a shared cursor. Each worker
-        // owns a scratch pool; initialized fronts are parked in
-        // per-candidate slots for the propagation phase (each slot is
-        // locked exactly twice — once to park, once to claim — so the
-        // mutexes are uncontended bookkeeping, not a hot path). ---
+        // Initialized fronts are parked in per-candidate slots between
+        // the phases (each slot is locked exactly twice — once to park,
+        // once to claim — so the mutexes are uncontended bookkeeping,
+        // not a hot path).
         let slots: Vec<Mutex<Option<Candidate<'_>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let init_queue = WorkQueue::new(n);
-        let init_stats: Vec<PruneStats> = run_workers(threads, || {
-            let mut scratch = DistScratch::new();
+        let sweep_queue = WorkQueue::new(n);
+        // Propagation claim order, published by the barrier leader once
+        // every front is parked: descending initial bound, ties toward
+        // the lower gate index — the parallel analogue of the serial
+        // heap's best-bound-first discipline, so the strongest candidate
+        // completes early and raises the shared threshold for everyone
+        // else.
+        let order: OnceLock<Vec<usize>> = OnceLock::new();
+        let rendezvous = Barrier::new(threads);
+        let threshold = SharedMax::new(0.0);
+        let completed: Mutex<Vec<Selection>> = Mutex::new(Vec::new());
+
+        let worker_stats: Vec<PruneStats> = run_workers(threads, || {
+            let mut scratch = DistScratch::with_policy(self.kernel_policy);
             let mut local = PruneStats::default();
+
+            // --- Phase 1: initialize every front (Figure 7), workers
+            // stealing candidate indices from a shared cursor. ---
             while let Some(idx) = init_queue.claim() {
                 let cand = self.initialize_candidate(circuit, gates[idx], &mut scratch, &mut local);
                 *slots[idx].lock().expect("init worker panicked") = Some(cand);
             }
-            local
-        });
-        for s in &init_stats {
-            stats.merge(s);
-        }
 
-        // Claim order for the propagation phase: descending initial
-        // bound, ties toward the lower gate index — the parallel
-        // analogue of the serial heap's best-bound-first discipline, so
-        // the strongest candidate completes early and raises the shared
-        // threshold for everyone else.
-        let mut by_bound: Vec<(f64, usize)> = slots
-            .iter()
-            .enumerate()
-            .map(|(idx, slot)| {
-                let smx = slot
-                    .lock()
-                    .expect("init worker panicked")
-                    .as_ref()
-                    .expect("phase 1 initialized every slot")
-                    .smx;
-                (smx, idx)
-            })
-            .collect();
-        by_bound.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        let order: Vec<usize> = by_bound.into_iter().map(|(_, idx)| idx).collect();
+            // Rendezvous: every front is parked. The barrier elects a
+            // leader, which sorts the initial bounds while the others
+            // wait at the second barrier; then all workers roll on.
+            if rendezvous.wait().is_leader() {
+                let mut by_bound: Vec<(f64, usize)> = slots
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, slot)| {
+                        let smx = slot
+                            .lock()
+                            .expect("init worker panicked")
+                            .as_ref()
+                            .expect("phase 1 initialized every slot")
+                            .smx;
+                        (smx, idx)
+                    })
+                    .collect();
+                by_bound.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                order
+                    .set(by_bound.into_iter().map(|(_, idx)| idx).collect())
+                    .expect("only the barrier leader publishes the order");
+            }
+            rendezvous.wait();
+            let order = order.get().expect("leader published before the barrier");
 
-        // --- Phase 2: advance claimed fronts to the sink or prune them
-        // against the live shared threshold (Figure 6's loop, fronts
-        // distributed across workers). ---
-        let threshold = SharedMax::new(0.0);
-        let completed: Mutex<Vec<Selection>> = Mutex::new(Vec::new());
-        let sweep_queue = WorkQueue::new(n);
-        let sweep_stats: Vec<PruneStats> = run_workers(threads, || {
-            let mut scratch = DistScratch::new();
-            let mut local = PruneStats::default();
+            // --- Phase 2: advance claimed fronts to the sink or prune
+            // them against the live shared threshold (Figure 6's loop,
+            // fronts distributed across workers). ---
             while let Some(pos) = sweep_queue.claim() {
                 let idx = order[pos];
                 let mut cand = slots[idx]
@@ -555,7 +591,7 @@ impl PrunedSelector {
             }
             local
         });
-        for s in &sweep_stats {
+        for s in &worker_stats {
             stats.merge(s);
         }
 

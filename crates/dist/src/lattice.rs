@@ -1,5 +1,6 @@
 //! The lattice distribution type and its operators.
 
+use crate::kernel::{self, KernelBackend};
 use crate::scratch::DistScratch;
 use std::fmt;
 
@@ -327,7 +328,44 @@ impl Dist {
     pub fn convolve_into(&self, other: &Dist, scratch: &mut DistScratch) -> Dist {
         self.assert_same_lattice(other);
         let mut out = scratch.take();
-        let total = convolve_raw(&self.mass, &other.mass, &mut out);
+        let total = convolve_tiered(&self.mass, &other.mass, &mut out, scratch);
+        Dist::from_raw_summed(self.dt, self.offset + other.offset, out, total)
+    }
+
+    /// [`convolve`](Dist::convolve) on an explicitly forced dense SIMD
+    /// backend — the test/bench surface behind the bit-identity
+    /// contract (every backend produces the same bits as
+    /// [`KernelBackend::Scalar`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ or the backend is unavailable
+    /// on this CPU.
+    pub fn convolve_dense(
+        &self,
+        other: &Dist,
+        backend: KernelBackend,
+        scratch: &mut DistScratch,
+    ) -> Dist {
+        self.assert_same_lattice(other);
+        let mut out = scratch.take();
+        let total = kernel::convolve_with_backend(backend, &self.mass, &other.mass, &mut out);
+        Dist::from_raw_summed(self.dt, self.offset + other.offset, out, total)
+    }
+
+    /// [`convolve`](Dist::convolve) forced through the certified FFT
+    /// tier regardless of the scratch policy — the test/bench surface
+    /// for the wide tier. Each output bin is within
+    /// [`certified_fft_error_bound`](crate::certified_fft_error_bound)
+    /// of the exact convolution (before the shared renormalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice steps differ.
+    pub fn convolve_fft_into(&self, other: &Dist, scratch: &mut DistScratch) -> Dist {
+        self.assert_same_lattice(other);
+        let mut out = scratch.take();
+        let total = crate::fft::fft_convolve(&self.mass, &other.mass, &mut out, scratch);
         Dist::from_raw_summed(self.dt, self.offset + other.offset, out, total)
     }
 
@@ -379,7 +417,7 @@ impl Dist {
         self.assert_same_lattice(upstream);
         upstream.assert_same_lattice(delay);
         let mut conv = scratch.take();
-        let conv_total = convolve_raw(&upstream.mass, &delay.mass, &mut conv);
+        let conv_total = convolve_tiered(&upstream.mass, &delay.mass, &mut conv, scratch);
         let conv_off = normalize_raw_summed(&mut conv, upstream.offset + delay.offset, conv_total);
         let mut out = scratch.take();
         let (lo, total) = max_raw(self.offset, &self.mass, conv_off, &conv, &mut out);
@@ -449,7 +487,7 @@ impl Dist {
         let mut reflected = scratch.take();
         reflected.extend(other.mass.iter().rev());
         let mut out = scratch.take();
-        let total = convolve_raw(&self.mass, &reflected, &mut out);
+        let total = convolve_tiered(&self.mass, &reflected, &mut out, scratch);
         scratch.put(reflected);
         let offset = self.offset - (other.offset + other.mass.len() as i64 - 1);
         Dist::from_raw_summed(self.dt, offset, out, total)
@@ -534,74 +572,19 @@ fn trim_bounds(mass: &[f64]) -> (usize, usize) {
     (lo, hi)
 }
 
-/// Raw discrete convolution of two mass vectors into `out` (cleared
-/// first). Returns the left-fold total `Σ out[k]` in index order —
-/// bit-identical to `out.iter().sum()` — folded in as output regions
-/// become final, so the normalization pass needs no separate summation
-/// sweep.
-///
-/// The shorter operand's taps drive the outer structure — fewer passes
-/// over the long accumulator keep this cache-friendly for the common
-/// wide-arrival × narrow-delay case — and taps are blocked four at a time
-/// so each pass over the output performs four multiply-adds per load and
-/// store instead of one. Per output bin, tap contributions are summed in
-/// ascending tap order, exactly as the straightforward tap-at-a-time
-/// loop would, so results are bit-identical to it.
-fn convolve_raw(a: &[f64], b: &[f64], out: &mut Vec<f64>) -> f64 {
-    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let l = long.len();
-    out.clear();
-    out.resize(short.len() + l - 1, 0.0);
-    let mut total = 0.0;
-    let mut summed = 0usize;
-    let chunks = short.chunks_exact(4);
-    let rem = chunks.remainder();
-    for (c, q) in chunks.enumerate() {
-        let base = 4 * c;
-        let o = &mut out[base..base + l + 3];
-        // Edge columns where fewer than four taps overlap the window.
-        for j in (0..3).chain(l.max(3)..l + 3) {
-            let mut v = o[j];
-            for (k, &tap) in q.iter().enumerate() {
-                if let Some(t) = j.checked_sub(k) {
-                    if t < l {
-                        v += tap * long[t];
-                    }
-                }
-            }
-            o[j] = v;
-        }
-        // Interior columns: all four taps hit. The explicit serial adds
-        // preserve the tap-ascending accumulation order.
-        for (w, v) in long.windows(4).zip(o[3..].iter_mut()) {
-            let mut acc = *v;
-            acc += q[0] * w[3];
-            acc += q[1] * w[2];
-            acc += q[2] * w[1];
-            acc += q[3] * w[0];
-            *v = acc;
-        }
-        // Columns below the next block's window are final; fold them
-        // into the running total (ascending index order, once each).
-        for &v in &out[summed..base + 4] {
-            total += v;
-        }
-        summed = base + 4;
+/// Tiered raw convolution into `out` (cleared first): routes through
+/// the certified FFT tier when the scratch pool's [`TierPolicy`]
+/// (crate::TierPolicy) elects it for these operand widths, and through
+/// the runtime-dispatched dense kernel — bit-identical to the scalar
+/// tap-order reference — otherwise. Either way the return value is the
+/// left-fold total `Σ out[k]` in index order, the contract
+/// [`normalize_raw_summed`] relies on.
+fn convolve_tiered(a: &[f64], b: &[f64], out: &mut Vec<f64>, scratch: &mut DistScratch) -> f64 {
+    if scratch.policy().uses_fft_for(a.len(), b.len()) {
+        crate::fft::fft_convolve(a, b, out, scratch)
+    } else {
+        kernel::convolve_raw(a, b, out)
     }
-    let done = short.len() - rem.len();
-    for (k, &tap) in rem.iter().enumerate() {
-        if tap == 0.0 {
-            continue;
-        }
-        let i = done + k;
-        for (o, &bq) in out[i..i + l].iter_mut().zip(long.iter()) {
-            *o += tap * bq;
-        }
-    }
-    for &v in &out[summed..] {
-        total += v;
-    }
-    total
 }
 
 /// Raw independent max into `out` (cleared first): the step-CDF product
@@ -749,64 +732,9 @@ mod tests {
         assert!(d.percentile(0.8) > 1.5);
     }
 
-    /// The blocked convolution kernel promises bit-identity with the
-    /// straightforward tap-at-a-time loop; pin that contract down to the
-    /// bit across lengths straddling the 4-tap block boundary.
-    #[test]
-    fn blocked_convolve_matches_naive_tap_order_bitwise() {
-        fn naive(a: &[f64], b: &[f64]) -> Vec<f64> {
-            let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-            let mut out = vec![0.0f64; short.len() + long.len() - 1];
-            for (i, &tap) in short.iter().enumerate() {
-                if tap == 0.0 {
-                    continue;
-                }
-                for (o, &bq) in out[i..i + long.len()].iter_mut().zip(long.iter()) {
-                    *o += tap * bq;
-                }
-            }
-            out
-        }
-        // Deterministic irregular masses, including interior zeros.
-        let mass = |n: usize, salt: u64| -> Vec<f64> {
-            (0..n)
-                .map(|i| {
-                    let x = (i as u64)
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(salt);
-                    if x.is_multiple_of(7) {
-                        0.0
-                    } else {
-                        (x % 1000) as f64 / 1000.0 + 0.001
-                    }
-                })
-                .collect()
-        };
-        for &(na, nb) in &[
-            (1, 1),
-            (2, 5),
-            (3, 3),
-            (4, 4),
-            (5, 2),
-            (6, 9),
-            (7, 61),
-            (9, 128),
-            (61, 1024),
-        ] {
-            let a = mass(na, 17);
-            let b = mass(nb, 91);
-            let mut got = Vec::new();
-            let total = convolve_raw(&a, &b, &mut got);
-            let want = naive(&a, &b);
-            assert_eq!(got.len(), want.len(), "({na}, {nb})");
-            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-                assert_eq!(g.to_bits(), w.to_bits(), "({na}, {nb}) bin {i}: {g} vs {w}");
-            }
-            // The folded total must be the exact index-order left fold.
-            let want_total: f64 = want.iter().sum();
-            assert_eq!(total.to_bits(), want_total.to_bits(), "({na}, {nb}) total");
-        }
-    }
+    // The blocked-kernel bit-identity test lives in `kernel.rs`, where
+    // it pins every runtime-dispatched backend to the naive tap-order
+    // reference.
 
     #[test]
     fn convolve_adds_means_and_variances() {

@@ -1,0 +1,272 @@
+//! The per-call-site kernel tier policy.
+//!
+//! The convolution engine has two tiers:
+//!
+//! * the **dense** tier — the runtime-dispatched SIMD kernel
+//!   ([`crate::KernelBackend`]), bit-identical to the scalar tap-order
+//!   reference on every backend;
+//! * the **FFT** tier — `O(n log n)` convolution for wide mass vectors
+//!   ([`crate::fft_convolve`]), not bitwise but certified to a per-bin
+//!   error bound ([`crate::certified_fft_error_bound`]).
+//!
+//! A [`TierPolicy`] decides, per convolution, whether the FFT tier may
+//! be taken. Policies ride on the [`crate::DistScratch`] pool a call
+//! site already threads through the `_into` operators, so tiering needs
+//! no new plumbing: a scratch built with `DistScratch::new` keeps the
+//! historical exact-tier behaviour, and call sites that opt in build
+//! their pool with `DistScratch::with_policy`.
+//!
+//! **Exact-only call sites.** The pruned selector's correctness rests on
+//! the whole-bin shift bounds of Theorems 1–3 holding *exactly* on the
+//! lattice; its perturbation-front sweeps therefore always use
+//! [`TierPolicy::exact`], which no environment override can loosen. The
+//! FFT tier is only ever offered to percentile/moment/propagation
+//! queries whose consumers tolerate the certified dust.
+//!
+//! The `STATSIZE_KERNEL_TIER` environment variable (read once per
+//! process) narrows or forces tiers globally for non-exact policies:
+//! `scalar` and `sse2` pin the dense backend and disable FFT, `simd`
+//! selects the best dense backend and disables FFT, `fft` forces every
+//! FFT-eligible policy through the FFT tier. CI runs the whole test
+//! suite under each setting.
+
+use std::sync::OnceLock;
+
+/// Environment variable overriding the kernel tier process-wide:
+/// `scalar` | `sse2` | `simd` | `fft`. Read once, at the first kernel
+/// dispatch or policy construction.
+pub const KERNEL_TIER_ENV: &str = "STATSIZE_KERNEL_TIER";
+
+/// Default result-width (bins) above which [`TierPolicy::auto`] considers
+/// the FFT tier.
+pub const DEFAULT_FFT_CROSSOVER: usize = 4096;
+
+/// Default minimum *short-operand* width for the FFT tier under
+/// [`TierPolicy::auto`]: below this the dense kernel's `O(short · long)`
+/// beats `O(n log n)` regardless of result width (the ubiquitous
+/// wide-arrival × narrow-delay convolution stays dense).
+pub const DEFAULT_FFT_MIN_SHORT: usize = 64;
+
+/// Default certified-error tolerance for the FFT tier.
+pub const DEFAULT_FFT_TOLERANCE: f64 = 1e-9;
+
+/// A parsed `STATSIZE_KERNEL_TIER` setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EnvTier {
+    /// Pin the dense tier to the portable scalar backend.
+    Scalar,
+    /// Pin the dense tier to SSE2.
+    Sse2,
+    /// Best dense SIMD backend, FFT tier disabled.
+    Simd,
+    /// Force every FFT-eligible policy through the FFT tier.
+    Fft,
+}
+
+/// The process-wide tier override, parsed once from the environment.
+pub(crate) fn env_tier() -> Option<EnvTier> {
+    static TIER: OnceLock<Option<EnvTier>> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let raw = std::env::var(KERNEL_TIER_ENV).ok()?;
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" => None,
+            "scalar" => Some(EnvTier::Scalar),
+            "sse2" => Some(EnvTier::Sse2),
+            "simd" | "avx2" | "neon" => Some(EnvTier::Simd),
+            "fft" => Some(EnvTier::Fft),
+            other => {
+                eprintln!(
+                    "warning: unrecognized {KERNEL_TIER_ENV}={other:?} \
+                     (expected scalar|sse2|simd|fft); using runtime dispatch"
+                );
+                None
+            }
+        }
+    })
+}
+
+/// When the FFT tier engages for a policy that allows it at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FftMode {
+    /// Never — every convolution takes the dense (bit-exact) tier.
+    Off,
+    /// When both the width thresholds and the error certificate pass.
+    Auto,
+    /// Whenever the error certificate passes (width thresholds waived).
+    Forced,
+}
+
+/// Per-call-site policy choosing between the dense and FFT convolution
+/// tiers. Carried by [`crate::DistScratch`]; see the module docs for the
+/// tier taxonomy and which call sites must stay exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierPolicy {
+    mode: FftMode,
+    crossover: usize,
+    min_short: usize,
+    tolerance: f64,
+}
+
+impl Default for TierPolicy {
+    /// The exact tier — `DistScratch::new()` and every historical call
+    /// site keep bit-exact semantics unless a policy is asked for.
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+impl TierPolicy {
+    /// Dense tier only: every convolution is bit-identical to the scalar
+    /// tap-order kernel. **Not** overridable by `STATSIZE_KERNEL_TIER` —
+    /// exact-only call sites (the shift-bound sweeps of Theorems 1–3)
+    /// must stay exact under any environment.
+    pub fn exact() -> Self {
+        Self {
+            mode: FftMode::Off,
+            crossover: DEFAULT_FFT_CROSSOVER,
+            min_short: DEFAULT_FFT_MIN_SHORT,
+            tolerance: DEFAULT_FFT_TOLERANCE,
+        }
+    }
+
+    /// The default adaptive policy: FFT tier when the short operand has
+    /// at least [`DEFAULT_FFT_MIN_SHORT`] bins, the result at least
+    /// [`DEFAULT_FFT_CROSSOVER`] bins, and the certified error clears
+    /// the tolerance. Honours `STATSIZE_KERNEL_TIER`: a dense setting
+    /// disables the FFT tier, `fft` upgrades to [`TierPolicy::force_fft`].
+    pub fn auto() -> Self {
+        let mode = match env_tier() {
+            Some(EnvTier::Fft) => FftMode::Forced,
+            Some(_) => FftMode::Off,
+            None => FftMode::Auto,
+        };
+        Self {
+            mode,
+            ..Self::exact()
+        }
+    }
+
+    /// Route every eligible convolution through the FFT tier, subject
+    /// only to the error certificate — the test/bench surface for the
+    /// wide tier. A dense `STATSIZE_KERNEL_TIER` setting still wins (the
+    /// operator asked for a dense-only process).
+    pub fn force_fft() -> Self {
+        let mode = match env_tier() {
+            Some(EnvTier::Scalar | EnvTier::Sse2 | EnvTier::Simd) => FftMode::Off,
+            _ => FftMode::Forced,
+        };
+        Self {
+            mode,
+            ..Self::exact()
+        }
+    }
+
+    /// This policy with the FFT tier stripped — how exact-only consumers
+    /// sanitize a caller-provided policy.
+    pub fn without_fft(mut self) -> Self {
+        self.mode = FftMode::Off;
+        self
+    }
+
+    /// This policy with the result-width crossover replaced.
+    pub fn with_crossover(mut self, bins: usize) -> Self {
+        self.crossover = bins;
+        self
+    }
+
+    /// This policy with the certified-error tolerance replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tolerance is not finite and positive.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "tolerance must be finite and positive, got {tolerance}"
+        );
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Whether this policy can never take the FFT tier.
+    pub fn is_exact(&self) -> bool {
+        self.mode == FftMode::Off
+    }
+
+    /// The result-width crossover (bins) under the adaptive mode.
+    pub fn crossover(&self) -> usize {
+        self.crossover
+    }
+
+    /// The certified-error tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Whether a convolution of `a_bins` × `b_bins` mass vectors takes
+    /// the FFT tier under this policy. The certificate is evaluated for
+    /// unit operand masses — the operands at every tiered call site are
+    /// probability masses summing to ≈ 1.
+    pub fn uses_fft_for(&self, a_bins: usize, b_bins: usize) -> bool {
+        if a_bins == 0 || b_bins == 0 {
+            return false;
+        }
+        let result = a_bins + b_bins - 1;
+        let eligible = match self.mode {
+            FftMode::Off => return false,
+            FftMode::Forced => result >= 2,
+            FftMode::Auto => a_bins.min(b_bins) >= self.min_short && result >= self.crossover,
+        };
+        eligible && crate::fft::certified_fft_error_bound(result, 1.0, 1.0) <= self.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_policy_never_elects_fft() {
+        let p = TierPolicy::exact();
+        assert!(p.is_exact());
+        assert!(!p.uses_fft_for(8192, 8192));
+        assert!(TierPolicy::force_fft().without_fft().is_exact());
+    }
+
+    #[test]
+    fn auto_policy_gates_on_both_widths() {
+        // Built explicitly (not via `auto()`) so the test is insensitive
+        // to STATSIZE_KERNEL_TIER in the environment.
+        let p = TierPolicy {
+            mode: FftMode::Auto,
+            ..TierPolicy::exact()
+        };
+        // Wide × wide clears both thresholds.
+        assert!(p.uses_fft_for(4096, 4096));
+        assert!(p.uses_fft_for(2100, 2100));
+        // Wide × narrow-delay stays dense: short operand below min_short.
+        assert!(!p.uses_fft_for(8192, 61));
+        // Narrow results stay dense even with both operands mid-sized.
+        assert!(!p.uses_fft_for(1024, 1024));
+        // An impossible tolerance vetoes the FFT tier entirely.
+        assert!(!p.with_tolerance(1e-18).uses_fft_for(8192, 8192));
+    }
+
+    #[test]
+    fn forced_policy_waives_width_thresholds() {
+        let p = TierPolicy {
+            mode: FftMode::Forced,
+            ..TierPolicy::exact()
+        };
+        assert!(p.uses_fft_for(2, 5));
+        assert!(p.uses_fft_for(61, 1024));
+        // Degenerate 1 × 1 products stay dense.
+        assert!(!p.uses_fft_for(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be finite and positive")]
+    fn bad_tolerance_is_rejected() {
+        let _ = TierPolicy::exact().with_tolerance(0.0);
+    }
+}

@@ -23,8 +23,24 @@ pub struct SstaAnalysis {
 }
 
 impl SstaAnalysis {
-    /// Runs a full SSTA pass over the circuit.
+    /// Runs a full SSTA pass over the circuit on the exact kernel tier
+    /// (bit-identical to the scalar reference kernel regardless of the
+    /// environment).
     pub fn run(graph: &TimingGraph, delays: &ArcDelays) -> Self {
+        Self::run_with_policy(graph, delays, statsize_dist::TierPolicy::exact())
+    }
+
+    /// [`run`](SstaAnalysis::run) under an explicit kernel tier policy:
+    /// arrival propagation is a percentile/moment consumer, so callers
+    /// (e.g. the optimizer's timed circuit) may allow the certified FFT
+    /// tier for wide arrivals. The pass is deterministic for a fixed
+    /// policy — incremental updates under the *same* policy reproduce it
+    /// bit for bit.
+    pub fn run_with_policy(
+        graph: &TimingGraph,
+        delays: &ArcDelays,
+        policy: statsize_dist::TierPolicy,
+    ) -> Self {
         let dt = delays.dt();
         let source_arrival = Dist::point(dt, 0.0);
         let mut arrivals: Vec<Option<Dist>> = vec![None; graph.node_count()];
@@ -32,8 +48,9 @@ impl SstaAnalysis {
 
         let no_overrides = DelayOverrides::none();
         // One buffer pool for the whole pass: every node's intermediate
-        // fan-in accumulators recycle through it.
-        let mut scratch = statsize_dist::DistScratch::new();
+        // fan-in accumulators recycle through it, and it carries the
+        // kernel tier policy.
+        let mut scratch = statsize_dist::DistScratch::with_policy(policy);
         for level in 1..=graph.sink_level() {
             for &node in graph.nodes_at_level(level) {
                 let arrival = crate::propagate::node_arrival(
@@ -93,11 +110,32 @@ impl SstaAnalysis {
         delays: &ArcDelays,
         changed_gates: &[GateId],
     ) {
+        self.update_after_delay_change_with_policy(
+            graph,
+            delays,
+            changed_gates,
+            statsize_dist::TierPolicy::exact(),
+        );
+    }
+
+    /// [`update_after_delay_change`](SstaAnalysis::update_after_delay_change)
+    /// under an explicit kernel tier policy. To keep an incrementally
+    /// maintained analysis bit-identical to a from-scratch
+    /// [`run_with_policy`](SstaAnalysis::run_with_policy), pass the same
+    /// policy the analysis was built with.
+    pub fn update_after_delay_change_with_policy(
+        &mut self,
+        graph: &TimingGraph,
+        delays: &ArcDelays,
+        changed_gates: &[GateId],
+        policy: statsize_dist::TierPolicy,
+    ) {
         let seeds: Vec<TimingNode> = changed_gates
             .iter()
             .map(|&g| graph.out_node_of_gate(g))
             .collect();
-        let mut walk = ConeWalk::with_seeds(graph, delays, self, DelayOverrides::none(), &seeds);
+        let mut walk = ConeWalk::with_seeds(graph, delays, self, DelayOverrides::none(), &seeds)
+            .with_kernel_policy(policy);
         walk.run_to_sink();
         for (node, dist) in walk.into_perturbed() {
             self.arrivals[node.index()] = dist;

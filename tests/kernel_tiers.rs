@@ -1,0 +1,97 @@
+//! Cross-crate guarantees of the tiered convolution engine.
+//!
+//! The contract under test: percentile/moment consumers (arrival
+//! propagation in [`TimedCircuit`]) may route wide convolutions through
+//! the certified FFT tier, but the whole-bin shift-bound machinery the
+//! pruning theory rests on (Theorems 1–3) **never** does — the pruned
+//! selector strips the FFT tier from any policy it is handed, by
+//! construction. The proof is observational: `statsize_dist` counts
+//! every FFT convolution in a process-global counter, so snapshotting it
+//! around a pruned selection under a force-FFT policy shows exactly
+//! which call sites routed where.
+//!
+//! Everything runs in ONE test function: the counter is global, and
+//! concurrent test threads doing their own FFT work would make
+//! per-phase deltas meaningless.
+
+use statsize::{BruteForceSelector, Objective, PrunedSelector, TimedCircuit};
+use statsize_cells::{CellLibrary, VariationModel};
+use statsize_dist::{fft_convolutions, TierPolicy, KERNEL_TIER_ENV};
+use statsize_netlist::bench;
+
+/// Whether the environment pins a dense tier, overriding even an
+/// explicit [`TierPolicy::force_fft`] (the operator's kill switch wins
+/// over programmatic forcing). Under the CI matrix's scalar/simd legs
+/// the FFT-engagement assertions below are vacuous and must be skipped.
+fn env_pins_dense() -> bool {
+    matches!(
+        std::env::var(KERNEL_TIER_ENV).as_deref(),
+        Ok("scalar") | Ok("sse2") | Ok("simd") | Ok("avx2") | Ok("neon")
+    )
+}
+
+#[test]
+fn fft_tier_reaches_propagation_but_never_the_pruned_sweep() {
+    let nl = bench::c17();
+    let lib = CellLibrary::synthetic_180nm();
+    let obj = Objective::percentile(0.99);
+
+    // Force-FFT circuit: every arrival convolution of at least 2 result
+    // bins is eligible, so construction alone must exercise the FFT
+    // path (unless the environment pins a dense tier).
+    let policy = TierPolicy::force_fft();
+    let before_build = fft_convolutions();
+    let circuit =
+        TimedCircuit::with_kernel_policy(&nl, &lib, VariationModel::paper_default(), 1.0, policy);
+    let during_build = fft_convolutions() - before_build;
+    if env_pins_dense() {
+        assert!(
+            !policy.uses_fft_for(4096, 4096),
+            "dense env must veto forcing"
+        );
+        assert_eq!(during_build, 0, "dense env must keep propagation dense");
+    } else {
+        assert!(
+            during_build > 0,
+            "forced-FFT arrival propagation must route through the FFT tier"
+        );
+    }
+
+    // The pruned selector is handed the same force-FFT policy — and must
+    // strip it: its sweep is a shift-bound call site, exact-tier-only by
+    // the paper's Theorems 1–3. Not one FFT convolution may happen.
+    let before_sweep = fft_convolutions();
+    let pruned = PrunedSelector::new(1.0)
+        .with_kernel_policy(policy)
+        .select(&circuit, obj);
+    assert_eq!(
+        fft_convolutions() - before_sweep,
+        0,
+        "the pruned sweep must never route through the FFT tier"
+    );
+
+    // And stripping the tier costs nothing: on the same (possibly
+    // FFT-propagated) base arrivals, the pruned selection still matches
+    // exact brute force bit for bit.
+    let brute = BruteForceSelector::new(1.0).select(&circuit, obj);
+    let (p, b) = (pruned.expect("c17 improves"), brute.expect("c17 improves"));
+    assert_eq!(p.gate, b.gate);
+    assert_eq!(p.sensitivity, b.sensitivity);
+
+    // An exact-policy circuit never touches the FFT tier at all, under
+    // any environment setting: `TierPolicy::exact` is env-immune.
+    let before_exact = fft_convolutions();
+    let exact_circuit = TimedCircuit::with_kernel_policy(
+        &nl,
+        &lib,
+        VariationModel::paper_default(),
+        1.0,
+        TierPolicy::exact(),
+    );
+    let _ = PrunedSelector::new(1.0).select(&exact_circuit, obj);
+    assert_eq!(
+        fft_convolutions() - before_exact,
+        0,
+        "exact-tier circuits and sweeps must stay off the FFT path"
+    );
+}
