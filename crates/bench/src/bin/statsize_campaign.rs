@@ -7,11 +7,15 @@
 //! cargo run --release -p statsize-bench --bin statsize-campaign -- \
 //!     [--corpus-dir=DIR] [--profiles=c17,c432,gen12000] [--shards=N] \
 //!     [--out=PATH] [--iters=N] [--dt=PS] [--seed=N] [--threads=N] \
-//!     [--selector=pruned|brute|deterministic|heuristic:K] [--timing]
+//!     [--selector=pruned|brute|deterministic|heuristic:K] [--timing] \
+//!     [--journal=PATH | --resume=PATH] [--deadline-ms=N] \
+//!     [--fallback=SELECTOR] [--fail-fast]
 //! ```
 //!
 //! * `--corpus-dir=DIR` — load every `*.bench` file in `DIR` (sorted by
-//!   name) as a job.
+//!   name) as a job. Unloadable files are quarantined and reported as
+//!   `skipped` jobs (the run keeps going); under `--fail-fast` the first
+//!   bad file aborts the run with exit 2 instead.
 //! * `--profiles=a,b,c` — add generated jobs: `c17`, any ISCAS-85
 //!   profile name, or `gen<N>` for a scaled profile with `N` nodes.
 //! * `--shards=N` — circuit-level workers (default 1).
@@ -20,18 +24,36 @@
 //! * `--out=PATH` — report path (default `campaign_report.json`).
 //! * `--timing` — include wall-clock fields in the report. Off by
 //!   default so the report bytes are **bit-identical across shard
-//!   counts**; timings always print to stdout.
+//!   counts and across checkpoint/resume**; timings always print to
+//!   stdout.
+//! * `--journal=PATH` — checkpoint completed jobs to a fresh journal at
+//!   `PATH` as the campaign runs.
+//! * `--resume=PATH` — resume from an existing journal: jobs already on
+//!   record are restored bit-identically instead of re-run, and new
+//!   completions keep appending to the same file. Corrupt journal lines
+//!   are quarantined (their jobs re-run); a corrupt header is a hard
+//!   error.
+//! * `--deadline-ms=N` — cooperative per-job deadline; overrunning jobs
+//!   report `timed_out`.
+//! * `--fallback=SELECTOR` — on deadline overrun, retry the job once
+//!   with this (cheaper) selector before giving up; a fallback
+//!   completion is marked `degraded`.
+//! * `--fail-fast` — stop scheduling new jobs after the first fault and
+//!   refuse quarantined corpus files up front.
 //!
-//! Exit status is non-zero on any circuit error: unreadable or invalid
-//! corpus files, unknown profile names, or an outcome that failed to
-//! hold the optimizer's improvement invariant.
+//! Exit status: `2` for hard errors (bad arguments, unreadable corpus
+//! directory or journal, unwritable report), `1` when any job failed,
+//! timed out, or violated the optimizer's improvement invariant, `0`
+//! otherwise. Quarantined (`skipped`) jobs alone do not fail the run
+//! unless `--fail-fast` is set.
 
-use statsize::{Campaign, CampaignJob, Objective, SelectorKind};
+use statsize::{Campaign, CampaignJob, JobOutcome, Journal, Objective, SelectorKind};
 use statsize_bench::emit::{ps_as_ns, Table};
 use statsize_bench::{campaign, suite};
 use statsize_cells::CellLibrary;
 use statsize_netlist::corpus;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     corpus_dir: Option<String>,
@@ -44,15 +66,23 @@ struct Args {
     seed: u64,
     selector: SelectorKind,
     timing: bool,
+    journal: Option<String>,
+    resume: Option<String>,
+    deadline_ms: Option<u64>,
+    fallback: Option<SelectorKind>,
+    fail_fast: bool,
 }
 
 fn usage(arg: &str) -> ! {
-    panic!(
-        "unrecognized argument `{arg}`\n\
+    eprintln!(
+        "error: unrecognized argument `{arg}`\n\
          usage: --corpus-dir=DIR --profiles=c17,c432,gen12000 --shards=N \
          --out=PATH --iters=N --dt=PS --seed=N --threads=N \
-         --selector=pruned|brute|deterministic|heuristic:K --timing"
+         --selector=pruned|brute|deterministic|heuristic:K --timing \
+         --journal=PATH --resume=PATH --deadline-ms=N --fallback=SELECTOR \
+         --fail-fast"
     );
+    std::process::exit(2);
 }
 
 fn parse_selector(v: &str) -> SelectorKind {
@@ -79,6 +109,11 @@ fn parse_args() -> Args {
         seed: 1,
         selector: SelectorKind::Pruned,
         timing: false,
+        journal: None,
+        resume: None,
+        deadline_ms: None,
+        fallback: None,
+        fail_fast: false,
     };
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--corpus-dir=") {
@@ -101,11 +136,65 @@ fn parse_args() -> Args {
             args.selector = parse_selector(v);
         } else if arg == "--timing" {
             args.timing = true;
+        } else if let Some(v) = arg.strip_prefix("--journal=") {
+            args.journal = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--resume=") {
+            args.resume = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--deadline-ms=") {
+            args.deadline_ms = Some(v.parse().unwrap_or_else(|_| usage(&arg)));
+        } else if let Some(v) = arg.strip_prefix("--fallback=") {
+            args.fallback = Some(parse_selector(v));
+        } else if arg == "--fail-fast" {
+            args.fail_fast = true;
         } else {
             usage(&arg);
         }
     }
+    if args.journal.is_some() && args.resume.is_some() {
+        eprintln!("error: pass either --journal (fresh) or --resume (existing), not both");
+        std::process::exit(2);
+    }
     args
+}
+
+/// Assembles the corpus-directory jobs. Default mode loads leniently:
+/// unloadable files become quarantined jobs the campaign reports as
+/// `skipped`. Under `--fail-fast` the strict loader refuses the first
+/// bad file.
+fn corpus_jobs(dir: &str, fail_fast: bool, jobs: &mut Vec<CampaignJob>) -> Result<(), String> {
+    if fail_fast {
+        let entries = corpus::load_dir(dir).map_err(|e| e.to_string())?;
+        for e in entries {
+            println!(
+                "loaded {} ({} nodes) from {}",
+                e.name,
+                e.netlist.stats().timing_nodes,
+                e.path.display()
+            );
+            jobs.push(CampaignJob::new(e.name, e.netlist));
+        }
+        return Ok(());
+    }
+    let loaded = corpus::load_dir_lenient(dir).map_err(|e| e.to_string())?;
+    for e in loaded.entries {
+        println!(
+            "loaded {} ({} nodes) from {}",
+            e.name,
+            e.netlist.stats().timing_nodes,
+            e.path.display()
+        );
+        jobs.push(CampaignJob::new(e.name, e.netlist));
+    }
+    for err in loaded.rejected {
+        let name = err
+            .path()
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| err.path().display().to_string());
+        eprintln!("warning: quarantined {name}: {err}");
+        jobs.push(CampaignJob::quarantined(name, err.to_string()));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -115,83 +204,158 @@ fn main() -> ExitCode {
     // then generated profiles in the order given.
     let mut jobs: Vec<CampaignJob> = Vec::new();
     if let Some(dir) = &args.corpus_dir {
-        match corpus::load_dir(dir) {
-            Ok(entries) => {
-                for e in entries {
-                    println!(
-                        "loaded {} ({} nodes) from {}",
-                        e.name,
-                        e.netlist.stats().timing_nodes,
-                        e.path.display()
-                    );
-                    jobs.push(CampaignJob::new(e.name, e.netlist));
-                }
-            }
+        if let Err(e) = corpus_jobs(dir, args.fail_fast, &mut jobs) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    for name in &args.profiles {
+        match suite::try_build_circuit(name, args.seed) {
+            Ok(netlist) => jobs.push(CampaignJob::new(name.clone(), netlist)),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         }
     }
-    for name in &args.profiles {
-        if !suite::is_known_circuit(name) {
-            eprintln!(
-                "error: unknown profile `{name}` \
-                 (expected c17, an ISCAS-85 name, or gen<N> with N >= 32)"
-            );
-            return ExitCode::from(2);
-        }
-        jobs.push(CampaignJob::new(
-            name.clone(),
-            suite::build_circuit(name, args.seed),
-        ));
-    }
     if jobs.is_empty() {
         eprintln!("error: no circuits — pass --corpus-dir and/or --profiles");
         return ExitCode::from(2);
     }
 
+    // Checkpoint journal: fresh (--journal) or resumed (--resume).
+    let mut journal = match (&args.journal, &args.resume) {
+        (Some(path), None) => match Journal::create(path) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        (None, Some(path)) => match Journal::resume(path) {
+            Ok(j) => {
+                for err in j.corrupt_entries() {
+                    eprintln!("warning: {err}; the affected job will re-run");
+                }
+                println!("resuming from {} ({} jobs on record)", path, j.len());
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => None,
+    };
+
     let objective = Objective::percentile(0.99);
-    let report = Campaign::new(objective, args.selector)
+    let mut campaign_cfg = Campaign::new(objective, args.selector)
         .with_max_iterations(args.iters)
         .with_dt(args.dt)
         .with_shards(args.shards)
         .with_total_threads(args.threads)
-        .run(&jobs, &CellLibrary::synthetic_180nm());
+        .with_fail_fast(args.fail_fast);
+    if let Some(ms) = args.deadline_ms {
+        campaign_cfg = campaign_cfg.with_job_deadline(Duration::from_millis(ms));
+    }
+    if let Some(fallback) = args.fallback {
+        campaign_cfg = campaign_cfg.with_deadline_fallback(fallback);
+    }
+    let report =
+        campaign_cfg.run_resumable(&jobs, &CellLibrary::synthetic_180nm(), journal.as_mut());
 
     // Human-readable summary (always includes wall clocks).
     let mut table = Table::new([
         "circuit",
+        "status",
         "nodes",
         "iters",
         "T99 before (ns)",
         "T99 after (ns)",
         "wall (ms)",
     ]);
-    let mut failures = 0usize;
-    for o in &report.outcomes {
-        table.row([
-            o.name.clone(),
-            o.nodes.to_string(),
-            o.iterations.to_string(),
-            ps_as_ns(o.initial_objective),
-            ps_as_ns(o.final_objective),
-            format!("{:.1}", o.wall.as_secs_f64() * 1e3),
-        ]);
-        // The optimizer's contract: the objective never degrades (a NaN
-        // objective is equally a failure).
-        if o.final_objective.is_nan() || o.final_objective > o.initial_objective + 1e-9 {
-            eprintln!(
-                "error: {} degraded from {} to {} ps",
-                o.name, o.initial_objective, o.final_objective
-            );
-            failures += 1;
+    let mut invariant_failures = 0usize;
+    for outcome in &report.outcomes {
+        match outcome {
+            JobOutcome::Completed(o) => {
+                table.row([
+                    o.name.clone(),
+                    if o.degraded { "degraded" } else { "completed" }.to_string(),
+                    o.nodes.to_string(),
+                    o.iterations.to_string(),
+                    ps_as_ns(o.initial_objective),
+                    ps_as_ns(o.final_objective),
+                    format!("{:.1}", o.wall.as_secs_f64() * 1e3),
+                ]);
+                // The optimizer's contract: the objective never degrades
+                // (a NaN objective is equally a failure).
+                if o.final_objective.is_nan() || o.final_objective > o.initial_objective + 1e-9 {
+                    eprintln!(
+                        "error: {} degraded from {} to {} ps",
+                        o.name, o.initial_objective, o.final_objective
+                    );
+                    invariant_failures += 1;
+                }
+            }
+            JobOutcome::Failed(e) => {
+                table.row([
+                    e.name.clone(),
+                    "failed".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+                eprintln!("error: {e}");
+            }
+            JobOutcome::TimedOut(t) => {
+                table.row([
+                    t.name.clone(),
+                    "timed out".to_string(),
+                    "-".to_string(),
+                    t.iterations_committed.to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+                eprintln!(
+                    "error: {} exceeded its {:.0} ms deadline ({} iterations committed{})",
+                    t.name,
+                    t.deadline.as_secs_f64() * 1e3,
+                    t.iterations_committed,
+                    if t.fallback_attempted {
+                        "; fallback also overran"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            JobOutcome::Skipped(s) => {
+                table.row([
+                    s.name.clone(),
+                    "skipped".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+            }
         }
     }
     print!("{}", table.render());
+    let counts = report.counts();
     println!(
-        "{} circuits, {} shards x {} selector threads, total {:.1} ms",
+        "{} jobs ({} completed, {} degraded, {} failed, {} timed out, {} skipped, {} resumed), \
+         {} shards x {} selector threads, total {:.1} ms",
         report.outcomes.len(),
+        counts.completed,
+        counts.degraded,
+        counts.failed,
+        counts.timed_out,
+        counts.skipped,
+        report.resumed,
         report.shards,
         report.threads_per_shard,
         report.wall.as_secs_f64() * 1e3
@@ -204,7 +368,7 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", args.out);
 
-    if failures > 0 {
+    if report.has_faults() || invariant_failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

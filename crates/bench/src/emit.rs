@@ -120,6 +120,11 @@ impl JsonObject {
         self.push_raw(key, value.to_string())
     }
 
+    /// Adds a boolean field.
+    pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
+        self.push_raw(key, value.to_string())
+    }
+
     /// Adds an array of already-rendered JSON values (e.g. nested
     /// objects).
     pub fn array(&mut self, key: &str, values: &[String]) -> &mut Self {

@@ -2,6 +2,28 @@
 
 use statsize_netlist::generator::ScaledProfile;
 use statsize_netlist::{bench, generator, Netlist};
+use std::fmt;
+
+/// A benchmark-circuit name that does not resolve to anything
+/// [`build_circuit`] can build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCircuit {
+    /// The unresolvable name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown benchmark circuit `{}` \
+             (expected c17, an ISCAS-85 name, or gen<N> with N >= 32)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for UnknownCircuit {}
 
 /// Builds a benchmark circuit by name: the embedded real `c17`, a
 /// synthetic circuit matching the paper's ISCAS-85 profile (see
@@ -11,16 +33,35 @@ use statsize_netlist::{bench, generator, Netlist};
 ///
 /// # Panics
 ///
-/// Panics on an unknown circuit name.
+/// Panics on an unknown circuit name — use
+/// [`try_build_circuit`] when the name comes from user input.
 pub fn build_circuit(name: &str, seed: u64) -> Netlist {
+    match try_build_circuit(name, seed) {
+        Ok(netlist) => netlist,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// [`build_circuit`], returning a typed [`UnknownCircuit`] error instead
+/// of panicking on an unresolvable name.
+///
+/// # Errors
+///
+/// Returns [`UnknownCircuit`] when `name` is not `c17`, a known ISCAS-85
+/// profile, or a `gen<N>` scaled profile.
+pub fn try_build_circuit(name: &str, seed: u64) -> Result<Netlist, UnknownCircuit> {
     if name == "c17" {
-        return bench::c17();
+        return Ok(bench::c17());
     }
     if let Some(nodes) = scaled_nodes(name) {
-        return generator::generate_scaled(&ScaledProfile::with_nodes(nodes), seed);
+        return Ok(generator::generate_scaled(
+            &ScaledProfile::with_nodes(nodes),
+            seed,
+        ));
     }
-    generator::generate_iscas(name, seed)
-        .unwrap_or_else(|| panic!("unknown benchmark circuit `{name}`"))
+    generator::generate_iscas(name, seed).ok_or_else(|| UnknownCircuit {
+        name: name.to_string(),
+    })
 }
 
 /// True when `name` resolves to some circuit `build_circuit` can build.
@@ -66,5 +107,18 @@ mod tests {
     #[should_panic(expected = "unknown benchmark circuit")]
     fn unknown_circuit_panics() {
         build_circuit("c404", 0);
+    }
+
+    #[test]
+    fn try_build_circuit_returns_typed_errors() {
+        let err = try_build_circuit("c404", 0).expect_err("c404 is not a profile");
+        assert_eq!(err.name, "c404");
+        assert!(err.to_string().contains("unknown benchmark circuit"));
+        assert_eq!(
+            try_build_circuit("c17", 0)
+                .expect("c17 resolves")
+                .gate_count(),
+            6
+        );
     }
 }

@@ -1,12 +1,14 @@
 //! Brute-force statistical sensitivity selection (paper Section 3.1).
 
 use crate::circuit::TimedCircuit;
+use crate::deadline::{Deadline, DeadlineExceeded};
 use crate::objective::Objective;
 use crate::parallel::{default_threads, normalize_threads, run_indexed};
 use crate::selection::Selection;
 use statsize_dist::{DistScratch, TierPolicy};
 use statsize_netlist::GateId;
 use statsize_ssta::ConeWalk;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The straightforward statistical selector: for every gate, propagate its
 /// trial-resize perturbation all the way to the sink and measure the exact
@@ -27,6 +29,7 @@ pub struct BruteForceSelector {
     delta_w: f64,
     threads: usize,
     kernel_policy: TierPolicy,
+    deadline: Deadline,
 }
 
 impl BruteForceSelector {
@@ -49,12 +52,23 @@ impl BruteForceSelector {
             delta_w,
             threads: default_threads(),
             kernel_policy: TierPolicy::exact(),
+            deadline: Deadline::none(),
         }
     }
 
     /// The trial width increment.
     pub fn delta_w(&self) -> f64 {
         self.delta_w
+    }
+
+    /// Sets a cooperative [`Deadline`] for the sweep (default: none),
+    /// polled once per candidate cone walk — the sweep's natural work
+    /// unit. Use the `try_*` entry points with a deadline set; the
+    /// infallible ones panic on expiry.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Overrides the worker-thread count for the sensitivity sweep,
@@ -87,19 +101,56 @@ impl BruteForceSelector {
     /// Finds the gate with the highest exact sensitivity
     /// `Sx = (cost − cost′)/Δw`, or `None` when no gate improves the
     /// objective. Ties break toward the lower gate id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured [`with_deadline`](Self::with_deadline)
+    /// expires — use [`try_select`](Self::try_select) with deadlines.
     pub fn select(&self, circuit: &TimedCircuit<'_>, objective: Objective) -> Option<Selection> {
         let mut top = self.select_top_k(circuit, objective, 1);
         top.pop()
     }
 
+    /// Fallible form of [`select`](Self::select): `Err` when the
+    /// configured [`with_deadline`](Self::with_deadline) expires
+    /// mid-sweep.
+    pub fn try_select(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+    ) -> Result<Option<Selection>, DeadlineExceeded> {
+        let mut top = self.try_select_top_k(circuit, objective, 1)?;
+        Ok(top.pop())
+    }
+
     /// The exact sensitivities of every gate, unsorted (in gate-id
     /// order). Exposed for analyses that want the full sensitivity
     /// profile, not just the argmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured [`with_deadline`](Self::with_deadline)
+    /// expires — use
+    /// [`try_all_sensitivities`](Self::try_all_sensitivities) with
+    /// deadlines.
     pub fn all_sensitivities(
         &self,
         circuit: &TimedCircuit<'_>,
         objective: Objective,
     ) -> Vec<Selection> {
+        self.try_all_sensitivities(circuit, objective)
+            .expect("sweep deadline exceeded; use try_all_sensitivities with a deadline")
+    }
+
+    /// Fallible form of
+    /// [`all_sensitivities`](Self::all_sensitivities): `Err` when the
+    /// configured [`with_deadline`](Self::with_deadline) expires
+    /// mid-sweep (partial results are discarded).
+    pub fn try_all_sensitivities(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+    ) -> Result<Vec<Selection>, DeadlineExceeded> {
         let gates: Vec<GateId> = circuit.netlist().gate_ids().collect();
         let threads = normalize_threads(self.threads, gates.len());
         if threads > 1 {
@@ -111,10 +162,13 @@ impl BruteForceSelector {
         // O(front width), not O(cone size). The pool carries the
         // selector's kernel tier policy.
         let mut scratch = DistScratch::with_policy(self.kernel_policy);
-        gates
-            .into_iter()
-            .map(|gate| self.one_sensitivity(circuit, objective, base_cost, gate, &mut scratch))
-            .collect()
+        let mut all = Vec::with_capacity(gates.len());
+        for gate in gates {
+            // Cooperative deadline, once per candidate cone walk.
+            self.deadline.check()?;
+            all.push(self.one_sensitivity(circuit, objective, base_cost, gate, &mut scratch));
+        }
+        Ok(all)
     }
 
     /// One gate's exact sensitivity: full perturbation propagation to the
@@ -150,12 +204,28 @@ impl BruteForceSelector {
         objective: Objective,
         gates: &[GateId],
         threads: usize,
-    ) -> Vec<Selection> {
+    ) -> Result<Vec<Selection>, DeadlineExceeded> {
         let base_cost = circuit.objective_value(objective);
         let scratch = || DistScratch::with_policy(self.kernel_policy);
-        run_indexed(threads, gates.len(), scratch, |scratch, idx| {
+        // Cooperative-deadline latch shared by the workers. Post-expiry
+        // claims return a placeholder so the claim/scatter invariant
+        // (every slot filled) holds; the whole result is then discarded
+        // in favour of the error.
+        let expired = AtomicBool::new(false);
+        let all = run_indexed(threads, gates.len(), scratch, |scratch, idx| {
+            if expired.load(Ordering::Relaxed) || self.deadline.expired() {
+                expired.store(true, Ordering::Relaxed);
+                return Selection {
+                    gate: gates[idx],
+                    sensitivity: f64::NEG_INFINITY,
+                };
+            }
             self.one_sensitivity(circuit, objective, base_cost, gates[idx], scratch)
-        })
+        });
+        if expired.load(Ordering::Relaxed) {
+            return Err(DeadlineExceeded);
+        }
+        Ok(all)
     }
 
     /// The `k` most sensitive gates with positive sensitivity, sorted by
@@ -164,15 +234,34 @@ impl BruteForceSelector {
     ///
     /// # Panics
     ///
-    /// Panics if `k` is zero.
+    /// Panics if `k` is zero, or if a configured
+    /// [`with_deadline`](Self::with_deadline) expires — use
+    /// [`try_select_top_k`](Self::try_select_top_k) with deadlines.
     pub fn select_top_k(
         &self,
         circuit: &TimedCircuit<'_>,
         objective: Objective,
         k: usize,
     ) -> Vec<Selection> {
+        self.try_select_top_k(circuit, objective, k)
+            .expect("sweep deadline exceeded; use try_select_top_k with a deadline")
+    }
+
+    /// Fallible form of [`select_top_k`](Self::select_top_k): `Err` when
+    /// the configured [`with_deadline`](Self::with_deadline) expires
+    /// mid-sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn try_select_top_k(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        k: usize,
+    ) -> Result<Vec<Selection>, DeadlineExceeded> {
         assert!(k > 0, "k must be positive");
-        let mut all = self.all_sensitivities(circuit, objective);
+        let mut all = self.try_all_sensitivities(circuit, objective)?;
         all.sort_by(|a, b| {
             if a.better_than(b) {
                 std::cmp::Ordering::Less
@@ -184,7 +273,7 @@ impl BruteForceSelector {
         });
         all.truncate(k);
         all.retain(|s| s.sensitivity > 0.0);
-        all
+        Ok(all)
     }
 }
 
@@ -250,6 +339,36 @@ mod tests {
     #[should_panic(expected = "Δw must be finite and positive")]
     fn zero_delta_w_rejected() {
         BruteForceSelector::new(0.0);
+    }
+
+    #[test]
+    fn expired_deadline_errors_on_both_sweeps() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        for threads in [1usize, 4] {
+            let sel = BruteForceSelector::new(1.0)
+                .with_threads(threads)
+                .with_deadline(Deadline::after(std::time::Duration::ZERO));
+            assert_eq!(
+                sel.try_select(&circuit, obj),
+                Err(DeadlineExceeded),
+                "threads={threads}"
+            );
+            assert_eq!(
+                sel.try_all_sensitivities(&circuit, obj),
+                Err(DeadlineExceeded),
+                "threads={threads}"
+            );
+        }
+        // An unlimited deadline changes nothing, bit for bit.
+        let plain = BruteForceSelector::new(1.0).select(&circuit, obj);
+        let unlimited = BruteForceSelector::new(1.0)
+            .with_deadline(Deadline::none())
+            .try_select(&circuit, obj)
+            .expect("unlimited deadline never expires");
+        assert_eq!(plain, unlimited);
     }
 
     #[test]

@@ -26,6 +26,25 @@
 //! circuit serially** regardless of the shard count or the budget split
 //! — pinned by `tests/campaign_determinism.rs`.
 //!
+//! # Fault tolerance
+//!
+//! A campaign is a long-running batch over an arbitrary corpus, so one
+//! bad circuit must not take down the rest. Every job runs **isolated**:
+//! a panic anywhere in its setup or optimization is caught
+//! ([`std::panic::catch_unwind`]) and converted into a structured
+//! [`JobOutcome::Failed`] instead of poisoning the shard pool. Jobs may
+//! carry a cooperative per-job deadline
+//! ([`Campaign::with_job_deadline`]) with an optional one-shot fallback
+//! to a cheaper selector ([`Campaign::with_deadline_fallback`]) before a
+//! job is marked [`JobOutcome::TimedOut`]; corpus files that failed to
+//! load arrive pre-quarantined ([`CampaignJob::quarantined`]) and report
+//! as [`JobOutcome::Skipped`]. Completed jobs can be checkpointed to a
+//! [`Journal`](crate::Journal) and skipped bit-identically on a resumed
+//! run ([`Campaign::run_resumable`]). Deadlines and
+//! [fail-fast](Campaign::with_fail_fast) are inherently
+//! schedule-dependent and are therefore excluded from the determinism
+//! contract above; everything else keeps it.
+//!
 //! # Example
 //!
 //! ```
@@ -40,26 +59,39 @@
 //!     .with_shards(2)
 //!     .run(&jobs, &lib);
 //! assert_eq!(report.outcomes.len(), 1);
-//! assert!(report.outcomes[0].final_objective <= report.outcomes[0].initial_objective);
+//! let outcome = report.outcomes[0].completed().expect("c17 completes");
+//! assert!(outcome.final_objective <= outcome.initial_objective);
 //! ```
 
 use crate::circuit::TimedCircuit;
+use crate::failpoint;
+use crate::journal::{self, Journal};
 use crate::objective::Objective;
-use crate::optimizer::{Optimizer, SelectorKind, StopReason};
+use crate::optimizer::{OptimizationResult, Optimizer, SelectorKind, StopReason};
 use crate::parallel;
 use statsize_cells::{CellLibrary, VariationModel};
 use statsize_dist::TierPolicy;
 use statsize_netlist::Netlist;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// One circuit queued for optimization: a name (for the report) and the
-/// netlist itself.
+/// One circuit queued for optimization: a name (for the report) and
+/// either the netlist itself or a quarantine notice for an input that
+/// failed to load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignJob {
     /// Report name (typically the circuit or file-stem name).
     pub name: String,
-    /// The circuit to optimize.
-    pub netlist: Netlist,
+    payload: Payload,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Payload {
+    Circuit(Netlist),
+    Quarantined(String),
 }
 
 impl CampaignJob {
@@ -67,17 +99,45 @@ impl CampaignJob {
     pub fn new<S: Into<String>>(name: S, netlist: Netlist) -> Self {
         Self {
             name: name.into(),
-            netlist,
+            payload: Payload::Circuit(netlist),
+        }
+    }
+
+    /// Creates a quarantined placeholder for an input that failed to
+    /// load (e.g. a corrupt corpus file). The campaign reports it as
+    /// [`JobOutcome::Skipped`] with `reason`, so a batch over a corpus
+    /// accounts for every file without letting one bad input abort the
+    /// run.
+    pub fn quarantined<S: Into<String>, R: Into<String>>(name: S, reason: R) -> Self {
+        Self {
+            name: name.into(),
+            payload: Payload::Quarantined(reason.into()),
+        }
+    }
+
+    /// The circuit to optimize, or `None` for a quarantined job.
+    pub fn netlist(&self) -> Option<&Netlist> {
+        match &self.payload {
+            Payload::Circuit(netlist) => Some(netlist),
+            Payload::Quarantined(_) => None,
+        }
+    }
+
+    /// The quarantine reason, or `None` for a runnable job.
+    pub fn quarantine_reason(&self) -> Option<&str> {
+        match &self.payload {
+            Payload::Circuit(_) => None,
+            Payload::Quarantined(reason) => Some(reason),
         }
     }
 }
 
 /// The result of optimizing one circuit within a campaign.
 ///
-/// All fields except [`wall`](Self::wall) and the
-/// [`pruned`](Self::pruned)/[`completed`](Self::completed) split (whose
-/// sum is deterministic, but whose split depends on the selector worker
-/// schedule when a shard runs more than one selector thread) are
+/// All fields except [`wall`](Self::wall), [`degraded`](Self::degraded),
+/// and the [`pruned`](Self::pruned)/[`completed`](Self::completed) split
+/// (whose sum is deterministic, but whose split depends on the selector
+/// worker schedule when a shard runs more than one selector thread) are
 /// deterministic functions of the job and the campaign configuration —
 /// identical across shard counts and thread budgets.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +169,12 @@ pub struct CircuitOutcome {
     pub pruned: usize,
     /// Candidates propagated to the sink across all iterations.
     pub completed: usize,
+    /// Whether this outcome came from the one-shot deadline-fallback
+    /// selector ([`Campaign::with_deadline_fallback`]) after the primary
+    /// selector overran its deadline. Degraded outcomes depend on wall
+    ///-clock timing and are excluded from determinism comparisons and
+    /// from the checkpoint journal.
+    pub degraded: bool,
     /// Wall-clock time of this circuit's optimization (schedule
     /// dependent — excluded from determinism comparisons).
     pub wall: Duration,
@@ -118,8 +184,10 @@ pub struct CircuitOutcome {
 /// compared by their exact bit patterns. Campaign determinism tests
 /// compare these across shard counts and thread budgets.
 ///
-/// Excluded: the wall clock, and the `pruned`/`completed` *split* (which
-/// depends on the selector's worker schedule — only their sum,
+/// Excluded: the wall clock, the [`degraded`](CircuitOutcome::degraded)
+/// flag (never set on deadline-free runs, which are the only runs the
+/// determinism contract covers), and the `pruned`/`completed` *split*
+/// (which depends on the selector's worker schedule — only their sum,
 /// `candidates`, is deterministic; see `PruneStats`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutcomeKey {
@@ -154,25 +222,190 @@ impl CircuitOutcome {
     }
 }
 
-/// The result of a whole campaign: one [`CircuitOutcome`] per job, in
-/// job order (independent of which shard ran which circuit).
+/// Which phase of a campaign job a failure came from — the provenance
+/// half of a [`JobError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStage {
+    /// Loading or parsing the input (corpus file, generator profile).
+    Corpus,
+    /// Validating or transforming the netlist.
+    Netlist,
+    /// Building the timed circuit / statistical timing model.
+    Ssta,
+    /// The sensitivity sweep or the optimizer's move loop.
+    Selector,
+}
+
+impl fmt::Display for JobStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobStage::Corpus => "corpus",
+            JobStage::Netlist => "netlist",
+            JobStage::Ssta => "ssta",
+            JobStage::Selector => "selector",
+        })
+    }
+}
+
+/// A job that failed: a caught panic or a typed setup error, with the
+/// stage it came from. The rest of the campaign is unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobError {
+    /// Job name.
+    pub name: String,
+    /// The phase the failure came from.
+    pub stage: JobStage,
+    /// The panic message or error text.
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job `{}` failed ({}): {}",
+            self.name, self.stage, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A job that exceeded its cooperative deadline (and, if a fallback was
+/// configured, whose fallback attempt also overran).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobTimeout {
+    /// Job name.
+    pub name: String,
+    /// The per-job budget that was exceeded.
+    pub deadline: Duration,
+    /// Sizing moves the primary selector committed before the deadline
+    /// hit (the work is discarded from the report, but the count shows
+    /// how far the job got).
+    pub iterations_committed: usize,
+    /// Whether the one-shot fallback selector was attempted (and also
+    /// overran).
+    pub fallback_attempted: bool,
+}
+
+/// A job the campaign did not run: a quarantined input, or a job skipped
+/// because an earlier failure tripped [fail-fast](Campaign::with_fail_fast).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSkip {
+    /// Job name.
+    pub name: String,
+    /// Why it was skipped.
+    pub reason: String,
+}
+
+/// The structured outcome of one campaign job. A campaign never aborts
+/// on a bad job: every panic, timeout, and unloadable input becomes one
+/// of these arms, and the report accounts for every job it was given.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job ran to a normal stop; the full outcome is attached.
+    Completed(CircuitOutcome),
+    /// The job panicked or hit a typed setup error.
+    Failed(JobError),
+    /// The job exceeded its cooperative deadline (after the optional
+    /// fallback attempt, if one was configured).
+    TimedOut(JobTimeout),
+    /// The job was not run: quarantined input or fail-fast.
+    Skipped(JobSkip),
+}
+
+impl JobOutcome {
+    /// The job name, whatever the outcome.
+    pub fn name(&self) -> &str {
+        match self {
+            JobOutcome::Completed(o) => &o.name,
+            JobOutcome::Failed(e) => &e.name,
+            JobOutcome::TimedOut(t) => &t.name,
+            JobOutcome::Skipped(s) => &s.name,
+        }
+    }
+
+    /// The completed outcome, if the job completed.
+    pub fn completed(&self) -> Option<&CircuitOutcome> {
+        match self {
+            JobOutcome::Completed(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether this outcome is a fault (failed or timed out) — the
+    /// outcomes that make a campaign's exit status non-zero and trip
+    /// [fail-fast](Campaign::with_fail_fast).
+    pub fn is_fault(&self) -> bool {
+        matches!(self, JobOutcome::Failed(_) | JobOutcome::TimedOut(_))
+    }
+}
+
+/// Outcome tallies for a whole campaign (see [`CampaignReport::counts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobCounts {
+    /// Jobs that completed with the primary selector.
+    pub completed: usize,
+    /// Jobs that completed, but only via the deadline-fallback selector.
+    pub degraded: usize,
+    /// Jobs that failed (caught panic or typed error).
+    pub failed: usize,
+    /// Jobs that exceeded their deadline.
+    pub timed_out: usize,
+    /// Jobs that were skipped (quarantined or fail-fast).
+    pub skipped: usize,
+}
+
+/// The result of a whole campaign: one [`JobOutcome`] per job, in job
+/// order (independent of which shard ran which circuit).
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
-    /// Per-circuit outcomes, in the order the jobs were supplied.
-    pub outcomes: Vec<CircuitOutcome>,
+    /// Per-job outcomes, in the order the jobs were supplied.
+    pub outcomes: Vec<JobOutcome>,
     /// Shard count actually used (after clamping to the job count).
     pub shards: usize,
     /// The flat per-shard selector-thread baseline (`total / shards`,
     /// floored at one) the adaptive per-job grants redistribute around
     /// — see [`Campaign::threads_per_shard`].
     pub threads_per_shard: usize,
+    /// Jobs whose outcome was restored from a checkpoint journal instead
+    /// of being re-run (see [`Campaign::run_resumable`]).
+    pub resumed: usize,
     /// Wall-clock time of the whole campaign.
     pub wall: Duration,
 }
 
+impl CampaignReport {
+    /// Iterates over the completed outcomes, in job order.
+    pub fn completed(&self) -> impl Iterator<Item = &CircuitOutcome> {
+        self.outcomes.iter().filter_map(JobOutcome::completed)
+    }
+
+    /// Tallies the outcomes by kind.
+    pub fn counts(&self) -> JobCounts {
+        let mut counts = JobCounts::default();
+        for outcome in &self.outcomes {
+            match outcome {
+                JobOutcome::Completed(o) if o.degraded => counts.degraded += 1,
+                JobOutcome::Completed(_) => counts.completed += 1,
+                JobOutcome::Failed(_) => counts.failed += 1,
+                JobOutcome::TimedOut(_) => counts.timed_out += 1,
+                JobOutcome::Skipped(_) => counts.skipped += 1,
+            }
+        }
+        counts
+    }
+
+    /// Whether any job failed or timed out.
+    pub fn has_faults(&self) -> bool {
+        self.outcomes.iter().any(JobOutcome::is_fault)
+    }
+}
+
 /// A multi-circuit optimization campaign: the [`Optimizer`]
 /// configuration plus the timing-model parameters shared by every
-/// circuit, and the sharding knobs.
+/// circuit, the sharding knobs, and the fault-tolerance policy
+/// (deadlines, fallback, fail-fast).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Campaign {
     objective: Objective,
@@ -185,6 +418,9 @@ pub struct Campaign {
     shards: usize,
     total_threads: usize,
     kernel_policy: TierPolicy,
+    job_deadline: Option<Duration>,
+    fallback: Option<SelectorKind>,
+    fail_fast: bool,
 }
 
 /// Splits a total selector-thread budget over the jobs in proportion to
@@ -206,11 +442,18 @@ fn adaptive_thread_budgets(node_counts: &[usize], shards: usize, total: usize) -
         .collect()
 }
 
+/// One isolated optimizer attempt: finished normally, or panicked (the
+/// panic was caught and stringified).
+enum Attempt {
+    Finished(OptimizationResult),
+    Panicked(String),
+}
+
 impl Campaign {
     /// Creates a campaign with the paper's optimizer defaults
     /// (`Δw = 1.0`, 1000 iterations max), the paper's variation model, a
     /// 2 ps lattice, one shard, and a total thread budget equal to the
-    /// shard count.
+    /// shard count. No deadline, no fallback, keep-going on faults.
     pub fn new(objective: Objective, selector: SelectorKind) -> Self {
         Self {
             objective,
@@ -223,6 +466,9 @@ impl Campaign {
             shards: 1,
             total_threads: 0,
             kernel_policy: TierPolicy::auto(),
+            job_deadline: None,
+            fallback: None,
+            fail_fast: false,
         }
     }
 
@@ -324,6 +570,46 @@ impl Campaign {
         self
     }
 
+    /// Sets a cooperative per-job wall-clock deadline. The selectors
+    /// check it at sweep boundaries (no OS timers, no thread
+    /// cancellation), the optimizer checks it between iterations, and a
+    /// job that overruns is reported as [`JobOutcome::TimedOut`] —
+    /// unless a [fallback](Self::with_deadline_fallback) is configured.
+    /// Deadline-truncated results depend on wall-clock timing and are
+    /// excluded from the campaign's determinism contract.
+    #[must_use]
+    pub fn with_job_deadline(mut self, budget: Duration) -> Self {
+        self.job_deadline = Some(budget);
+        self
+    }
+
+    /// Configures graceful degradation: when a job's primary selector
+    /// overruns the [deadline](Self::with_job_deadline), the job is
+    /// re-run **once** from scratch with `selector` (typically the cheap
+    /// [`SelectorKind::Deterministic`] or [`SelectorKind::Heuristic`])
+    /// under a fresh deadline of the same budget. If the fallback
+    /// completes, the job reports [`JobOutcome::Completed`] with
+    /// [`degraded`](CircuitOutcome::degraded) set; if it also overruns,
+    /// the job reports [`JobOutcome::TimedOut`] with
+    /// `fallback_attempted`.
+    #[must_use]
+    pub fn with_deadline_fallback(mut self, selector: SelectorKind) -> Self {
+        self.fallback = Some(selector);
+        self
+    }
+
+    /// Stops scheduling new jobs after the first fault (failed or
+    /// timed-out job): every job claimed afterwards reports
+    /// [`JobOutcome::Skipped`]. Already-running jobs finish. Which jobs
+    /// get skipped depends on the shard schedule, so fail-fast runs are
+    /// excluded from the determinism contract. The default keeps going
+    /// and reports every fault at the end.
+    #[must_use]
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> Self {
+        self.fail_fast = fail_fast;
+        self
+    }
+
     /// The configured shard count.
     pub fn shards(&self) -> usize {
         self.shards
@@ -344,11 +630,54 @@ impl Campaign {
         (self.total_threads / self.shards).max(1)
     }
 
+    /// An FNV-1a hash of every outcome-affecting knob (objective,
+    /// selector, Δw, iteration budget, sensitivity floor, lattice step,
+    /// variation model, kernel policy, deadline, fallback). Scheduling
+    /// knobs — shards, thread budget, fail-fast — are excluded: they
+    /// never change outcomes. Journal keys embed this hash, so a resumed
+    /// campaign only reuses outcomes produced under an identical
+    /// configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let repr = format!(
+            "{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{:?}",
+            self.objective,
+            self.selector,
+            self.delta_w.to_bits(),
+            self.max_iterations,
+            self.min_sensitivity.to_bits(),
+            self.dt.to_bits(),
+            self.variation,
+            self.kernel_policy,
+            self.job_deadline,
+            self.fallback,
+        );
+        journal::fnv1a(repr.as_bytes())
+    }
+
     /// Optimizes every job, stealing circuits across `shards` workers.
     ///
-    /// Outcomes are returned in job order and are bit-identical for
-    /// every shard count and thread budget.
+    /// Outcomes are returned in job order. Absent deadlines and
+    /// fail-fast, they are bit-identical for every shard count and
+    /// thread budget. Equivalent to
+    /// [`run_resumable`](Self::run_resumable) without a journal.
     pub fn run(&self, jobs: &[CampaignJob], library: &CellLibrary) -> CampaignReport {
+        self.run_resumable(jobs, library, None)
+    }
+
+    /// [`run`](Self::run), with optional checkpoint/resume through a
+    /// [`Journal`]. Each non-degraded completed job is appended to the
+    /// journal as it finishes; jobs whose key (name, netlist content
+    /// hash, [configuration fingerprint](Self::fingerprint)) is already
+    /// on record are **not re-run** — their recorded outcome is restored
+    /// bit-identically and counted in
+    /// [`CampaignReport::resumed`]. Failed, timed-out, and skipped jobs
+    /// are never journaled, so a resumed run retries them.
+    pub fn run_resumable(
+        &self,
+        jobs: &[CampaignJob],
+        library: &CellLibrary,
+        journal: Option<&mut Journal>,
+    ) -> CampaignReport {
         let t0 = Instant::now();
         let shards = parallel::normalize_threads(self.shards, jobs.len());
         // Divide the budget over the shards that actually spawn, not the
@@ -359,43 +688,235 @@ impl Campaign {
         // under the same total (see `adaptive_thread_budgets`).
         let node_counts: Vec<usize> = jobs
             .iter()
-            .map(|j| j.netlist.stats().timing_nodes)
+            .map(|j| j.netlist().map_or(0, |n| n.stats().timing_nodes))
             .collect();
         let budgets = adaptive_thread_budgets(&node_counts, shards, self.total_threads);
+        let fingerprint = self.fingerprint();
+        let keys: Vec<Option<String>> = jobs
+            .iter()
+            .map(|j| {
+                j.netlist()
+                    .map(|n| journal::job_key(fingerprint, &j.name, n))
+            })
+            .collect();
+        let journal = journal.map(Mutex::new);
+        let halt = AtomicBool::new(false);
+        let resumed = AtomicUsize::new(0);
         // Shards steal whole circuits; outcomes come back in job order,
         // so the report never depends on which shard ran which circuit.
-        let outcomes = parallel::run_indexed(
+        // Each job is panic-isolated twice over: `run_one_isolated`
+        // catches panics at the failure sites it understands, and the
+        // isolated pool converts anything that still escapes into an
+        // error instead of poisoning the other shards.
+        let results = parallel::run_indexed_isolated(
             shards,
             jobs.len(),
             || (),
-            |(), idx| self.run_one(&jobs[idx], library, budgets[idx]),
+            |(), idx| {
+                let job = &jobs[idx];
+                if self.fail_fast && halt.load(Ordering::Relaxed) {
+                    return JobOutcome::Skipped(JobSkip {
+                        name: job.name.clone(),
+                        reason: "fail-fast: an earlier job faulted".to_string(),
+                    });
+                }
+                if let (Some(journal), Some(key)) = (&journal, &keys[idx]) {
+                    let guard = journal.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(outcome) = guard.lookup(key) {
+                        resumed.fetch_add(1, Ordering::Relaxed);
+                        return JobOutcome::Completed(outcome.clone());
+                    }
+                }
+                let outcome = self.run_one_isolated(job, library, budgets[idx]);
+                match &outcome {
+                    JobOutcome::Completed(o) if !o.degraded => {
+                        if let (Some(journal), Some(key)) = (&journal, &keys[idx]) {
+                            journal
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .record(key, o);
+                        }
+                    }
+                    _ if outcome.is_fault() && self.fail_fast => {
+                        halt.store(true, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                outcome
+            },
         );
+        let outcomes = results
+            .into_iter()
+            .zip(jobs)
+            .map(|(result, job)| {
+                result.unwrap_or_else(|message| {
+                    // A panic escaped `run_one_isolated`'s own isolation
+                    // (e.g. in report assembly); still a structured
+                    // failure, not a campaign abort.
+                    JobOutcome::Failed(JobError {
+                        name: job.name.clone(),
+                        stage: JobStage::Selector,
+                        message: format!("uncaught worker panic: {message}"),
+                    })
+                })
+            })
+            .collect();
         CampaignReport {
             outcomes,
             shards,
             threads_per_shard,
+            resumed: resumed.load(Ordering::Relaxed),
             wall: t0.elapsed(),
         }
     }
 
-    /// Optimizes a single job with the configured selector.
-    fn run_one(&self, job: &CampaignJob, library: &CellLibrary, threads: usize) -> CircuitOutcome {
+    /// Runs a single job with every fault path converted into a
+    /// structured [`JobOutcome`]: quarantined inputs skip, setup and
+    /// optimizer panics are caught, and deadline overruns degrade to the
+    /// fallback selector (if configured) before timing out.
+    fn run_one_isolated(
+        &self,
+        job: &CampaignJob,
+        library: &CellLibrary,
+        threads: usize,
+    ) -> JobOutcome {
+        let name = &job.name;
+        let Some(netlist) = job.netlist() else {
+            return JobOutcome::Skipped(JobSkip {
+                name: name.clone(),
+                reason: job
+                    .quarantine_reason()
+                    .unwrap_or("quarantined input")
+                    .to_string(),
+            });
+        };
         let t0 = Instant::now();
-        let stats = job.netlist.stats();
-        let mut circuit = TimedCircuit::with_kernel_policy(
-            &job.netlist,
+        let stats = netlist.stats();
+        // Setup phase. Failpoint `campaign::setup` (detail: job name)
+        // forces a panic here in tests.
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            failpoint::fire("campaign::setup", name);
+            TimedCircuit::with_kernel_policy(
+                netlist,
+                library,
+                self.variation,
+                self.dt,
+                self.kernel_policy,
+            )
+        }));
+        let mut circuit = match built {
+            Ok(circuit) => circuit,
+            Err(payload) => {
+                return JobOutcome::Failed(JobError {
+                    name: name.clone(),
+                    stage: JobStage::Ssta,
+                    message: format!(
+                        "panic while building the timed circuit: {}",
+                        parallel::panic_message(payload.as_ref())
+                    ),
+                })
+            }
+        };
+        // Failpoint `campaign::deadline` (detail: job name, `trigger`
+        // action) forces an already-expired deadline, exercising the
+        // timeout path deterministically.
+        let deadline = if failpoint::fire("campaign::deadline", name) {
+            Some(Duration::ZERO)
+        } else {
+            self.job_deadline
+        };
+        let attempt = self.optimize_attempt(name, &mut circuit, self.selector, deadline, threads);
+        let result = match attempt {
+            Attempt::Panicked(message) => {
+                return JobOutcome::Failed(JobError {
+                    name: name.clone(),
+                    stage: JobStage::Selector,
+                    message: format!("panic during optimization: {message}"),
+                })
+            }
+            Attempt::Finished(result) => result,
+        };
+        if result.stop != StopReason::DeadlineExpired {
+            return JobOutcome::Completed(self.outcome_of(name, stats, &result, false, t0));
+        }
+        let iterations_committed = result.iterations_run();
+        let Some(fallback) = self.fallback else {
+            return JobOutcome::TimedOut(JobTimeout {
+                name: name.clone(),
+                deadline: deadline.unwrap_or_default(),
+                iterations_committed,
+                fallback_attempted: false,
+            });
+        };
+        // Graceful degradation: one-shot rerun from scratch with the
+        // cheap fallback selector, under a fresh deadline of the
+        // *configured* budget (not the failpoint-forced one, so an
+        // injected overrun still exercises a genuine fallback run).
+        let mut fresh = TimedCircuit::with_kernel_policy(
+            netlist,
             library,
             self.variation,
             self.dt,
             self.kernel_policy,
         );
-        let result = Optimizer::new(self.objective, self.selector)
-            .with_delta_w(self.delta_w)
-            .with_max_iterations(self.max_iterations)
-            .with_min_sensitivity(self.min_sensitivity)
-            .with_threads(threads)
-            .with_kernel_policy(self.kernel_policy)
-            .run(&mut circuit);
+        match self.optimize_attempt(name, &mut fresh, fallback, self.job_deadline, threads) {
+            Attempt::Panicked(message) => JobOutcome::Failed(JobError {
+                name: name.clone(),
+                stage: JobStage::Selector,
+                message: format!("panic during fallback optimization: {message}"),
+            }),
+            Attempt::Finished(fb) if fb.stop == StopReason::DeadlineExpired => {
+                JobOutcome::TimedOut(JobTimeout {
+                    name: name.clone(),
+                    deadline: deadline.unwrap_or_default(),
+                    iterations_committed,
+                    fallback_attempted: true,
+                })
+            }
+            Attempt::Finished(fb) => {
+                JobOutcome::Completed(self.outcome_of(name, stats, &fb, true, t0))
+            }
+        }
+    }
+
+    /// One panic-isolated optimizer run. Failpoint `campaign::job`
+    /// (detail: job name) forces a panic inside the isolation boundary.
+    fn optimize_attempt(
+        &self,
+        name: &str,
+        circuit: &mut TimedCircuit<'_>,
+        selector: SelectorKind,
+        deadline: Option<Duration>,
+        threads: usize,
+    ) -> Attempt {
+        catch_unwind(AssertUnwindSafe(|| {
+            failpoint::fire("campaign::job", name);
+            let mut optimizer = Optimizer::new(self.objective, selector)
+                .with_delta_w(self.delta_w)
+                .with_max_iterations(self.max_iterations)
+                .with_min_sensitivity(self.min_sensitivity)
+                .with_threads(threads)
+                .with_kernel_policy(self.kernel_policy);
+            if let Some(budget) = deadline {
+                optimizer = optimizer.with_deadline(budget);
+            }
+            optimizer.run(circuit)
+        }))
+        .map_or_else(
+            |payload| Attempt::Panicked(parallel::panic_message(payload.as_ref())),
+            Attempt::Finished,
+        )
+    }
+
+    /// Assembles the outcome record for a finished run.
+    fn outcome_of(
+        &self,
+        name: &str,
+        stats: statsize_netlist::NetlistStats,
+        result: &OptimizationResult,
+        degraded: bool,
+        t0: Instant,
+    ) -> CircuitOutcome {
         let (mut candidates, mut pruned, mut completed) = (0usize, 0usize, 0usize);
         for record in &result.iterations {
             if let Some(p) = &record.prune {
@@ -405,7 +926,7 @@ impl Campaign {
             }
         }
         CircuitOutcome {
-            name: job.name.clone(),
+            name: name.to_string(),
             nodes: stats.timing_nodes,
             edges: stats.timing_edges,
             depth: stats.depth,
@@ -418,6 +939,7 @@ impl Campaign {
             candidates,
             pruned,
             completed,
+            degraded,
             wall: t0.elapsed(),
         }
     }
@@ -426,12 +948,16 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failpoint::{arm, FaultAction};
     use statsize_netlist::{bench, generator};
 
     fn jobs() -> Vec<CampaignJob> {
         vec![
             CampaignJob::new("c17", bench::c17()),
-            CampaignJob::new("c432", generator::generate_iscas("c432", 1).unwrap()),
+            CampaignJob::new(
+                "c432",
+                generator::generate_iscas("c432", 1).expect("c432 is a known ISCAS-85 profile"),
+            ),
             CampaignJob::new(
                 "gen300",
                 generator::generate_scaled(&generator::ScaledProfile::with_nodes(300), 3),
@@ -443,36 +969,43 @@ mod tests {
         Campaign::new(Objective::percentile(0.99), SelectorKind::Pruned).with_max_iterations(3)
     }
 
+    fn keys(report: &CampaignReport) -> Vec<OutcomeKey> {
+        report
+            .outcomes
+            .iter()
+            .map(|o| o.completed().expect("job completed").deterministic_key())
+            .collect()
+    }
+
     #[test]
     fn campaign_optimizes_every_job_in_order() {
         let lib = CellLibrary::synthetic_180nm();
         let report = campaign().with_shards(2).run(&jobs(), &lib);
         assert_eq!(report.outcomes.len(), 3);
         assert_eq!(report.shards, 2);
-        let names: Vec<&str> = report.outcomes.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(report.resumed, 0);
+        let names: Vec<&str> = report.outcomes.iter().map(JobOutcome::name).collect();
         assert_eq!(names, ["c17", "c432", "gen300"]);
-        for o in &report.outcomes {
+        for outcome in &report.outcomes {
+            let o = outcome.completed().expect("all jobs complete");
             assert!(o.final_objective <= o.initial_objective, "{}", o.name);
             assert!(o.iterations > 0, "{}", o.name);
             assert_eq!(o.candidates, o.pruned + o.completed, "{}", o.name);
+            assert!(!o.degraded, "{}", o.name);
         }
+        let counts = report.counts();
+        assert_eq!(counts.completed, 3);
+        assert!(!report.has_faults());
     }
 
     #[test]
     fn shard_count_does_not_change_outcomes() {
         let lib = CellLibrary::synthetic_180nm();
         let jobs = jobs();
-        let serial = campaign().with_shards(1).run(&jobs, &lib);
+        let serial = keys(&campaign().with_shards(1).run(&jobs, &lib));
         for shards in [2usize, 4, 8] {
-            let sharded = campaign().with_shards(shards).run(&jobs, &lib);
-            for (a, b) in serial.outcomes.iter().zip(&sharded.outcomes) {
-                assert_eq!(
-                    a.deterministic_key(),
-                    b.deterministic_key(),
-                    "{} shards",
-                    shards
-                );
-            }
+            let sharded = keys(&campaign().with_shards(shards).run(&jobs, &lib));
+            assert_eq!(serial, sharded, "{shards} shards");
         }
     }
 
@@ -492,14 +1025,14 @@ mod tests {
     fn thread_budget_does_not_change_outcomes() {
         let lib = CellLibrary::synthetic_180nm();
         let jobs = jobs();
-        let narrow = campaign().with_shards(2).run(&jobs, &lib);
-        let wide = campaign()
-            .with_shards(2)
-            .with_total_threads(8)
-            .run(&jobs, &lib);
-        for (a, b) in narrow.outcomes.iter().zip(&wide.outcomes) {
-            assert_eq!(a.deterministic_key(), b.deterministic_key());
-        }
+        let narrow = keys(&campaign().with_shards(2).run(&jobs, &lib));
+        let wide = keys(
+            &campaign()
+                .with_shards(2)
+                .with_total_threads(8)
+                .run(&jobs, &lib),
+        );
+        assert_eq!(narrow, wide);
     }
 
     #[test]
@@ -544,5 +1077,195 @@ mod tests {
             .run(&jobs(), &lib);
         assert_eq!(report.shards, 3);
         assert_eq!(report.threads_per_shard, 2);
+    }
+
+    #[test]
+    fn quarantined_jobs_report_as_skipped() {
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = vec![
+            CampaignJob::new("c17", bench::c17()),
+            CampaignJob::quarantined("broken.bench", "parse error: line 3: bad gate"),
+        ];
+        let report = campaign().run(&jobs, &lib);
+        assert!(report.outcomes[0].completed().is_some());
+        match &report.outcomes[1] {
+            JobOutcome::Skipped(skip) => {
+                assert_eq!(skip.name, "broken.bench");
+                assert!(skip.reason.contains("parse error"), "{}", skip.reason);
+            }
+            other => panic!("expected Skipped, got {other:?}"),
+        }
+        let counts = report.counts();
+        assert_eq!((counts.completed, counts.skipped), (1, 1));
+        assert!(!report.has_faults(), "a quarantined input is not a fault");
+    }
+
+    #[test]
+    fn injected_job_panic_becomes_a_failed_outcome() {
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = vec![
+            CampaignJob::new("panic-target-a", bench::c17()),
+            CampaignJob::new("panic-bystander-a", bench::c17()),
+        ];
+        let _fp = arm("campaign::job", Some("panic-target-a"), FaultAction::Panic);
+        let report = campaign().with_shards(2).run(&jobs, &lib);
+        match &report.outcomes[0] {
+            JobOutcome::Failed(e) => {
+                assert_eq!(e.stage, JobStage::Selector);
+                assert!(e.message.contains("failpoint"), "{}", e.message);
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The bystander on the same pool is untouched.
+        assert!(report.outcomes[1].completed().is_some());
+        assert!(report.has_faults());
+    }
+
+    #[test]
+    fn injected_setup_panic_reports_ssta_provenance() {
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = vec![CampaignJob::new("panic-setup-a", bench::c17())];
+        let _fp = arm("campaign::setup", Some("panic-setup-a"), FaultAction::Panic);
+        let report = campaign().run(&jobs, &lib);
+        match &report.outcomes[0] {
+            JobOutcome::Failed(e) => {
+                assert_eq!(e.stage, JobStage::Ssta);
+                assert!(e.message.contains("timed circuit"), "{}", e.message);
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_times_out_without_a_fallback() {
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = vec![CampaignJob::new("c17", bench::c17())];
+        let report = campaign()
+            .with_job_deadline(Duration::ZERO)
+            .run(&jobs, &lib);
+        match &report.outcomes[0] {
+            JobOutcome::TimedOut(t) => {
+                assert_eq!(t.name, "c17");
+                assert_eq!(t.deadline, Duration::ZERO);
+                assert_eq!(t.iterations_committed, 0);
+                assert!(!t.fallback_attempted);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(report.has_faults());
+    }
+
+    #[test]
+    fn deadline_fallback_degrades_instead_of_timing_out() {
+        // The failpoint forces an expired deadline on the primary
+        // attempt only; the fallback runs under the configured budget
+        // (none here), so it completes and the job degrades gracefully.
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = vec![CampaignJob::new("deadline-fb-a", bench::c17())];
+        let _fp = arm(
+            "campaign::deadline",
+            Some("deadline-fb-a"),
+            FaultAction::Trigger,
+        );
+        let report = campaign()
+            .with_deadline_fallback(SelectorKind::Deterministic)
+            .run(&jobs, &lib);
+        let o = report.outcomes[0].completed().expect("fallback completes");
+        assert!(o.degraded);
+        assert!(o.final_objective <= o.initial_objective);
+        assert_eq!(report.counts().degraded, 1);
+        assert!(!report.has_faults(), "a degraded completion is not a fault");
+    }
+
+    #[test]
+    fn zero_deadline_with_zero_budget_fallback_reports_the_attempt() {
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = vec![CampaignJob::new("c17", bench::c17())];
+        let report = campaign()
+            .with_job_deadline(Duration::ZERO)
+            .with_deadline_fallback(SelectorKind::Deterministic)
+            .run(&jobs, &lib);
+        match &report.outcomes[0] {
+            JobOutcome::TimedOut(t) => assert!(t.fallback_attempted),
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_fast_skips_jobs_after_the_first_fault() {
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = vec![
+            CampaignJob::new("ff-target-a", bench::c17()),
+            CampaignJob::new("ff-later-a", bench::c17()),
+            CampaignJob::new("ff-later-b", bench::c17()),
+        ];
+        let _fp = arm("campaign::job", Some("ff-target-a"), FaultAction::Panic);
+        // One shard: jobs run in order, so both later jobs must skip.
+        let report = campaign().with_fail_fast(true).run(&jobs, &lib);
+        assert!(matches!(&report.outcomes[0], JobOutcome::Failed(_)));
+        for outcome in &report.outcomes[1..] {
+            match outcome {
+                JobOutcome::Skipped(skip) => {
+                    assert!(skip.reason.contains("fail-fast"), "{}", skip.reason)
+                }
+                other => panic!("expected Skipped, got {other:?}"),
+            }
+        }
+        // Without fail-fast the same fault leaves the rest running.
+        let report = campaign().with_fail_fast(false).run(&jobs, &lib);
+        assert!(matches!(&report.outcomes[0], JobOutcome::Failed(_)));
+        assert!(report.outcomes[1..].iter().all(|o| o.completed().is_some()));
+    }
+
+    #[test]
+    fn journal_resume_restores_outcomes_bit_identically() {
+        let dir = std::env::temp_dir().join("statsize-campaign-test-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = jobs();
+
+        let mut journal = Journal::create(&path).expect("create journal");
+        let first = campaign().run_resumable(&jobs, &lib, Some(&mut journal));
+        assert_eq!(first.resumed, 0);
+        assert_eq!(journal.len(), 3);
+
+        let mut resumed = Journal::resume(&path).expect("resume journal");
+        let second = campaign().run_resumable(&jobs, &lib, Some(&mut resumed));
+        assert_eq!(second.resumed, 3, "every job restores from the journal");
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            let (a, b) = (a.completed().unwrap(), b.completed().unwrap());
+            assert_eq!(a.deterministic_key(), b.deterministic_key());
+            assert_eq!(a.pruned, b.pruned, "resume restores the exact record");
+        }
+
+        // A different configuration must not reuse the records.
+        let mut resumed = Journal::resume(&path).expect("resume journal");
+        let other =
+            campaign()
+                .with_max_iterations(2)
+                .run_resumable(&jobs, &lib, Some(&mut resumed));
+        assert_eq!(other.resumed, 0, "fingerprint separates configurations");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_outcome_affecting_knobs_only() {
+        let base = campaign();
+        assert_eq!(base.fingerprint(), campaign().fingerprint());
+        assert_ne!(base.fingerprint(), base.with_delta_w(2.0).fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            base.with_max_iterations(7).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.with_job_deadline(Duration::from_secs(1)).fingerprint()
+        );
+        // Scheduling knobs do not affect outcomes, so they must not
+        // invalidate a journal.
+        assert_eq!(base.fingerprint(), base.with_shards(8).fingerprint());
+        assert_eq!(base.fingerprint(), base.with_total_threads(8).fingerprint());
+        assert_eq!(base.fingerprint(), base.with_fail_fast(true).fingerprint());
     }
 }

@@ -11,6 +11,7 @@
 //! 0` it ranks gates by their local perturbation only.
 
 use crate::circuit::TimedCircuit;
+use crate::deadline::{Deadline, DeadlineExceeded};
 use crate::objective::Objective;
 use crate::parallel::{default_threads, normalize_threads, run_workers, WorkQueue};
 use crate::selection::Selection;
@@ -18,6 +19,7 @@ use statsize_dist::{lattice_shift_bound, DistScratch, TierPolicy};
 use statsize_netlist::GateId;
 use statsize_ssta::{ConeWalk, TimingNode};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Folds a candidate into the running best using the deterministic
 /// (sensitivity, lowest gate id) total order. Every reduction in this
@@ -47,6 +49,7 @@ pub struct HeuristicSelector {
     lookahead: usize,
     threads: usize,
     kernel_policy: TierPolicy,
+    deadline: Deadline,
 }
 
 impl HeuristicSelector {
@@ -71,12 +74,23 @@ impl HeuristicSelector {
             lookahead,
             threads: default_threads(),
             kernel_policy: TierPolicy::exact(),
+            deadline: Deadline::none(),
         }
     }
 
     /// The trial width increment.
     pub fn delta_w(&self) -> f64 {
         self.delta_w
+    }
+
+    /// Sets a cooperative [`Deadline`] for the sweep (default: none),
+    /// polled once per candidate lookahead walk. Use
+    /// [`try_select`](Self::try_select) with a deadline set; the
+    /// infallible [`select`](Self::select) panics on expiry.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The lookahead depth in levels.
@@ -174,22 +188,52 @@ impl HeuristicSelector {
     /// reported sensitivity is the front bound (exact if the front reached
     /// the sink within the lookahead). Returns `None` when no candidate
     /// scores positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured [`with_deadline`](Self::with_deadline)
+    /// expires — use [`try_select`](Self::try_select) with deadlines.
     pub fn select(&self, circuit: &TimedCircuit<'_>, objective: Objective) -> Option<Selection> {
+        self.try_select(circuit, objective)
+            .expect("sweep deadline exceeded; use try_select with a deadline")
+    }
+
+    /// Fallible form of [`select`](Self::select): `Err` when the
+    /// configured [`with_deadline`](Self::with_deadline) expires
+    /// mid-sweep (partial results are discarded).
+    pub fn try_select(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+    ) -> Result<Option<Selection>, DeadlineExceeded> {
         let base_cost = circuit.objective_value(objective);
         let gates: Vec<GateId> = circuit.netlist().gate_ids().collect();
         let threads = normalize_threads(self.threads, gates.len());
 
         let best: Option<Selection> = if threads > 1 {
             let queue = WorkQueue::new(gates.len());
+            // Cooperative-deadline latch: the first worker to observe the
+            // expiry raises it, the others see it at their next claim.
+            let expired = AtomicBool::new(false);
             let local_bests: Vec<Option<Selection>> = run_workers(threads, || {
                 let mut scratch = DistScratch::with_policy(self.kernel_policy);
                 let mut best: Option<Selection> = None;
                 while let Some(idx) = queue.claim() {
+                    if expired.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if self.deadline.expired() {
+                        expired.store(true, Ordering::Relaxed);
+                        break;
+                    }
                     let cand = self.score(circuit, objective, base_cost, gates[idx], &mut scratch);
                     best = fold_best(best, cand);
                 }
                 best
             });
+            if expired.load(Ordering::Relaxed) {
+                return Err(DeadlineExceeded);
+            }
             // Deterministic reduction: `better_than` is a total order on
             // (sensitivity, gate id), so the overall best is independent
             // of which worker scored which candidate.
@@ -199,12 +243,14 @@ impl HeuristicSelector {
             let mut scratch = DistScratch::with_policy(self.kernel_policy);
             let mut best: Option<Selection> = None;
             for gate in gates {
+                // Cooperative deadline, once per candidate walk.
+                self.deadline.check()?;
                 let cand = self.score(circuit, objective, base_cost, gate, &mut scratch);
                 best = fold_best(best, cand);
             }
             best
         };
-        best.filter(|b| b.sensitivity > 0.0)
+        Ok(best.filter(|b| b.sensitivity > 0.0))
     }
 }
 
@@ -256,6 +302,24 @@ mod tests {
                 .with_threads(threads)
                 .select(&circuit, obj);
             assert_eq!(want, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_errors_on_both_sweeps() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        for threads in [1usize, 4] {
+            let sel = HeuristicSelector::new(1.0, 1)
+                .with_threads(threads)
+                .with_deadline(Deadline::after(std::time::Duration::ZERO));
+            assert_eq!(
+                sel.try_select(&circuit, obj),
+                Err(DeadlineExceeded),
+                "threads={threads}"
+            );
         }
     }
 

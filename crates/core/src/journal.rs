@@ -1,0 +1,720 @@
+//! Campaign checkpoint/resume: a line-oriented JSON journal of completed
+//! job outcomes.
+//!
+//! After every completed job a campaign appends one line to the journal
+//! (see [`Campaign::run_resumable`](crate::Campaign::run_resumable)):
+//! the job's *content key* — job name, an FNV-1a hash of the canonical
+//! `.bench` serialization of its netlist (which captures the generator
+//! seed), and a hash of every outcome-affecting campaign knob — plus the
+//! full [`CircuitOutcome`]. Resuming a campaign from the journal skips
+//! every job whose key is already present, substituting the recorded
+//! outcome **bit-identically**: floats are serialized with Rust's
+//! shortest-round-trip `Display` and parsed back to the exact same bits,
+//! so a resumed report is byte-for-byte equal to an uninterrupted run.
+//! This is the first slice of the ROADMAP's campaign result store.
+//!
+//! Only deterministic outcomes are journaled: `Completed` outcomes from
+//! a deadline-fallback rerun (`degraded`) as well as `Failed`/`TimedOut`
+//! jobs are re-run on resume — a timeout or a transient fault is not a
+//! result worth caching.
+//!
+//! Robustness: [`Journal::resume`] is lenient about *entry* corruption —
+//! a torn or garbled line (e.g. from a crash mid-append) is quarantined
+//! as a typed [`JournalError::Corrupt`] and the affected job simply
+//! re-runs — but strict about the header line, which guards against
+//! feeding an unrelated or future-versioned file to the resume path.
+//!
+//! The format is hand-rolled (this workspace vendors no serde): a
+//! header line, then one `{"key":"...","outcome":{...}}` object per
+//! line, parsed by a minimal recursive-descent JSON reader private to
+//! this module.
+
+use crate::campaign::CircuitOutcome;
+use crate::failpoint;
+use crate::optimizer::StopReason;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The journal header line: identifies the file and pins the entry
+/// schema version.
+const HEADER: &str = "{\"journal\":\"statsize-campaign\",\"version\":1}";
+
+/// FNV-1a over a byte string — the journal's content hash. Stable,
+/// dependency-free, and plenty for cache keying (collisions only cause a
+/// wrongly *skipped* job if the colliding inputs also share a job name).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The journal key of one campaign job: name, netlist content hash
+/// (canonical `.bench` form, so generator seeds are captured), and the
+/// campaign's outcome-affecting configuration hash.
+pub(crate) fn job_key(config_hash: u64, name: &str, netlist: &statsize_netlist::Netlist) -> String {
+    let netlist_hash = fnv1a(statsize_netlist::bench::write(netlist).as_bytes());
+    format!("{name}:{netlist_hash:016x}:{config_hash:016x}")
+}
+
+/// A typed journal fault: an I/O failure on the journal file, or a
+/// corrupt line in it.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Reading or writing the journal file failed.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A line of the journal is not a valid entry (torn append, garbled
+    /// bytes, wrong schema). Entry corruption is quarantined by
+    /// [`Journal::resume`]; header corruption fails the resume.
+    Corrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// 1-based line number of the corrupt line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, source } => {
+                write!(f, "journal {}: {source}", path.display())
+            }
+            JournalError::Corrupt {
+                path,
+                line,
+                message,
+            } => write!(f, "journal {} line {line}: {message}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            JournalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// A campaign outcome journal: completed jobs keyed by their content key
+/// (see the module docs), persisted as one JSON line per job.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    completed: HashMap<String, CircuitOutcome>,
+    corrupt: Vec<JournalError>,
+    write_failed: bool,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal at `path` and writes the header.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        std::fs::write(&path, format!("{HEADER}\n")).map_err(|source| JournalError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        Ok(Self {
+            path,
+            completed: HashMap::new(),
+            corrupt: Vec::new(),
+            write_failed: false,
+        })
+    }
+
+    /// Opens an existing journal for resumption, loading every recorded
+    /// outcome. Corrupt *entry* lines are quarantined (available via
+    /// [`corrupt_entries`](Self::corrupt_entries)) and their jobs simply
+    /// re-run; a missing or mismatched *header* is a hard error, since
+    /// the whole file is then of unknown provenance.
+    pub fn resume<P: AsRef<Path>>(path: P) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let text = std::fs::read_to_string(&path).map_err(|source| JournalError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == HEADER => {}
+            _ => {
+                return Err(JournalError::Corrupt {
+                    path,
+                    line: 1,
+                    message: format!("missing or unrecognized header (expected `{HEADER}`)"),
+                })
+            }
+        }
+        let mut completed = HashMap::new();
+        let mut corrupt = Vec::new();
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            // Failpoint `journal::read` (detail: the 1-based line
+            // number): simulates a torn/garbled line by truncating it
+            // before parsing.
+            let line = if failpoint::fire("journal::read", &line_no.to_string()) {
+                &raw[..raw.len() / 2]
+            } else {
+                raw
+            };
+            match parse_entry(line) {
+                Ok((key, outcome)) => {
+                    // Last write wins: a re-recorded key supersedes.
+                    completed.insert(key, outcome);
+                }
+                Err(message) => corrupt.push(JournalError::Corrupt {
+                    path: path.clone(),
+                    line: line_no,
+                    message,
+                }),
+            }
+        }
+        Ok(Self {
+            path,
+            completed,
+            corrupt,
+            write_failed: false,
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct completed jobs on record.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether the journal has no completed jobs on record.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Corrupt lines quarantined during [`resume`](Self::resume) (their
+    /// jobs re-run instead of resuming).
+    pub fn corrupt_entries(&self) -> &[JournalError] {
+        &self.corrupt
+    }
+
+    /// The recorded outcome for a job key, if any.
+    pub(crate) fn lookup(&self, key: &str) -> Option<&CircuitOutcome> {
+        self.completed.get(key)
+    }
+
+    /// Appends one completed outcome. A write failure is reported to
+    /// stderr and disables further appends (the campaign result is
+    /// unaffected — only resumability of this run is lost).
+    pub(crate) fn record(&mut self, key: &str, outcome: &CircuitOutcome) {
+        if self.write_failed {
+            return;
+        }
+        let line = format!(
+            "{{\"key\":\"{}\",\"outcome\":{}}}\n",
+            escape_json(key),
+            outcome_to_json(outcome)
+        );
+        let appended = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!(
+                "warning: journal {}: append failed ({e}); this run will not be resumable past here",
+                self.path.display()
+            );
+            self.write_failed = true;
+            return;
+        }
+        self.completed.insert(key.to_string(), outcome.clone());
+    }
+}
+
+// --- Outcome (de)serialization -----------------------------------------
+
+/// Serializes an outcome. Floats use Rust's shortest-round-trip
+/// `Display`, so parsing them back yields the exact same bits — the
+/// foundation of the byte-identical resume contract.
+fn outcome_to_json(o: &CircuitOutcome) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"nodes\":{},\"edges\":{},\"depth\":{},\
+         \"initial_objective\":{},\"final_objective\":{},\
+         \"initial_width\":{},\"final_width\":{},\
+         \"iterations\":{},\"stop\":\"{:?}\",\
+         \"candidates\":{},\"pruned\":{},\"completed\":{},\
+         \"degraded\":{},\"wall_ms\":{}}}",
+        escape_json(&o.name),
+        o.nodes,
+        o.edges,
+        o.depth,
+        o.initial_objective,
+        o.final_objective,
+        o.initial_width,
+        o.final_width,
+        o.iterations,
+        o.stop,
+        o.candidates,
+        o.pruned,
+        o.completed,
+        o.degraded,
+        o.wall.as_secs_f64() * 1e3,
+    )
+}
+
+fn parse_entry(line: &str) -> Result<(String, CircuitOutcome), String> {
+    let value = parse_json(line)?;
+    let obj = value.as_object().ok_or("entry is not a JSON object")?;
+    let key = get_str(obj, "key")?.to_string();
+    let outcome = get(obj, "outcome")?
+        .as_object()
+        .ok_or("`outcome` is not an object")?;
+    let stop = match get_str(outcome, "stop")? {
+        "Converged" => StopReason::Converged,
+        "MaxIterations" => StopReason::MaxIterations,
+        "WidthLimit" => StopReason::WidthLimit,
+        "DeadlineExpired" => StopReason::DeadlineExpired,
+        other => return Err(format!("unknown stop reason `{other}`")),
+    };
+    Ok((
+        key,
+        CircuitOutcome {
+            name: get_str(outcome, "name")?.to_string(),
+            nodes: get_usize(outcome, "nodes")?,
+            edges: get_usize(outcome, "edges")?,
+            depth: get_usize(outcome, "depth")?,
+            initial_objective: get_f64(outcome, "initial_objective")?,
+            final_objective: get_f64(outcome, "final_objective")?,
+            initial_width: get_f64(outcome, "initial_width")?,
+            final_width: get_f64(outcome, "final_width")?,
+            iterations: get_usize(outcome, "iterations")?,
+            stop,
+            candidates: get_usize(outcome, "candidates")?,
+            pruned: get_usize(outcome, "pruned")?,
+            completed: get_usize(outcome, "completed")?,
+            degraded: get_bool(outcome, "degraded")?,
+            wall: Duration::from_secs_f64(get_f64(outcome, "wall_ms")?.max(0.0) / 1e3),
+        },
+    ))
+}
+
+fn get<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{name}`"))
+}
+
+fn get_str<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a str, String> {
+    match get(obj, name)? {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("field `{name}` is not a string")),
+    }
+}
+
+fn get_f64(obj: &[(String, Json)], name: &str) -> Result<f64, String> {
+    match get(obj, name)? {
+        Json::Num(n) => Ok(*n),
+        _ => Err(format!("field `{name}` is not a number")),
+    }
+}
+
+fn get_usize(obj: &[(String, Json)], name: &str) -> Result<usize, String> {
+    let n = get_f64(obj, name)?;
+    if n.fract() == 0.0 && (0.0..=(u64::MAX as f64)).contains(&n) {
+        Ok(n as usize)
+    } else {
+        Err(format!("field `{name}` is not a non-negative integer"))
+    }
+}
+
+fn get_bool(obj: &[(String, Json)], name: &str) -> Result<bool, String> {
+    match get(obj, name)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("field `{name}` is not a boolean")),
+    }
+}
+
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// --- Minimal JSON reader ------------------------------------------------
+//
+// Just enough JSON for the journal's own lines: objects, arrays,
+// strings (with the standard escapes), numbers, booleans, null. Numbers
+// parse through `str::parse::<f64>`, which inverts the `Display`
+// serialization bit-exactly.
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at offset {}",
+                char::from(b),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // char boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        token
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{token}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str) -> CircuitOutcome {
+        CircuitOutcome {
+            name: name.to_string(),
+            nodes: 13,
+            edges: 19,
+            depth: 4,
+            initial_objective: 123.456_789_012_345_67,
+            final_objective: 0.1 + 0.2, // deliberately non-representable
+            initial_width: 6.0,
+            final_width: 9.5,
+            iterations: 3,
+            stop: StopReason::Converged,
+            candidates: 18,
+            pruned: 12,
+            completed: 6,
+            degraded: false,
+            wall: Duration::from_micros(1234),
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_bit_exactly() {
+        let o = outcome("weird \"name\"\\with\tescapes");
+        let line = format!("{{\"key\":\"k1\",\"outcome\":{}}}", outcome_to_json(&o));
+        let (key, back) = parse_entry(&line).expect("round trip");
+        assert_eq!(key, "k1");
+        assert_eq!(back.name, o.name);
+        assert_eq!(
+            back.initial_objective.to_bits(),
+            o.initial_objective.to_bits()
+        );
+        assert_eq!(back.final_objective.to_bits(), o.final_objective.to_bits());
+        assert_eq!(back.final_width.to_bits(), o.final_width.to_bits());
+        assert_eq!(back.deterministic_key(), o.deterministic_key());
+        assert_eq!(back.stop, o.stop);
+        assert_eq!(back.degraded, o.degraded);
+    }
+
+    #[test]
+    fn create_record_resume_round_trips() {
+        let dir = std::env::temp_dir().join("statsize-journal-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let mut j = Journal::create(&path).expect("create");
+        assert!(j.is_empty());
+        j.record("job-a", &outcome("a"));
+        j.record("job-b", &outcome("b"));
+        // Re-recording a key supersedes (last write wins on resume).
+        let mut newer = outcome("b");
+        newer.iterations = 99;
+        j.record("job-b", &newer);
+
+        let resumed = Journal::resume(&path).expect("resume");
+        assert_eq!(resumed.len(), 2);
+        assert!(resumed.corrupt_entries().is_empty());
+        assert_eq!(resumed.lookup("job-a").unwrap().name, "a");
+        assert_eq!(resumed.lookup("job-b").unwrap().iterations, 99);
+        assert!(resumed.lookup("job-c").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_fatal() {
+        let dir = std::env::temp_dir().join("statsize-journal-test-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let mut j = Journal::create(&path).expect("create");
+        j.record("good", &outcome("g"));
+        // Simulate a torn append and a garbage line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\":\"torn\",\"outc\n");
+        text.push_str("complete garbage\n");
+        std::fs::write(&path, text).unwrap();
+
+        let resumed = Journal::resume(&path).expect("resume survives entry corruption");
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed.corrupt_entries().len(), 2);
+        for err in resumed.corrupt_entries() {
+            assert!(matches!(err, JournalError::Corrupt { .. }), "{err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_header_is_a_hard_error() {
+        let dir = std::env::temp_dir().join("statsize-journal-test-header");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::write(&path, "not a journal\n").unwrap();
+        let err = Journal::resume(&path).expect_err("header must be validated");
+        assert!(
+            matches!(err, JournalError::Corrupt { line: 1, .. }),
+            "{err}"
+        );
+        // Missing file: typed I/O error.
+        let err = Journal::resume(dir.join("nope.jsonl")).expect_err("missing file");
+        assert!(matches!(err, JournalError::Io { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_reader_handles_the_grammar() {
+        let v = parse_json(
+            "{\"a\": [1, -2.5e3, \"x\\u0041\\n\"], \"b\": true, \"c\": null, \"d\": {}}",
+        )
+        .expect("valid json");
+        let obj = v.as_object().unwrap();
+        assert_eq!(
+            get(obj, "a").unwrap(),
+            &Json::Array(vec![
+                Json::Num(1.0),
+                Json::Num(-2500.0),
+                Json::Str("xA\n".to_string())
+            ])
+        );
+        assert_eq!(get_bool(obj, "b"), Ok(true));
+        assert_eq!(get(obj, "c").unwrap(), &Json::Null);
+        assert!(get(obj, "d").unwrap().as_object().unwrap().is_empty());
+        // Malformed inputs error instead of panicking.
+        for bad in ["", "{", "{\"a\":}", "[1,]", "\"unterminated", "01x", "{}{}"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn job_keys_separate_by_name_content_and_config() {
+        let c17 = statsize_netlist::bench::c17();
+        let k1 = job_key(1, "c17", &c17);
+        let k2 = job_key(2, "c17", &c17);
+        let k3 = job_key(1, "other", &c17);
+        assert_ne!(k1, k2, "config hash must separate keys");
+        assert_ne!(k1, k3, "name must separate keys");
+        assert_eq!(k1, job_key(1, "c17", &c17), "keys are deterministic");
+    }
+}

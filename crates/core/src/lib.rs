@@ -40,6 +40,14 @@
 //! workers under a total thread budget, producing per-circuit outcomes
 //! that are bit-identical to serial execution for every shard count.
 //!
+//! Campaigns are **fault tolerant**: every job is panic-isolated into a
+//! structured [`JobOutcome`] (completed / failed / timed-out / skipped),
+//! selectors honor cooperative per-job [`Deadline`]s with optional
+//! graceful degradation to a cheaper selector, completed work
+//! checkpoints to a [`Journal`] for bit-identical `--resume`, and the
+//! [`failpoint`] harness injects faults at the same sites the tests
+//! prove are survivable.
+//!
 //! # Example
 //!
 //! ```
@@ -64,8 +72,11 @@
 mod brute;
 mod campaign;
 mod circuit;
+mod deadline;
 mod det_opt;
+pub mod failpoint;
 mod heuristic;
+mod journal;
 mod objective;
 mod optimizer;
 mod parallel;
@@ -73,10 +84,15 @@ mod pruned;
 mod selection;
 
 pub use brute::BruteForceSelector;
-pub use campaign::{Campaign, CampaignJob, CampaignReport, CircuitOutcome, OutcomeKey};
+pub use campaign::{
+    Campaign, CampaignJob, CampaignReport, CircuitOutcome, JobCounts, JobError, JobOutcome,
+    JobSkip, JobStage, JobTimeout, OutcomeKey,
+};
 pub use circuit::TimedCircuit;
+pub use deadline::{Deadline, DeadlineExceeded};
 pub use det_opt::DeterministicSelector;
 pub use heuristic::HeuristicSelector;
+pub use journal::{Journal, JournalError};
 pub use objective::Objective;
 pub use optimizer::{IterationRecord, OptimizationResult, Optimizer, SelectorKind, StopReason};
 pub use parallel::THREADS_ENV;

@@ -2,6 +2,7 @@
 
 use crate::brute::BruteForceSelector;
 use crate::circuit::TimedCircuit;
+use crate::deadline::Deadline;
 use crate::det_opt::DeterministicSelector;
 use crate::heuristic::HeuristicSelector;
 use crate::objective::Objective;
@@ -37,6 +38,11 @@ pub enum StopReason {
     MaxIterations,
     /// The configured total-width budget was reached.
     WidthLimit,
+    /// The configured cooperative deadline
+    /// ([`Optimizer::with_deadline`]) expired. Iterations committed
+    /// before the expiry are kept — the trajectory is valid, just
+    /// truncated.
+    DeadlineExpired,
 }
 
 /// One committed sizing move and the circuit state after it — a point on
@@ -123,6 +129,7 @@ pub struct Optimizer {
     moves_per_iteration: usize,
     threads: usize,
     kernel_policy: TierPolicy,
+    deadline: Option<Duration>,
 }
 
 impl Optimizer {
@@ -140,7 +147,24 @@ impl Optimizer {
             moves_per_iteration: 1,
             threads: crate::parallel::default_threads(),
             kernel_policy: TierPolicy::exact(),
+            deadline: None,
         }
+    }
+
+    /// Sets a cooperative wall-clock budget for the whole run. The
+    /// deadline is checked at the top of every iteration and threaded
+    /// into each statistical selector sweep (which polls it at candidate
+    /// and front-level boundaries — no OS timers, no thread
+    /// cancellation). On expiry the run stops with
+    /// [`StopReason::DeadlineExpired`], keeping every iteration committed
+    /// so far: the trajectory is valid, just truncated. Note that a
+    /// deadline makes the *stop point* wall-clock dependent, so
+    /// deadline-truncated results are excluded from the bit-identical
+    /// determinism contracts.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
     }
 
     /// Overrides the worker-thread count handed to the statistical
@@ -262,12 +286,17 @@ impl Optimizer {
         let initial_objective = circuit.objective_value(self.objective);
         let initial_width = circuit.total_width();
         let initial_area = circuit.area();
+        let deadline = self.deadline.map_or_else(Deadline::none, Deadline::after);
         let mut iterations = Vec::new();
         let stop;
 
         loop {
             if iterations.len() >= self.max_iterations {
                 stop = StopReason::MaxIterations;
+                break;
+            }
+            if deadline.expired() {
+                stop = StopReason::DeadlineExpired;
                 break;
             }
             if let Some(limit) = self.width_limit {
@@ -278,37 +307,41 @@ impl Optimizer {
             }
             let t0 = Instant::now();
             let k = self.moves_per_iteration;
-            let (selections, prune): (Vec<Selection>, Option<PruneStats>) = match self.selector {
-                SelectorKind::Deterministic => (
+            // Every statistical sweep runs under the shared deadline; an
+            // expiry mid-sweep discards that sweep's partial results and
+            // stops the run with the committed trajectory intact.
+            let swept: Result<(Vec<Selection>, Option<PruneStats>), _> = match self.selector {
+                SelectorKind::Deterministic => Ok((
                     DeterministicSelector::new(self.delta_w)
                         .select(circuit)
                         .into_iter()
                         .collect(),
                     None,
-                ),
-                SelectorKind::BruteForce => (
-                    BruteForceSelector::new(self.delta_w)
-                        .with_threads(self.threads)
-                        .with_kernel_policy(self.kernel_policy)
-                        .select_top_k(circuit, self.objective, k),
-                    None,
-                ),
-                SelectorKind::Pruned => {
-                    let (s, stats) = PrunedSelector::new(self.delta_w)
-                        .with_threads(self.threads)
-                        .with_kernel_policy(self.kernel_policy)
-                        .select_top_k_with_stats(circuit, self.objective, k);
-                    (s, Some(stats))
-                }
-                SelectorKind::Heuristic { lookahead } => (
+                )),
+                SelectorKind::BruteForce => BruteForceSelector::new(self.delta_w)
+                    .with_threads(self.threads)
+                    .with_kernel_policy(self.kernel_policy)
+                    .with_deadline(deadline)
+                    .try_select_top_k(circuit, self.objective, k)
+                    .map(|s| (s, None)),
+                SelectorKind::Pruned => PrunedSelector::new(self.delta_w)
+                    .with_threads(self.threads)
+                    .with_kernel_policy(self.kernel_policy)
+                    .with_deadline(deadline)
+                    .try_select_top_k_with_stats(circuit, self.objective, k)
+                    .map(|(s, stats)| (s, Some(stats))),
+                SelectorKind::Heuristic { lookahead } => {
                     HeuristicSelector::new(self.delta_w, lookahead)
                         .with_threads(self.threads)
                         .with_kernel_policy(self.kernel_policy)
-                        .select(circuit, self.objective)
-                        .into_iter()
-                        .collect(),
-                    None,
-                ),
+                        .with_deadline(deadline)
+                        .try_select(circuit, self.objective)
+                        .map(|s| (s.into_iter().collect(), None))
+                }
+            };
+            let Ok((selections, prune)) = swept else {
+                stop = StopReason::DeadlineExpired;
+                break;
             };
             if selections.is_empty() || selections[0].sensitivity <= self.min_sensitivity {
                 stop = StopReason::Converged;
@@ -474,6 +507,46 @@ mod tests {
                 .collect()
         };
         assert_eq!(gates(&serial), gates(&parallel));
+    }
+
+    #[test]
+    fn zero_deadline_stops_before_any_move() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        for selector in [
+            SelectorKind::Pruned,
+            SelectorKind::BruteForce,
+            SelectorKind::Heuristic { lookahead: 1 },
+            SelectorKind::Deterministic,
+        ] {
+            let mut c = circuit_of(&nl, &lib);
+            let result = Optimizer::new(Objective::percentile(0.99), selector)
+                .with_deadline(Duration::ZERO)
+                .run(&mut c);
+            assert_eq!(result.stop, StopReason::DeadlineExpired, "{selector:?}");
+            assert_eq!(result.iterations_run(), 0, "{selector:?}");
+            // Nothing committed: the circuit state is untouched.
+            assert_eq!(result.final_objective, result.initial_objective);
+            assert_eq!(result.final_width, result.initial_width);
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_the_run() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut a = circuit_of(&nl, &lib);
+        let plain = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_max_iterations(4)
+            .run(&mut a);
+        let mut b = circuit_of(&nl, &lib);
+        let timed = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_max_iterations(4)
+            .with_deadline(Duration::from_secs(3600))
+            .run(&mut b);
+        assert_eq!(plain.final_objective, timed.final_objective);
+        assert_eq!(plain.iterations_run(), timed.iterations_run());
+        assert_eq!(plain.stop, timed.stop);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! performed with the same deterministic ordering the serial sweeps use —
 //! so results are bit-identical for every thread count.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Environment variable overriding every selector's default thread count
@@ -79,16 +81,47 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    run_indexed_isolated(threads, len, init, work)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("worker panicked: {msg}")))
+        .collect()
+}
+
+/// The panic-isolated form of [`run_indexed`]: each work item runs under
+/// `catch_unwind`, so one panicking item becomes an `Err` in its slot
+/// while the worker keeps claiming and every other item still completes.
+/// This is what keeps a single degenerate circuit from poisoning a whole
+/// campaign's `std::thread::scope` — the caller decides whether an `Err`
+/// is a structured failure (campaigns) or grounds to re-panic
+/// ([`run_indexed`]).
+///
+/// The worker state `S` is reused across items on the same worker even
+/// after a caught panic; callers must hand in state for which that is
+/// sound (the selectors' scratch pools are plain buffer pools — a torn
+/// pool only costs re-allocation, never correctness).
+pub(crate) fn run_indexed_isolated<S, T, I, F>(
+    threads: usize,
+    len: usize,
+    init: I,
+    work: F,
+) -> Vec<Result<T, String>>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let queue = WorkQueue::new(len);
-    let per_worker: Vec<Vec<(usize, T)>> = run_workers(threads, || {
+    let per_worker: Vec<Vec<(usize, Result<T, String>)>> = run_workers(threads, || {
         let mut state = init();
         let mut local = Vec::new();
         while let Some(idx) = queue.claim() {
-            local.push((idx, work(&mut state, idx)));
+            let result = catch_unwind(AssertUnwindSafe(|| work(&mut state, idx)))
+                .map_err(|payload| panic_message(payload.as_ref()));
+            local.push((idx, result));
         }
         local
     });
-    let mut slots: Vec<Option<T>> = Vec::new();
+    let mut slots: Vec<Option<Result<T, String>>> = Vec::new();
     slots.resize_with(len, || None);
     for (idx, item) in per_worker.into_iter().flatten() {
         slots[idx] = Some(item);
@@ -97,6 +130,18 @@ where
         .into_iter()
         .map(|s| s.expect("every index is claimed exactly once"))
         .collect()
+}
+
+/// Renders a caught panic payload as text: the `&str`/`String` payloads
+/// `panic!` produces are passed through, anything else is summarized.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Normalizes a requested thread count against the amount of available
@@ -204,6 +249,61 @@ mod tests {
         assert_eq!(m.get(), 1.5);
         m.raise(2.25);
         assert_eq!(m.get(), 2.25);
+    }
+
+    #[test]
+    fn isolated_run_converts_panics_to_errors_and_finishes_the_rest() {
+        for threads in [1usize, 3] {
+            let results = run_indexed_isolated(
+                threads,
+                5,
+                || (),
+                |(), idx| {
+                    if idx == 2 {
+                        panic!("item {idx} exploded");
+                    }
+                    idx * 10
+                },
+            );
+            assert_eq!(results.len(), 5, "threads={threads}");
+            for (idx, r) in results.iter().enumerate() {
+                if idx == 2 {
+                    assert_eq!(r, &Err("item 2 exploded".to_string()), "threads={threads}");
+                } else {
+                    assert_eq!(r, &Ok(idx * 10), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked: boom")]
+    fn run_indexed_repanics_on_the_calling_thread() {
+        // Must panic on the *main* thread (not abort via a poisoned
+        // scope), with the original message preserved.
+        let _ = run_indexed(
+            2,
+            3,
+            || (),
+            |(), idx| {
+                if idx == 1 {
+                    panic!("boom");
+                }
+                idx
+            },
+        );
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("plain &str")).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "plain &str");
+        let caught =
+            std::panic::catch_unwind(|| panic!("formatted {}", 7)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+        let caught =
+            std::panic::catch_unwind(|| std::panic::panic_any(42u8)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
     }
 
     #[test]

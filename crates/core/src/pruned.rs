@@ -47,6 +47,7 @@
 //! (the invariant `pruned + completed == candidates` always holds).
 
 use crate::circuit::TimedCircuit;
+use crate::deadline::{Deadline, DeadlineExceeded};
 use crate::objective::Objective;
 use crate::parallel::{default_threads, normalize_threads, run_workers, SharedMax, WorkQueue};
 use crate::selection::Selection;
@@ -55,6 +56,7 @@ use statsize_netlist::GateId;
 use statsize_ssta::{ConeWalk, SstaAnalysis, StepReport, TimingNode};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::{Barrier, Mutex, OnceLock};
 
 /// Work statistics of one pruned selection, quantifying how effective the
@@ -110,6 +112,7 @@ pub struct PrunedSelector {
     delta_w: f64,
     threads: usize,
     kernel_policy: TierPolicy,
+    deadline: Deadline,
 }
 
 /// Safety slack (ps per unit width) applied to the pruning comparison.
@@ -219,12 +222,25 @@ impl PrunedSelector {
             delta_w,
             threads: default_threads(),
             kernel_policy: TierPolicy::exact(),
+            deadline: Deadline::none(),
         }
     }
 
     /// The trial width increment.
     pub fn delta_w(&self) -> f64 {
         self.delta_w
+    }
+
+    /// Sets a cooperative [`Deadline`] for the sweep (default: none).
+    /// The deadline is polled at candidate and front-level boundaries —
+    /// once per heap pop in the serial sweep, once per claim and per
+    /// propagated level in the parallel sweep — so an expired deadline
+    /// surfaces within one bounded unit of work. Use the `try_*` entry
+    /// points with a deadline set; the infallible ones panic on expiry.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Overrides the worker-thread count for the candidate sweep,
@@ -268,9 +284,23 @@ impl PrunedSelector {
     /// Panics if the objective is not
     /// [`shift_bounded`](Objective::shift_bounded): the pruning theory
     /// only covers objectives whose improvement is bounded by the maximum
-    /// percentile shift.
+    /// percentile shift. Panics if a configured
+    /// [`with_deadline`](Self::with_deadline) expires — use
+    /// [`try_select`](Self::try_select) with deadlines.
     pub fn select(&self, circuit: &TimedCircuit<'_>, objective: Objective) -> Option<Selection> {
         self.select_with_stats(circuit, objective).0
+    }
+
+    /// Fallible form of [`select`](Self::select): `Err` when the
+    /// configured [`with_deadline`](Self::with_deadline) expires
+    /// mid-sweep.
+    pub fn try_select(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+    ) -> Result<Option<Selection>, DeadlineExceeded> {
+        let (mut top, _) = self.try_select_top_k_with_stats(circuit, objective, 1)?;
+        Ok(top.pop())
     }
 
     /// The `k` most sensitive gates — see
@@ -309,14 +339,37 @@ impl PrunedSelector {
     ///
     /// # Panics
     ///
-    /// Panics if `k` is zero or the objective is not
-    /// [`shift_bounded`](Objective::shift_bounded).
+    /// Panics if `k` is zero, the objective is not
+    /// [`shift_bounded`](Objective::shift_bounded), or a configured
+    /// [`with_deadline`](Self::with_deadline) expires — use
+    /// [`try_select_top_k_with_stats`](Self::try_select_top_k_with_stats)
+    /// with deadlines.
     pub fn select_top_k_with_stats(
         &self,
         circuit: &TimedCircuit<'_>,
         objective: Objective,
         k: usize,
     ) -> (Vec<Selection>, PruneStats) {
+        self.try_select_top_k_with_stats(circuit, objective, k)
+            .expect("sweep deadline exceeded; use try_select_top_k_with_stats with a deadline")
+    }
+
+    /// Fallible form of
+    /// [`select_top_k_with_stats`](Self::select_top_k_with_stats): `Err`
+    /// when the configured [`with_deadline`](Self::with_deadline) expires
+    /// mid-sweep (partial results are discarded — a partial sweep has no
+    /// exactness guarantee to offer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the objective is not
+    /// [`shift_bounded`](Objective::shift_bounded).
+    pub fn try_select_top_k_with_stats(
+        &self,
+        circuit: &TimedCircuit<'_>,
+        objective: Objective,
+        k: usize,
+    ) -> Result<(Vec<Selection>, PruneStats), DeadlineExceeded> {
         assert!(k > 0, "k must be positive");
         assert!(
             objective.shift_bounded(),
@@ -374,7 +427,7 @@ impl PrunedSelector {
         circuit: &TimedCircuit<'_>,
         objective: Objective,
         k: usize,
-    ) -> (Vec<Selection>, PruneStats) {
+    ) -> Result<(Vec<Selection>, PruneStats), DeadlineExceeded> {
         let base = circuit.ssta();
         let base_cost = circuit.objective_value(objective);
         let mut stats = PruneStats {
@@ -389,11 +442,16 @@ impl PrunedSelector {
         let mut scratch = DistScratch::with_policy(self.kernel_policy);
 
         // --- Initialize every candidate (Figure 7). ---
-        let mut candidates: Vec<Option<Candidate<'_>>> = circuit
-            .netlist()
-            .gate_ids()
-            .map(|gate| Some(self.initialize_candidate(circuit, gate, &mut scratch, &mut stats)))
-            .collect();
+        let mut candidates: Vec<Option<Candidate<'_>>> = Vec::new();
+        for gate in circuit.netlist().gate_ids() {
+            self.deadline.check()?;
+            candidates.push(Some(self.initialize_candidate(
+                circuit,
+                gate,
+                &mut scratch,
+                &mut stats,
+            )));
+        }
 
         // --- Best-bound-first propagation with pruning (Figure 6). ---
         let mut heap: BinaryHeap<HeapEntry> = candidates
@@ -410,6 +468,9 @@ impl PrunedSelector {
         let mut completed: Vec<Selection> = Vec::new();
 
         while let Some(entry) = heap.pop() {
+            // One heap pop == at most one propagated level: the natural
+            // cooperative-deadline boundary of the serial sweep.
+            self.deadline.check()?;
             let slot = &mut candidates[entry.idx];
             let Some(cand) = slot.as_mut() else {
                 continue; // finished or pruned earlier (stale heap entry)
@@ -457,7 +518,7 @@ impl PrunedSelector {
 
         completed.truncate(k);
         completed.retain(|s| s.sensitivity > 0.0);
-        (completed, stats)
+        Ok((completed, stats))
     }
 
     /// The work-stealing parallel sweep — bit-identical selections (see
@@ -478,7 +539,7 @@ impl PrunedSelector {
         objective: Objective,
         k: usize,
         threads: usize,
-    ) -> (Vec<Selection>, PruneStats) {
+    ) -> Result<(Vec<Selection>, PruneStats), DeadlineExceeded> {
         let base = circuit.ssta();
         let base_cost = circuit.objective_value(objective);
         let gates: Vec<GateId> = circuit.netlist().gate_ids().collect();
@@ -505,6 +566,11 @@ impl PrunedSelector {
         let rendezvous = Barrier::new(threads);
         let threshold = SharedMax::new(0.0);
         let completed: Mutex<Vec<Selection>> = Mutex::new(Vec::new());
+        // Cooperative-deadline latch: the first worker that observes the
+        // expired deadline raises it; everyone else sees it at their next
+        // claim (or right after the rendezvous) and unwinds through the
+        // normal return path — no thread is ever cancelled mid-step.
+        let expired = AtomicBool::new(false);
 
         let worker_stats: Vec<PruneStats> = run_workers(threads, || {
             let mut scratch = DistScratch::with_policy(self.kernel_policy);
@@ -512,15 +578,24 @@ impl PrunedSelector {
 
             // --- Phase 1: initialize every front (Figure 7), workers
             // stealing candidate indices from a shared cursor. ---
-            while let Some(idx) = init_queue.claim() {
+            while !expired.load(AtomicOrdering::Relaxed) {
+                if self.deadline.expired() {
+                    expired.store(true, AtomicOrdering::Relaxed);
+                    break;
+                }
+                let Some(idx) = init_queue.claim() else {
+                    break;
+                };
                 let cand = self.initialize_candidate(circuit, gates[idx], &mut scratch, &mut local);
                 *slots[idx].lock().expect("init worker panicked") = Some(cand);
             }
 
-            // Rendezvous: every front is parked. The barrier elects a
-            // leader, which sorts the initial bounds while the others
-            // wait at the second barrier; then all workers roll on.
-            if rendezvous.wait().is_leader() {
+            // Rendezvous: every front is parked (every worker reaches the
+            // barrier even on an expired deadline — a missing party would
+            // deadlock the rest). The barrier elects a leader, which
+            // sorts the initial bounds while the others wait at the
+            // second barrier; then all workers roll on.
+            if rendezvous.wait().is_leader() && !expired.load(AtomicOrdering::Relaxed) {
                 let mut by_bound: Vec<(f64, usize)> = slots
                     .iter()
                     .enumerate()
@@ -540,12 +615,21 @@ impl PrunedSelector {
                     .expect("only the barrier leader publishes the order");
             }
             rendezvous.wait();
+            // The barrier orders the latch store before this load, so an
+            // expiry during phase 1 is visible to every worker here — and
+            // the unpublished claim order is never read.
+            if expired.load(AtomicOrdering::Relaxed) {
+                return local;
+            }
             let order = order.get().expect("leader published before the barrier");
 
             // --- Phase 2: advance claimed fronts to the sink or prune
             // them against the live shared threshold (Figure 6's loop,
             // fronts distributed across workers). ---
-            while let Some(pos) = sweep_queue.claim() {
+            'sweep: while let Some(pos) = sweep_queue.claim() {
+                if expired.load(AtomicOrdering::Relaxed) {
+                    break;
+                }
                 let idx = order[pos];
                 let mut cand = slots[idx]
                     .lock()
@@ -553,6 +637,12 @@ impl PrunedSelector {
                     .take()
                     .expect("each slot is claimed exactly once");
                 loop {
+                    // Cooperative deadline, once per front level.
+                    if self.deadline.expired() {
+                        expired.store(true, AtomicOrdering::Relaxed);
+                        cand.walk.recycle_into(&mut scratch);
+                        break 'sweep;
+                    }
                     // Prune: the bound says this candidate can never
                     // enter the top k. A stale (lagging) threshold read
                     // only delays pruning — it can never prune a
@@ -591,6 +681,9 @@ impl PrunedSelector {
             }
             local
         });
+        if expired.load(AtomicOrdering::Relaxed) {
+            return Err(DeadlineExceeded);
+        }
         for s in &worker_stats {
             stats.merge(s);
         }
@@ -598,7 +691,7 @@ impl PrunedSelector {
         let mut completed = completed.into_inner().expect("sweep worker panicked");
         completed.truncate(k);
         completed.retain(|s| s.sensitivity > 0.0);
-        (completed, stats)
+        Ok((completed, stats))
     }
 }
 
@@ -727,6 +820,53 @@ mod tests {
         let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
         let sel = PrunedSelector::new(1.0).select(&circuit, Objective::Mean);
         assert!(sel.is_some());
+    }
+
+    #[test]
+    fn expired_deadline_errors_on_both_sweeps() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        for threads in [1usize, 4] {
+            let sel = PrunedSelector::new(1.0)
+                .with_threads(threads)
+                .with_deadline(Deadline::after(std::time::Duration::ZERO));
+            assert_eq!(
+                sel.try_select(&circuit, obj),
+                Err(DeadlineExceeded),
+                "threads={threads}"
+            );
+            assert!(
+                sel.try_select_top_k_with_stats(&circuit, obj, 2).is_err(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn unlimited_deadline_leaves_selection_bit_identical() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let obj = Objective::percentile(0.99);
+        let plain = PrunedSelector::new(1.0).select(&circuit, obj);
+        let with_deadline = PrunedSelector::new(1.0)
+            .with_deadline(Deadline::none())
+            .try_select(&circuit, obj)
+            .expect("unlimited deadline never expires");
+        assert_eq!(plain, with_deadline);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep deadline exceeded")]
+    fn infallible_entry_point_panics_on_expiry() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let circuit = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 1.0);
+        let _ = PrunedSelector::new(1.0)
+            .with_deadline(Deadline::after(std::time::Duration::ZERO))
+            .select(&circuit, Objective::percentile(0.99));
     }
 
     #[test]

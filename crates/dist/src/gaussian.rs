@@ -1,6 +1,35 @@
 //! The truncated-Gaussian delay model and its lattice discretization.
 
 use crate::lattice::Dist;
+use std::fmt;
+
+/// An invalid parameterization of a [`TruncatedGaussian`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GaussianError {
+    /// The mean was NaN or infinite.
+    BadMean(f64),
+    /// The standard deviation was negative, NaN, or infinite.
+    BadSigma(f64),
+    /// The truncation point (in multiples of σ) was not positive, or was
+    /// NaN or infinite.
+    BadTruncation(f64),
+}
+
+impl fmt::Display for GaussianError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GaussianError::BadMean(mean) => write!(f, "mean must be finite, got {mean}"),
+            GaussianError::BadSigma(sigma) => {
+                write!(f, "sigma must be finite and non-negative, got {sigma}")
+            }
+            GaussianError::BadTruncation(k) => {
+                write!(f, "truncation must be positive, got {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GaussianError {}
 
 /// A Gaussian with mean `μ` and standard deviation `σ`, truncated
 /// symmetrically at `μ ± kσ` and renormalized — the paper's arc-delay
@@ -20,28 +49,66 @@ impl TruncatedGaussian {
     /// # Panics
     ///
     /// Panics if `mean` is not finite, `sigma` is negative or not finite,
-    /// or `trunc_sigmas` is not positive.
+    /// or `trunc_sigmas` is not positive — use
+    /// [`try_new`](Self::try_new) to validate untrusted parameters
+    /// without panicking.
     pub fn new(mean: f64, sigma: f64, trunc_sigmas: f64) -> Self {
-        assert!(mean.is_finite(), "mean must be finite, got {mean}");
-        assert!(
-            sigma.is_finite() && sigma >= 0.0,
-            "sigma must be finite and non-negative, got {sigma}"
-        );
-        assert!(
-            trunc_sigmas.is_finite() && trunc_sigmas > 0.0,
-            "truncation must be positive, got {trunc_sigmas}"
-        );
-        Self {
+        match Self::try_new(mean, sigma, trunc_sigmas) {
+            Ok(g) => g,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// [`new`](Self::new), returning a typed [`GaussianError`] instead of
+    /// panicking — the constructor to reach for when the parameters come
+    /// from user input (config files, CLI flags, corpus metadata).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GaussianError`] describing the violated invariant.
+    pub fn try_new(mean: f64, sigma: f64, trunc_sigmas: f64) -> Result<Self, GaussianError> {
+        if !mean.is_finite() {
+            return Err(GaussianError::BadMean(mean));
+        }
+        if !(sigma.is_finite() && sigma >= 0.0) {
+            return Err(GaussianError::BadSigma(sigma));
+        }
+        if !(trunc_sigmas.is_finite() && trunc_sigmas > 0.0) {
+            return Err(GaussianError::BadTruncation(trunc_sigmas));
+        }
+        Ok(Self {
             mean,
             sigma,
             trunc_sigmas,
-        }
+        })
     }
 
     /// The paper's parameterization: `σ` given as a fraction of the
     /// nominal delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`new`](Self::new); see
+    /// [`try_from_nominal`](Self::try_from_nominal) for the fallible
+    /// form.
     pub fn from_nominal(nominal: f64, sigma_frac: f64, trunc_sigmas: f64) -> Self {
         Self::new(nominal, sigma_frac * nominal, trunc_sigmas)
+    }
+
+    /// [`from_nominal`](Self::from_nominal), returning a typed
+    /// [`GaussianError`] instead of panicking. Note a non-finite
+    /// `sigma_frac` surfaces as [`GaussianError::BadSigma`] on the
+    /// derived `σ = sigma_frac · nominal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GaussianError`] describing the violated invariant.
+    pub fn try_from_nominal(
+        nominal: f64,
+        sigma_frac: f64,
+        trunc_sigmas: f64,
+    ) -> Result<Self, GaussianError> {
+        Self::try_new(nominal, sigma_frac * nominal, trunc_sigmas)
     }
 
     /// The parent (and, by symmetry, truncated) mean.
@@ -263,5 +330,71 @@ mod tests {
     #[should_panic(expected = "sigma must be finite and non-negative")]
     fn negative_sigma_rejected() {
         TruncatedGaussian::new(1.0, -0.5, 3.0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        // NaN payloads are compared via `matches!` — the derived
+        // `PartialEq` treats NaN != NaN.
+        assert!(matches!(
+            TruncatedGaussian::try_new(f64::NAN, 1.0, 3.0),
+            Err(GaussianError::BadMean(m)) if m.is_nan()
+        ));
+        assert_eq!(
+            TruncatedGaussian::try_new(f64::INFINITY, 1.0, 3.0),
+            Err(GaussianError::BadMean(f64::INFINITY))
+        );
+        assert_eq!(
+            TruncatedGaussian::try_new(1.0, -0.5, 3.0),
+            Err(GaussianError::BadSigma(-0.5))
+        );
+        assert!(matches!(
+            TruncatedGaussian::try_new(1.0, f64::NAN, 3.0),
+            Err(GaussianError::BadSigma(s)) if s.is_nan()
+        ));
+        for bad_k in [0.0, -1.0, f64::INFINITY] {
+            assert_eq!(
+                TruncatedGaussian::try_new(1.0, 1.0, bad_k),
+                Err(GaussianError::BadTruncation(bad_k)),
+                "k = {bad_k}"
+            );
+        }
+        assert!(matches!(
+            TruncatedGaussian::try_new(1.0, 1.0, f64::NAN),
+            Err(GaussianError::BadTruncation(k)) if k.is_nan()
+        ));
+        let ok = TruncatedGaussian::try_new(100.0, 10.0, 3.0).expect("valid parameters");
+        assert_eq!(ok, TruncatedGaussian::new(100.0, 10.0, 3.0));
+    }
+
+    #[test]
+    fn try_from_nominal_flags_the_derived_sigma() {
+        assert!(matches!(
+            TruncatedGaussian::try_from_nominal(100.0, f64::NAN, 3.0),
+            Err(GaussianError::BadSigma(s)) if s.is_nan()
+        ));
+        assert_eq!(
+            TruncatedGaussian::try_from_nominal(100.0, 0.1, 3.0).expect("valid"),
+            TruncatedGaussian::from_nominal(100.0, 0.1, 3.0)
+        );
+    }
+
+    #[test]
+    fn error_display_mirrors_the_panic_messages() {
+        // `new` panics with exactly the `Display` of the typed error, so
+        // the `should_panic(expected = ...)` contracts above and the
+        // typed path can never drift apart.
+        assert_eq!(
+            GaussianError::BadSigma(-0.5).to_string(),
+            "sigma must be finite and non-negative, got -0.5"
+        );
+        assert_eq!(
+            GaussianError::BadMean(f64::NAN).to_string(),
+            "mean must be finite, got NaN"
+        );
+        assert_eq!(
+            GaussianError::BadTruncation(0.0).to_string(),
+            "truncation must be positive, got 0"
+        );
     }
 }

@@ -34,6 +34,8 @@ pub enum DistError {
         /// The observed total mass.
         total: f64,
     },
+    /// A point-mass location ([`Dist::point`]) was NaN or infinite.
+    BadLocation(f64),
 }
 
 impl fmt::Display for DistError {
@@ -54,6 +56,9 @@ impl fmt::Display for DistError {
                     f,
                     "total mass must be 1 (within {NORMALIZATION_TOL}), got {total}"
                 )
+            }
+            DistError::BadLocation(t) => {
+                write!(f, "point mass location must be finite, got {t}")
             }
         }
     }
@@ -130,17 +135,34 @@ impl Dist {
     ///
     /// # Panics
     ///
-    /// Panics if `dt` is not finite and positive or `t` is not finite.
+    /// Panics if `dt` is not finite and positive or `t` is not finite —
+    /// use [`try_point`](Self::try_point) to validate untrusted inputs
+    /// without panicking.
     pub fn point(dt: f64, t: f64) -> Self {
-        assert!(
-            dt.is_finite() && dt > 0.0,
-            "lattice step must be positive, got {dt}"
-        );
-        assert!(t.is_finite(), "point mass location must be finite, got {t}");
+        match Self::try_point(dt, t) {
+            Ok(d) => d,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// [`point`](Self::point), returning a typed [`DistError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::BadStep`] for an invalid `dt` and
+    /// [`DistError::BadLocation`] for a non-finite `t`.
+    pub fn try_point(dt: f64, t: f64) -> Result<Self, DistError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(DistError::BadStep(dt));
+        }
+        if !t.is_finite() {
+            return Err(DistError::BadLocation(t));
+        }
         let pos = t / dt;
         let k = pos.floor();
         let frac = pos - k;
-        Self::from_raw(dt, k as i64, vec![1.0 - frac, frac])
+        Ok(Self::from_raw(dt, k as i64, vec![1.0 - frac, frac]))
     }
 
     /// Internal constructor: trims zero/negligible tails and renormalizes.
@@ -699,6 +721,35 @@ mod tests {
         assert_eq!(d.support_len(), 2);
         assert!((d.mean() - 43.5).abs() < 1e-12);
         assert!(d.variance() > 0.0);
+    }
+
+    #[test]
+    fn try_point_reports_typed_errors() {
+        assert_eq!(Dist::try_point(0.0, 1.0), Err(DistError::BadStep(0.0)));
+        assert_eq!(Dist::try_point(-1.0, 1.0), Err(DistError::BadStep(-1.0)));
+        assert!(matches!(
+            Dist::try_point(f64::NAN, 1.0),
+            Err(DistError::BadStep(dt)) if dt.is_nan()
+        ));
+        assert!(matches!(
+            Dist::try_point(1.0, f64::NAN),
+            Err(DistError::BadLocation(t)) if t.is_nan()
+        ));
+        assert_eq!(
+            Dist::try_point(1.0, f64::INFINITY),
+            Err(DistError::BadLocation(f64::INFINITY))
+        );
+        assert_eq!(
+            DistError::BadLocation(f64::INFINITY).to_string(),
+            "point mass location must be finite, got inf"
+        );
+        assert_eq!(Dist::try_point(1.0, 42.0).unwrap(), Dist::point(1.0, 42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "point mass location must be finite")]
+    fn point_panics_on_non_finite_location() {
+        Dist::point(1.0, f64::INFINITY);
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod tier;
 
 pub use empirical::{Empirical, EmpiricalError};
 pub use fft::{certified_fft_error_bound, fft_convolutions, fft_convolve};
-pub use gaussian::TruncatedGaussian;
+pub use gaussian::{GaussianError, TruncatedGaussian};
 pub use kernel::{convolve_with_backend, KernelBackend};
 pub use lattice::{Dist, DistError};
 pub use scratch::DistScratch;

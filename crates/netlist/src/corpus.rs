@@ -89,15 +89,34 @@ impl Error for CorpusError {
     }
 }
 
-/// Loads every `*.bench` file in `dir` (non-recursive), sorted by
-/// circuit name.
-///
-/// # Errors
-///
-/// Fails on the first unreadable or unparsable file, or if the
-/// directory holds no `.bench` files at all.
-pub fn load_dir<P: AsRef<Path>>(dir: P) -> Result<Vec<CorpusEntry>, CorpusError> {
-    let dir = dir.as_ref();
+impl CorpusError {
+    /// The file (or directory) the error refers to — the handle batch
+    /// callers use to quarantine a bad file by name.
+    pub fn path(&self) -> &Path {
+        match self {
+            CorpusError::Io { path, .. }
+            | CorpusError::Parse { path, .. }
+            | CorpusError::Empty { path } => path,
+        }
+    }
+}
+
+/// A leniently loaded corpus (see [`load_dir_lenient`]): the entries
+/// that parsed, plus a typed [`CorpusError`] for every file that did
+/// not. Both lists follow the deterministic stem-sorted file order.
+#[derive(Debug)]
+pub struct LenientCorpus {
+    /// Successfully loaded circuits, sorted by name.
+    pub entries: Vec<CorpusEntry>,
+    /// Per-file load failures, in the same sorted scan order. Each
+    /// carries the offending path, so callers can quarantine the file by
+    /// name instead of aborting the batch.
+    pub rejected: Vec<CorpusError>,
+}
+
+/// Scans `dir` (non-recursive) for `*.bench` files, in a deterministic
+/// order, erroring on an unreadable or empty directory.
+fn scan_dir(dir: &Path) -> Result<Vec<PathBuf>, CorpusError> {
     let entries = std::fs::read_dir(dir).map_err(|source| CorpusError::Io {
         path: dir.to_path_buf(),
         source,
@@ -124,7 +143,43 @@ pub fn load_dir<P: AsRef<Path>>(dir: P) -> Result<Vec<CorpusEntry>, CorpusError>
             path: dir.to_path_buf(),
         });
     }
-    paths.into_iter().map(load_file).collect()
+    Ok(paths)
+}
+
+/// Loads every `*.bench` file in `dir` (non-recursive), sorted by
+/// circuit name.
+///
+/// # Errors
+///
+/// Fails on the first unreadable or unparsable file, or if the
+/// directory holds no `.bench` files at all. Batch callers that must
+/// survive individual bad files should use [`load_dir_lenient`].
+pub fn load_dir<P: AsRef<Path>>(dir: P) -> Result<Vec<CorpusEntry>, CorpusError> {
+    scan_dir(dir.as_ref())?.into_iter().map(load_file).collect()
+}
+
+/// [`load_dir`] for fault-tolerant batch runs: a file that cannot be
+/// read or parsed is collected into [`LenientCorpus::rejected`] instead
+/// of failing the whole load, so one truncated `.bench` file cannot take
+/// down a campaign over the rest of the corpus.
+///
+/// # Errors
+///
+/// Directory-level problems remain hard errors: an unreadable directory,
+/// or one with no `.bench` files at all (almost always a mistyped path —
+/// an empty campaign would hide it).
+pub fn load_dir_lenient<P: AsRef<Path>>(dir: P) -> Result<LenientCorpus, CorpusError> {
+    let mut corpus = LenientCorpus {
+        entries: Vec::new(),
+        rejected: Vec::new(),
+    };
+    for path in scan_dir(dir.as_ref())? {
+        match load_file(path) {
+            Ok(entry) => corpus.entries.push(entry),
+            Err(err) => corpus.rejected.push(err),
+        }
+    }
+    Ok(corpus)
 }
 
 /// Loads one `.bench` file, naming the circuit after the file stem.
@@ -205,6 +260,55 @@ mod tests {
             }
             other => panic!("expected parse error, got {other}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lenient_loading_quarantines_bad_files_and_keeps_the_rest() {
+        let dir = scratch_dir("lenient");
+        std::fs::write(dir.join("good.bench"), bench::C17).unwrap();
+        // A truncated file (cut mid-gate), a garbage file, and an empty
+        // one: all three must be rejected without sinking the load.
+        let truncated = &bench::C17[..bench::C17.len() / 2];
+        std::fs::write(dir.join("truncated.bench"), truncated).unwrap();
+        std::fs::write(dir.join("garbage.bench"), "\u{0}\u{1}!! not a netlist").unwrap();
+        std::fs::write(dir.join("empty.bench"), "").unwrap();
+        let corpus = load_dir_lenient(&dir).unwrap();
+        let names: Vec<&str> = corpus.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["good"]);
+        assert_eq!(corpus.rejected.len(), 3);
+        for err in &corpus.rejected {
+            assert!(
+                matches!(err, CorpusError::Parse { .. }),
+                "expected parse rejection, got {err}"
+            );
+        }
+        // Rejections follow the sorted scan order and carry their paths.
+        let rejected: Vec<&str> = corpus
+            .rejected
+            .iter()
+            .map(|e| e.path().file_name().unwrap().to_str().unwrap())
+            .collect();
+        assert_eq!(
+            rejected,
+            ["empty.bench", "garbage.bench", "truncated.bench"]
+        );
+        // The strict loader refuses the same directory outright.
+        assert!(matches!(load_dir(&dir), Err(CorpusError::Parse { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lenient_loading_keeps_directory_errors_hard() {
+        let dir = scratch_dir("lenient-hard");
+        assert!(matches!(
+            load_dir_lenient(&dir),
+            Err(CorpusError::Empty { .. })
+        ));
+        assert!(matches!(
+            load_dir_lenient(dir.join("missing")),
+            Err(CorpusError::Io { .. })
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

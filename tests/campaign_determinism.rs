@@ -43,8 +43,8 @@ fn report_is_bit_identical_across_shard_counts() {
         assert_eq!(serial.outcomes.len(), sharded.outcomes.len());
         for (a, b) in serial.outcomes.iter().zip(&sharded.outcomes) {
             assert_eq!(
-                a.deterministic_key(),
-                b.deterministic_key(),
+                a.completed().unwrap().deterministic_key(),
+                b.completed().unwrap().deterministic_key(),
                 "outcome diverged at {shards} shards"
             );
         }
@@ -83,7 +83,7 @@ fn disk_corpus_matches_the_in_memory_corpus() {
     for job in &jobs {
         std::fs::write(
             dir.join(format!("{}.bench", job.name)),
-            bench::write(&job.netlist),
+            bench::write(job.netlist().unwrap()),
         )
         .unwrap();
     }
@@ -118,14 +118,14 @@ fn large_profile_campaign_is_sharded_and_deterministic() {
         ),
         CampaignJob::new("c432", generate_iscas("c432", 1).unwrap()),
     ];
-    assert!(jobs[1].netlist.stats().timing_nodes > 10_000);
+    assert!(jobs[1].netlist().unwrap().stats().timing_nodes > 10_000);
     let lib = CellLibrary::synthetic_180nm();
     let campaign = Campaign::new(Objective::percentile(0.99), SelectorKind::Deterministic)
         .with_max_iterations(2);
 
     let sharded = campaign.with_shards(2).run(&jobs, &lib);
     assert_eq!(sharded.shards, 2);
-    let big = &sharded.outcomes[1];
+    let big = sharded.outcomes[1].completed().expect("gen12000 completes");
     assert_eq!(big.name, "gen12000");
     assert!(big.nodes > 10_000);
     assert!(
@@ -135,6 +135,9 @@ fn large_profile_campaign_is_sharded_and_deterministic() {
 
     let serial = campaign.with_shards(1).run(&jobs, &lib);
     for (a, b) in serial.outcomes.iter().zip(&sharded.outcomes) {
-        assert_eq!(a.deterministic_key(), b.deterministic_key());
+        assert_eq!(
+            a.completed().unwrap().deterministic_key(),
+            b.completed().unwrap().deterministic_key()
+        );
     }
 }
