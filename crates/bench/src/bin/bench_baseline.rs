@@ -11,9 +11,10 @@
 //! once per process, so one run can cover every tier), an end-to-end
 //! `cone_walk` over generated benchmark circuits, whole pruned
 //! selection sweeps at 1/2/4/8 worker threads (`pruned_parallel/*`),
-//! and a 3-circuit sharded campaign (`campaign/*`), with a
-//! deterministic sample loop, and emits one JSON object per
-//! operation/size pair.
+//! a 3-circuit sharded campaign (`campaign/*`), and serve-mode query
+//! latency (`service_query/*`: cold from-scratch re-analysis vs a warm
+//! session's incremental `what_if`), with a deterministic sample loop,
+//! and emits one JSON object per operation/size pair.
 //!
 //! Usage: `cargo run --release -p statsize-bench --bin bench_baseline
 //! [--out=PATH] [--quick] [--compare=PATH]`
@@ -26,7 +27,10 @@
 //!   its median next to each fresh measurement with the relative delta.
 //!   Purely informational: no thresholds, never fails.
 
-use statsize::{Campaign, CampaignJob, Objective, PrunedSelector, SelectorKind, TimedCircuit};
+use statsize::{
+    Campaign, CampaignJob, Design, Objective, Optimizer, PrunedSelector, SelectorKind, Session,
+    TimedCircuit,
+};
 use statsize_bench::emit::JsonObject;
 use statsize_bench::suite;
 use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
@@ -355,6 +359,45 @@ fn main() {
                 }),
             );
         }
+    }
+
+    // Serve-mode query latency: what a warm session saves. `cold` is the
+    // stateless-server price for one what-if — rebuild sizes, delays,
+    // and the full SSTA pass from scratch for the mutated circuit.
+    // `warm` asks a live `service::Session` the same question: an
+    // incremental cone update plus an exact-bits undo. The answers are
+    // bit-identical (tests/service_sessions.rs pins that); only the
+    // cost differs.
+    for circuit in ["c432", "c499"] {
+        let nl = suite::build_circuit(circuit, 1);
+        let lib = CellLibrary::synthetic_180nm();
+        let probe_gate = nl.topological_gates()[nl.gate_count() / 2];
+        let probe_net = nl.net(nl.gate(probe_gate).output()).name().to_string();
+        let design = std::sync::Arc::new(Design::new(circuit, nl, lib));
+        record(
+            format!("service_query/{circuit}/cold"),
+            measure(effort, || {
+                let netlist = design.netlist();
+                let model = DelayModel::new(design.library(), netlist);
+                let mut sizes = GateSizes::minimum(netlist);
+                sizes.resize(probe_gate, 1.0);
+                let graph = TimingGraph::build(netlist);
+                let delays =
+                    ArcDelays::compute(netlist, &model, &sizes, design.variation(), design.dt());
+                let ssta = SstaAnalysis::run(&graph, &delays);
+                black_box(Objective::percentile(0.99).value(ssta.sink_arrival()));
+            }),
+        );
+        let mut session = Session::open(
+            std::sync::Arc::clone(&design),
+            Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned),
+        );
+        record(
+            format!("service_query/{circuit}/warm"),
+            measure(effort, || {
+                black_box(session.what_if(&probe_net, 1.0).expect("valid probe"));
+            }),
+        );
     }
 
     let unix_secs = std::time::SystemTime::now()

@@ -254,7 +254,11 @@ fn main() -> ExitCode {
         .with_dt(args.dt)
         .with_shards(args.shards)
         .with_total_threads(args.threads)
-        .with_fail_fast(args.fail_fast);
+        .with_fail_fast(args.fail_fast)
+        // The corpus seed shapes every generated profile, so it is part
+        // of the journal fingerprint: resuming under a different seed
+        // must not restore this run's results.
+        .with_corpus_seed(args.seed);
     if let Some(ms) = args.deadline_ms {
         campaign_cfg = campaign_cfg.with_job_deadline(Duration::from_millis(ms));
     }

@@ -1,0 +1,78 @@
+//! Serve-mode timing service: incremental sizing queries over long-lived
+//! sessions, spoken as JSON Lines on stdin/stdout.
+//!
+//! ```text
+//! cargo run --release -p statsize-bench --bin statsize-serve -- \
+//!     [--threads=N] [--timing]
+//! ```
+//!
+//! * One JSON request per stdin line, one JSON response per stdout line,
+//!   in order; blank lines and `#` comments are ignored. The protocol —
+//!   `load`/`open`/`fork`/`close` plus the per-session
+//!   `what_if`/`commit`/`step`/`snapshot`/`rollback`/`query` ops and
+//!   concurrent `batch` requests — is documented on
+//!   [`statsize_bench::serve`].
+//! * `--threads=N` — total worker budget for `batch` requests, shared
+//!   across sessions campaign-style. Responses are bit-identical for
+//!   every budget, so replaying a transcript under different `--threads`
+//!   values must produce byte-identical output (CI holds it to that).
+//! * `--timing` — include wall-clock fields on `step` responses
+//!   (forfeits byte-determinism).
+//!
+//! Malformed input never kills the loop: a bad line is answered with a
+//! structured `{"ok":false,...}` response. Exit status `2` is reserved
+//! for unusable arguments or a broken stdout pipe.
+
+use statsize_bench::serve::Server;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut threads = 0usize;
+    let mut timing = false;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            match v.parse() {
+                Ok(n) => threads = n,
+                Err(_) => return usage(&arg),
+            }
+        } else if arg == "--timing" {
+            timing = true;
+        } else {
+            return usage(&arg);
+        }
+    }
+
+    let mut server = Server::new()
+        .with_total_threads(threads)
+        .with_timing(timing);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("error: stdin: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(response) = server.handle_line(&line) {
+            if writeln!(out, "{response}")
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                // Reader hung up; nothing useful left to do.
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(arg: &str) -> ExitCode {
+    eprintln!(
+        "error: unrecognized argument `{arg}`\nusage: statsize-serve [--threads=N] [--timing]"
+    );
+    ExitCode::from(2)
+}

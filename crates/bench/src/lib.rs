@@ -20,13 +20,16 @@
 //! Beyond the paper artefacts, `statsize-campaign` drives sharded
 //! multi-circuit optimization campaigns over a `.bench` corpus directory
 //! and/or generated profiles, emitting the JSON report rendered by
-//! [`campaign`].
+//! [`campaign`]; and `statsize-serve` answers incremental timing queries
+//! over long-lived sizing sessions through the stdin/stdout JSONL
+//! protocol implemented in [`serve`].
 
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod config;
 pub mod emit;
+pub mod serve;
 pub mod suite;
 
 pub use config::ExperimentConfig;

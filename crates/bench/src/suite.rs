@@ -25,7 +25,9 @@ impl fmt::Display for UnknownCircuit {
 
 impl std::error::Error for UnknownCircuit {}
 
-/// Builds a benchmark circuit by name: the embedded real `c17`, a
+/// Builds a benchmark circuit by name: the embedded real `c17`, the
+/// embedded architecture-faithful `c499`/`c1355` reconstructions
+/// ([`bench::c499`]), a
 /// synthetic circuit matching the paper's ISCAS-85 profile (see
 /// `DESIGN.md` for the substitution rationale), or — for names of the
 /// form `gen<N>` (e.g. `gen12000`) — a scaled synthetic profile with
@@ -50,8 +52,13 @@ pub fn build_circuit(name: &str, seed: u64) -> Netlist {
 /// Returns [`UnknownCircuit`] when `name` is not `c17`, a known ISCAS-85
 /// profile, or a `gen<N>` scaled profile.
 pub fn try_build_circuit(name: &str, seed: u64) -> Result<Netlist, UnknownCircuit> {
-    if name == "c17" {
-        return Ok(bench::c17());
+    match name {
+        // The embedded real/reconstructed ISCAS-85 netlists win over the
+        // synthetic profiles of the same name.
+        "c17" => return Ok(bench::c17()),
+        "c499" => return Ok(bench::c499()),
+        "c1355" => return Ok(bench::c1355()),
+        _ => {}
     }
     if let Some(nodes) = scaled_nodes(name) {
         return Ok(generator::generate_scaled(
@@ -66,7 +73,9 @@ pub fn try_build_circuit(name: &str, seed: u64) -> Result<Netlist, UnknownCircui
 
 /// True when `name` resolves to some circuit `build_circuit` can build.
 pub fn is_known_circuit(name: &str) -> bool {
-    name == "c17" || scaled_nodes(name).is_some() || generator::profile(name).is_some()
+    matches!(name, "c17" | "c499" | "c1355")
+        || scaled_nodes(name).is_some()
+        || generator::profile(name).is_some()
 }
 
 /// Parses a `gen<N>` scaled-profile name into its node count.
@@ -89,6 +98,16 @@ mod tests {
     fn profiles_resolve() {
         let nl = build_circuit("c880", 1);
         assert_eq!(nl.stats().timing_nodes, 425);
+    }
+
+    #[test]
+    fn embedded_reconstructions_win_over_profiles() {
+        // c499/c1355 resolve to the embedded SEC reconstructions, not
+        // the synthetic profiles of the same name.
+        assert_eq!(build_circuit("c499", 0).gate_count(), 162);
+        assert_eq!(build_circuit("c1355", 0).gate_count(), 528);
+        assert!(is_known_circuit("c499"));
+        assert!(is_known_circuit("c1355"));
     }
 
     #[test]

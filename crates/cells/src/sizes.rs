@@ -44,6 +44,14 @@ impl GateSizes {
         self.widths[gate.index()]
     }
 
+    /// The minimum admissible width (1.0 for every constructor). Callers
+    /// that validate a resize before committing it — e.g. the serve-mode
+    /// session, which must reject rather than panic — compare against
+    /// this.
+    pub fn min_width(&self) -> f64 {
+        self.min_width
+    }
+
     /// Sets a gate's width.
     ///
     /// # Panics

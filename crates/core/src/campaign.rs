@@ -421,6 +421,7 @@ pub struct Campaign {
     job_deadline: Option<Duration>,
     fallback: Option<SelectorKind>,
     fail_fast: bool,
+    corpus_seed: u64,
 }
 
 /// Splits a total selector-thread budget over the jobs in proportion to
@@ -432,7 +433,11 @@ pub struct Campaign {
 /// the flat split it replaces). Jobs too small to earn a whole thread
 /// still get one — the selector caps threads at the candidate count, so
 /// nothing is oversubscribed on their behalf.
-fn adaptive_thread_budgets(node_counts: &[usize], shards: usize, total: usize) -> Vec<usize> {
+pub(crate) fn adaptive_thread_budgets(
+    node_counts: &[usize],
+    shards: usize,
+    total: usize,
+) -> Vec<usize> {
     let mut largest: Vec<usize> = node_counts.to_vec();
     largest.sort_unstable_by(|a, b| b.cmp(a));
     let denom: usize = largest.iter().take(shards).sum::<usize>().max(1);
@@ -469,7 +474,26 @@ impl Campaign {
             job_deadline: None,
             fallback: None,
             fail_fast: false,
+            corpus_seed: 0,
         }
+    }
+
+    /// Records the RNG seed the campaign's corpus was generated from
+    /// (default 0). The seed does not change how any individual netlist
+    /// is optimized — netlist *content* is hashed into every journal key
+    /// separately — but it is part of the campaign's identity in the
+    /// result store: two campaigns over differently-seeded corpora must
+    /// not share journal entries even for jobs whose generated netlists
+    /// happen to collide by name.
+    #[must_use]
+    pub fn with_corpus_seed(mut self, seed: u64) -> Self {
+        self.corpus_seed = seed;
+        self
+    }
+
+    /// The recorded corpus RNG seed.
+    pub fn corpus_seed(&self) -> u64 {
+        self.corpus_seed
     }
 
     /// Sets the kernel tier policy used by every circuit's arrival
@@ -632,14 +656,16 @@ impl Campaign {
 
     /// An FNV-1a hash of every outcome-affecting knob (objective,
     /// selector, Δw, iteration budget, sensitivity floor, lattice step,
-    /// variation model, kernel policy, deadline, fallback). Scheduling
-    /// knobs — shards, thread budget, fail-fast — are excluded: they
-    /// never change outcomes. Journal keys embed this hash, so a resumed
-    /// campaign only reuses outcomes produced under an identical
-    /// configuration.
+    /// variation model, kernel policy, deadline, fallback) plus the
+    /// [corpus seed](Self::with_corpus_seed). Scheduling knobs — shards,
+    /// thread budget, fail-fast — are excluded: they never change
+    /// outcomes. Journal keys embed this hash (widened by the cell
+    /// library via [`journal_fingerprint`](Self::journal_fingerprint)),
+    /// so a resumed campaign only reuses outcomes produced under an
+    /// identical configuration.
     pub fn fingerprint(&self) -> u64 {
         let repr = format!(
-            "{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{:?}",
+            "{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}",
             self.objective,
             self.selector,
             self.delta_w.to_bits(),
@@ -650,8 +676,20 @@ impl Campaign {
             self.kernel_policy,
             self.job_deadline,
             self.fallback,
+            self.corpus_seed,
         );
-        journal::fnv1a(repr.as_bytes())
+        crate::wire::fnv1a(repr.as_bytes())
+    }
+
+    /// The configuration hash journal keys actually embed: the
+    /// [`fingerprint`](Self::fingerprint) widened by the cell library
+    /// the campaign runs against. Every delay in every outcome is a
+    /// function of the library's cells, so outcomes recorded under one
+    /// library must never resume a campaign run under another — even
+    /// when every pure-campaign knob matches.
+    pub fn journal_fingerprint(&self, library: &CellLibrary) -> u64 {
+        let repr = format!("{:016x}|{library:?}", self.fingerprint());
+        crate::wire::fnv1a(repr.as_bytes())
     }
 
     /// Optimizes every job, stealing circuits across `shards` workers.
@@ -691,7 +729,7 @@ impl Campaign {
             .map(|j| j.netlist().map_or(0, |n| n.stats().timing_nodes))
             .collect();
         let budgets = adaptive_thread_budgets(&node_counts, shards, self.total_threads);
-        let fingerprint = self.fingerprint();
+        let fingerprint = self.journal_fingerprint(library);
         let keys: Vec<Option<String>> = jobs
             .iter()
             .map(|j| {
@@ -1267,5 +1305,66 @@ mod tests {
         assert_eq!(base.fingerprint(), base.with_shards(8).fingerprint());
         assert_eq!(base.fingerprint(), base.with_total_threads(8).fingerprint());
         assert_eq!(base.fingerprint(), base.with_fail_fast(true).fingerprint());
+        // The corpus seed is part of the campaign's identity.
+        assert_ne!(base.fingerprint(), base.with_corpus_seed(7).fingerprint());
+        assert_eq!(base.corpus_seed(), 0);
+        assert_eq!(base.with_corpus_seed(7).corpus_seed(), 7);
+    }
+
+    #[test]
+    fn journal_fingerprint_separates_cell_libraries_and_seeds() {
+        let base = campaign();
+        let lib = CellLibrary::synthetic_180nm();
+        assert_eq!(
+            base.journal_fingerprint(&lib),
+            campaign().journal_fingerprint(&lib),
+            "deterministic for identical configuration and library"
+        );
+        let renamed = CellLibrary::new("other-process", lib.cells().to_vec());
+        assert_ne!(
+            base.journal_fingerprint(&lib),
+            base.journal_fingerprint(&renamed),
+            "library must separate journal keys"
+        );
+        assert_ne!(
+            base.journal_fingerprint(&lib),
+            base.with_corpus_seed(7).journal_fingerprint(&lib),
+            "corpus seed must separate journal keys"
+        );
+        // Scheduling knobs still do not invalidate a journal.
+        assert_eq!(
+            base.journal_fingerprint(&lib),
+            base.with_shards(8).journal_fingerprint(&lib)
+        );
+    }
+
+    #[test]
+    fn resume_does_not_cross_corpus_seeds() {
+        let dir = std::env::temp_dir().join("statsize-campaign-test-seed-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let lib = CellLibrary::synthetic_180nm();
+        let jobs = vec![CampaignJob::new("c17", bench::c17())];
+
+        let mut journal = Journal::create(&path).unwrap();
+        let first = campaign()
+            .with_corpus_seed(1)
+            .run_resumable(&jobs, &lib, Some(&mut journal));
+        assert_eq!(first.resumed, 0);
+
+        // Same journal, same jobs, different seed: nothing resumes.
+        let mut journal = Journal::resume(&path).unwrap();
+        let other = campaign()
+            .with_corpus_seed(2)
+            .run_resumable(&jobs, &lib, Some(&mut journal));
+        assert_eq!(other.resumed, 0, "seed must invalidate the journal");
+
+        // Same seed again: the recorded outcome is reused.
+        let mut journal = Journal::resume(&path).unwrap();
+        let again = campaign()
+            .with_corpus_seed(1)
+            .run_resumable(&jobs, &lib, Some(&mut journal));
+        assert_eq!(again.resumed, 1, "matching seed resumes");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

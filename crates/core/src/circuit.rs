@@ -2,9 +2,68 @@
 
 use crate::objective::Objective;
 use statsize_cells::{CellLibrary, DelayModel, GateSizes, VariationModel};
-use statsize_dist::TierPolicy;
+use statsize_dist::{Dist, TierPolicy};
 use statsize_netlist::{GateId, Netlist};
-use statsize_ssta::{ArcDelays, DelayOverrides, SstaAnalysis, TimingGraph};
+use statsize_ssta::{ArcDelays, DelayOverrides, SstaAnalysis, SstaUndo, TimingGraph};
+
+/// The owned, borrow-free timing state of a circuit: everything a
+/// [`TimedCircuit`] computes and mutates, detached from the netlist and
+/// library references it computes *against*.
+///
+/// [`TimedCircuit`] borrows its netlist and library, which is right for
+/// a batch optimizer but wrong for a long-lived session that must own
+/// its state across queries. The split: a session stores a
+/// `TimingState` (plus shared ownership of the immutable design inputs)
+/// and re-attaches it with [`TimedCircuit::from_state`] for the duration
+/// of each query — a cheap move-in/move-out, no re-analysis. Cloning a
+/// `TimingState` clones the full sizing/timing picture, which is exactly
+/// the [`Session::fork`](crate::Session::fork) and snapshot primitive.
+///
+/// Equality ignores the timing graph (a pure function of the netlist)
+/// and compares the mutable layers — sizes, delays, arrivals — with
+/// their bit-exact `PartialEq`s.
+#[derive(Debug, Clone)]
+pub struct TimingState {
+    graph: TimingGraph,
+    sizes: GateSizes,
+    delays: ArcDelays,
+    ssta: SstaAnalysis,
+}
+
+impl TimingState {
+    /// Current gate widths.
+    pub fn sizes(&self) -> &GateSizes {
+        &self.sizes
+    }
+
+    /// Current per-gate delay distributions.
+    pub fn delays(&self) -> &ArcDelays {
+        &self.delays
+    }
+
+    /// The SSTA result for the current sizing.
+    pub fn ssta(&self) -> &SstaAnalysis {
+        &self.ssta
+    }
+}
+
+impl PartialEq for TimingState {
+    fn eq(&self, other: &Self) -> bool {
+        self.sizes == other.sizes && self.delays == other.delays && self.ssta == other.ssta
+    }
+}
+
+/// The inverse record of one [`TimedCircuit::commit_resize_undoable`]:
+/// the clobbered width, delay entries, and arrival distributions.
+/// Consumed by [`TimedCircuit::undo_resize`], which restores all three
+/// layers bit-for-bit — the speculative what-if primitive.
+#[derive(Debug)]
+pub struct ResizeUndo {
+    gate: GateId,
+    prior_width: f64,
+    prior_delays: Vec<(GateId, f64, Dist)>,
+    ssta: SstaUndo,
+}
 
 /// A circuit under sizing optimization: the netlist bound to a cell
 /// library, with current gate widths, per-gate delay distributions, and an
@@ -78,6 +137,46 @@ impl<'a> TimedCircuit<'a> {
             sizes,
             delays,
             ssta,
+        }
+    }
+
+    /// Re-attaches a detached [`TimingState`] to its design inputs,
+    /// without re-analysis. The state must have been produced by
+    /// [`into_state`](Self::into_state) on a circuit built from the
+    /// *same* netlist, library, variation model, `dt`, and kernel
+    /// policy — the state carries derived data only, so re-attaching it
+    /// to different inputs silently misanalyzes; sessions guarantee the
+    /// pairing by keeping state and design inputs in one place.
+    pub fn from_state(
+        netlist: &'a Netlist,
+        library: &'a CellLibrary,
+        variation: VariationModel,
+        dt: f64,
+        kernel_policy: TierPolicy,
+        state: TimingState,
+    ) -> Self {
+        let model = DelayModel::new(library, netlist);
+        Self {
+            netlist,
+            model,
+            variation,
+            dt,
+            kernel_policy,
+            graph: state.graph,
+            sizes: state.sizes,
+            delays: state.delays,
+            ssta: state.ssta,
+        }
+    }
+
+    /// Detaches the owned timing state, dropping the netlist/library
+    /// borrows. The inverse of [`from_state`](Self::from_state).
+    pub fn into_state(self) -> TimingState {
+        TimingState {
+            graph: self.graph,
+            sizes: self.sizes,
+            delays: self.delays,
+            ssta: self.ssta,
         }
     }
 
@@ -209,6 +308,57 @@ impl<'a> TimedCircuit<'a> {
         );
     }
 
+    /// [`commit_resize`](Self::commit_resize), additionally capturing
+    /// everything the commit clobbers so [`undo_resize`](Self::undo_resize)
+    /// can restore the pre-commit state **bit-for-bit**.
+    ///
+    /// This is deliberately not "resize by `-delta_w`": the delay model
+    /// is not an involution under resize/undo at the floating-point
+    /// level, so a counter-resize would leave the state bits subtly
+    /// different from never having resized. Capturing and moving the
+    /// old values back is exact by construction — the foundation of the
+    /// serve-mode `what_if` contract (a what-if leaves no trace).
+    pub fn commit_resize_undoable(&mut self, gate: GateId, delta_w: f64) -> ResizeUndo {
+        let prior_width = self.sizes.width(gate);
+        let affected = ArcDelays::affected_by_resize(self.netlist, gate);
+        let prior_delays = affected
+            .iter()
+            .map(|&g| (g, self.delays.nominal(g), self.delays.dist(g).clone()))
+            .collect();
+        self.sizes.resize(gate, delta_w);
+        self.delays.update_gates(
+            self.netlist,
+            &self.model,
+            &self.sizes,
+            &self.variation,
+            affected.iter().copied(),
+        );
+        let ssta = self.ssta.update_after_delay_change_with_undo(
+            &self.graph,
+            &self.delays,
+            &affected,
+            self.kernel_policy,
+        );
+        ResizeUndo {
+            gate,
+            prior_width,
+            prior_delays,
+            ssta,
+        }
+    }
+
+    /// Reverts one [`commit_resize_undoable`](Self::commit_resize_undoable)
+    /// by moving the captured width, delay entries, and arrivals back
+    /// into place. Must be applied to the same circuit the undo was
+    /// taken from, with no other commits in between.
+    pub fn undo_resize(&mut self, undo: ResizeUndo) {
+        self.sizes.set_width(undo.gate, undo.prior_width);
+        for (g, nominal, dist) in undo.prior_delays {
+            self.delays.restore(g, nominal, dist);
+        }
+        self.ssta.apply_undo(undo.ssta);
+    }
+
     /// Recomputes everything from scratch (used by tests to validate the
     /// incremental path).
     pub fn recompute_from_scratch(&mut self) {
@@ -286,6 +436,51 @@ mod tests {
                 "gate {g}: predicted {nominal} vs committed {actual}"
             );
         }
+    }
+
+    #[test]
+    fn undoable_resize_round_trips_bit_exactly() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = TimedCircuit::new(&nl, &lib, VariationModel::paper_default(), 0.5);
+        // Put the circuit in a non-trivial state first.
+        let gates: Vec<GateId> = nl.gate_ids().collect();
+        c.commit_resize(gates[2], 0.75);
+        let before_sizes = c.sizes().clone();
+        let before_delays = c.delays().clone();
+        let before_ssta = c.ssta().clone();
+
+        let undo = c.commit_resize_undoable(gates[3], 1.25);
+        assert_ne!(c.ssta(), &before_ssta, "the resize must change arrivals");
+        c.undo_resize(undo);
+        assert_eq!(c.sizes(), &before_sizes);
+        assert_eq!(c.delays(), &before_delays);
+        assert_eq!(c.ssta(), &before_ssta);
+    }
+
+    #[test]
+    fn state_detach_reattach_is_lossless() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let var = VariationModel::paper_default();
+        let mut c = TimedCircuit::new(&nl, &lib, var, 0.5);
+        let g = nl.gate_ids().next().unwrap();
+        c.commit_resize(g, 0.5);
+        let before_ssta = c.ssta().clone();
+
+        let state = c.into_state();
+        let state2 = state.clone();
+        assert_eq!(state, state2, "clone compares equal");
+        let c2 = TimedCircuit::from_state(&nl, &lib, var, 0.5, TierPolicy::auto(), state);
+        assert_eq!(c2.ssta(), &before_ssta);
+        assert_eq!(c2.sizes().width(g), 1.5);
+        // The re-attached circuit keeps the incremental-equals-full
+        // contract: further commits stay exact.
+        let mut c2 = c2;
+        c2.commit_resize(g, 0.5);
+        let incremental = c2.ssta().clone();
+        c2.recompute_from_scratch();
+        assert_eq!(&incremental, c2.ssta());
     }
 
     #[test]

@@ -5,13 +5,16 @@
 //! (see [`Campaign::run_resumable`](crate::Campaign::run_resumable)):
 //! the job's *content key* — job name, an FNV-1a hash of the canonical
 //! `.bench` serialization of its netlist (which captures the generator
-//! seed), and a hash of every outcome-affecting campaign knob — plus the
-//! full [`CircuitOutcome`]. Resuming a campaign from the journal skips
-//! every job whose key is already present, substituting the recorded
-//! outcome **bit-identically**: floats are serialized with Rust's
-//! shortest-round-trip `Display` and parsed back to the exact same bits,
-//! so a resumed report is byte-for-byte equal to an uninterrupted run.
-//! This is the first slice of the ROADMAP's campaign result store.
+//! seed), and a hash of every outcome-affecting campaign knob plus the
+//! cell library and corpus seed (see
+//! [`Campaign::journal_fingerprint`](crate::Campaign::journal_fingerprint))
+//! — plus the full [`CircuitOutcome`]. Resuming a campaign from the
+//! journal skips every job whose key is already present, substituting
+//! the recorded outcome **bit-identically**: floats are serialized with
+//! Rust's shortest-round-trip `Display` and parsed back to the exact
+//! same bits, so a resumed report is byte-for-byte equal to an
+//! uninterrupted run. This is the first slice of the ROADMAP's campaign
+//! result store.
 //!
 //! Only deterministic outcomes are journaled: `Completed` outcomes from
 //! a deadline-fallback rerun (`degraded`) as well as `Failed`/`TimedOut`
@@ -26,12 +29,12 @@
 //!
 //! The format is hand-rolled (this workspace vendors no serde): a
 //! header line, then one `{"key":"...","outcome":{...}}` object per
-//! line, parsed by a minimal recursive-descent JSON reader private to
-//! this module.
+//! line, parsed with the shared [`wire`](crate::wire) JSON reader.
 
 use crate::campaign::CircuitOutcome;
 use crate::failpoint;
 use crate::optimizer::StopReason;
+use crate::wire::{self, escape, get, get_bool, get_f64, get_str, get_usize};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::Write as _;
@@ -42,23 +45,11 @@ use std::time::Duration;
 /// schema version.
 const HEADER: &str = "{\"journal\":\"statsize-campaign\",\"version\":1}";
 
-/// FNV-1a over a byte string — the journal's content hash. Stable,
-/// dependency-free, and plenty for cache keying (collisions only cause a
-/// wrongly *skipped* job if the colliding inputs also share a job name).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 /// The journal key of one campaign job: name, netlist content hash
 /// (canonical `.bench` form, so generator seeds are captured), and the
 /// campaign's outcome-affecting configuration hash.
 pub(crate) fn job_key(config_hash: u64, name: &str, netlist: &statsize_netlist::Netlist) -> String {
-    let netlist_hash = fnv1a(statsize_netlist::bench::write(netlist).as_bytes());
+    let netlist_hash = wire::fnv1a(statsize_netlist::bench::write(netlist).as_bytes());
     format!("{name}:{netlist_hash:016x}:{config_hash:016x}")
 }
 
@@ -228,7 +219,7 @@ impl Journal {
         }
         let line = format!(
             "{{\"key\":\"{}\",\"outcome\":{}}}\n",
-            escape_json(key),
+            escape(key),
             outcome_to_json(outcome)
         );
         let appended = std::fs::OpenOptions::new()
@@ -260,7 +251,7 @@ fn outcome_to_json(o: &CircuitOutcome) -> String {
          \"iterations\":{},\"stop\":\"{:?}\",\
          \"candidates\":{},\"pruned\":{},\"completed\":{},\
          \"degraded\":{},\"wall_ms\":{}}}",
-        escape_json(&o.name),
+        escape(&o.name),
         o.nodes,
         o.edges,
         o.depth,
@@ -279,7 +270,7 @@ fn outcome_to_json(o: &CircuitOutcome) -> String {
 }
 
 fn parse_entry(line: &str) -> Result<(String, CircuitOutcome), String> {
-    let value = parse_json(line)?;
+    let value = wire::parse(line)?;
     let obj = value.as_object().ok_or("entry is not a JSON object")?;
     let key = get_str(obj, "key")?.to_string();
     let outcome = get(obj, "outcome")?
@@ -312,271 +303,6 @@ fn parse_entry(line: &str) -> Result<(String, CircuitOutcome), String> {
             wall: Duration::from_secs_f64(get_f64(outcome, "wall_ms")?.max(0.0) / 1e3),
         },
     ))
-}
-
-fn get<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a Json, String> {
-    obj.iter()
-        .find(|(k, _)| k == name)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("missing field `{name}`"))
-}
-
-fn get_str<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a str, String> {
-    match get(obj, name)? {
-        Json::Str(s) => Ok(s),
-        _ => Err(format!("field `{name}` is not a string")),
-    }
-}
-
-fn get_f64(obj: &[(String, Json)], name: &str) -> Result<f64, String> {
-    match get(obj, name)? {
-        Json::Num(n) => Ok(*n),
-        _ => Err(format!("field `{name}` is not a number")),
-    }
-}
-
-fn get_usize(obj: &[(String, Json)], name: &str) -> Result<usize, String> {
-    let n = get_f64(obj, name)?;
-    if n.fract() == 0.0 && (0.0..=(u64::MAX as f64)).contains(&n) {
-        Ok(n as usize)
-    } else {
-        Err(format!("field `{name}` is not a non-negative integer"))
-    }
-}
-
-fn get_bool(obj: &[(String, Json)], name: &str) -> Result<bool, String> {
-    match get(obj, name)? {
-        Json::Bool(b) => Ok(*b),
-        _ => Err(format!("field `{name}` is not a boolean")),
-    }
-}
-
-pub(crate) fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-// --- Minimal JSON reader ------------------------------------------------
-//
-// Just enough JSON for the journal's own lines: objects, arrays,
-// strings (with the standard escapes), numbers, booleans, null. Numbers
-// parse through `str::parse::<f64>`, which inverts the `Display`
-// serialization bit-exactly.
-
-#[derive(Debug, PartialEq)]
-enum Json {
-    Object(Vec<(String, Json)>),
-    Array(Vec<Json>),
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    Null,
-}
-
-impl Json {
-    fn as_object(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Object(fields) => Some(fields),
-            _ => None,
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = JsonParser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let value = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing bytes at offset {}", p.pos));
-    }
-    Ok(value)
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl JsonParser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{}` at offset {}",
-                char::from(b),
-                self.pos
-            ))
-        }
-    }
-
-    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at offset {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected byte at offset {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".to_string()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at offset {}", self.pos)),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // char boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8")?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
-        {
-            self.pos += 1;
-        }
-        let token = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "invalid number".to_string())?;
-        token
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number `{token}`"))
-    }
 }
 
 #[cfg(test)]
@@ -681,30 +407,6 @@ mod tests {
         let err = Journal::resume(dir.join("nope.jsonl")).expect_err("missing file");
         assert!(matches!(err, JournalError::Io { .. }), "{err}");
         std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn json_reader_handles_the_grammar() {
-        let v = parse_json(
-            "{\"a\": [1, -2.5e3, \"x\\u0041\\n\"], \"b\": true, \"c\": null, \"d\": {}}",
-        )
-        .expect("valid json");
-        let obj = v.as_object().unwrap();
-        assert_eq!(
-            get(obj, "a").unwrap(),
-            &Json::Array(vec![
-                Json::Num(1.0),
-                Json::Num(-2500.0),
-                Json::Str("xA\n".to_string())
-            ])
-        );
-        assert_eq!(get_bool(obj, "b"), Ok(true));
-        assert_eq!(get(obj, "c").unwrap(), &Json::Null);
-        assert!(get(obj, "d").unwrap().as_object().unwrap().is_empty());
-        // Malformed inputs error instead of panicking.
-        for bad in ["", "{", "{\"a\":}", "[1,]", "\"unterminated", "01x", "{}{}"] {
-            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
-        }
     }
 
     #[test]

@@ -82,19 +82,27 @@ mod optimizer;
 mod parallel;
 mod pruned;
 mod selection;
+pub mod service;
+pub mod wire;
 
 pub use brute::BruteForceSelector;
 pub use campaign::{
     Campaign, CampaignJob, CampaignReport, CircuitOutcome, JobCounts, JobError, JobOutcome,
     JobSkip, JobStage, JobTimeout, OutcomeKey,
 };
-pub use circuit::TimedCircuit;
+pub use circuit::{ResizeUndo, TimedCircuit, TimingState};
 pub use deadline::{Deadline, DeadlineExceeded};
 pub use det_opt::DeterministicSelector;
 pub use heuristic::HeuristicSelector;
 pub use journal::{Journal, JournalError};
 pub use objective::Objective;
-pub use optimizer::{IterationRecord, OptimizationResult, Optimizer, SelectorKind, StopReason};
+pub use optimizer::{
+    IterationRecord, OptimizationResult, Optimizer, OptimizerStep, SelectorKind, StopReason,
+};
 pub use parallel::THREADS_ENV;
 pub use pruned::{PruneStats, PrunedSelector};
 pub use selection::Selection;
+pub use service::{
+    CommitReport, Design, OpReport, QueryError, Session, SessionInfo, SessionOp, SessionStore,
+    WhatIfReport,
+};

@@ -115,6 +115,23 @@ impl OptimizationResult {
     }
 }
 
+/// The outcome of one optimizer [`step`](Optimizer::step): the iteration
+/// records committed by this selection round (empty when the round
+/// stopped before committing anything) and, if the run is over, why.
+///
+/// A full [`run`](Optimizer::run) is exactly a `step` loop — the serve
+/// mode's incremental `step` queries and the batch optimizer produce
+/// bit-identical trajectories *by construction*, because they execute
+/// the same code.
+#[derive(Debug, Clone)]
+pub struct OptimizerStep {
+    /// Iterations committed by this round, in commit order.
+    pub records: Vec<IterationRecord>,
+    /// `Some(reason)` when the descent is finished (no further `step`
+    /// would commit anything); `None` when there is more to do.
+    pub stop: Option<StopReason>,
+}
+
 /// The coordinate-descent gate sizer: repeatedly select the most sensitive
 /// gate with the configured selector and size it up by `Δw`, until no gate
 /// improves the objective or a budget is hit.
@@ -281,110 +298,145 @@ impl Optimizer {
         self.delta_w
     }
 
-    /// Runs coordinate descent to convergence or budget exhaustion.
+    /// Executes **one** selection round of the coordinate descent: budget
+    /// and deadline pre-checks, one selector sweep, and the batch of
+    /// commits it yields. This is the loop body of [`run`](Self::run),
+    /// exposed so a serve-mode session can advance a descent
+    /// incrementally — query by query, interleaved with what-ifs and
+    /// snapshots — and still walk the exact trajectory a batch run walks.
+    ///
+    /// `already_committed` is how many iterations the descent has
+    /// committed so far (it positions this round against
+    /// `max_iterations` and numbers the records); `deadline` is the
+    /// cooperative cut-off threaded into the selector sweep, typically
+    /// per-query in serve mode and run-wide in batch mode.
+    pub fn step(
+        &self,
+        circuit: &mut TimedCircuit<'_>,
+        already_committed: usize,
+        deadline: Deadline,
+    ) -> OptimizerStep {
+        let mut records = Vec::new();
+        if already_committed >= self.max_iterations {
+            return OptimizerStep {
+                records,
+                stop: Some(StopReason::MaxIterations),
+            };
+        }
+        if deadline.expired() {
+            return OptimizerStep {
+                records,
+                stop: Some(StopReason::DeadlineExpired),
+            };
+        }
+        if let Some(limit) = self.width_limit {
+            if circuit.total_width() + self.delta_w > limit + 1e-9 {
+                return OptimizerStep {
+                    records,
+                    stop: Some(StopReason::WidthLimit),
+                };
+            }
+        }
+        let t0 = Instant::now();
+        let k = self.moves_per_iteration;
+        // The statistical sweep runs under the deadline; an expiry
+        // mid-sweep discards that sweep's partial results and stops the
+        // descent with the committed trajectory intact.
+        let swept: Result<(Vec<Selection>, Option<PruneStats>), _> = match self.selector {
+            SelectorKind::Deterministic => Ok((
+                DeterministicSelector::new(self.delta_w)
+                    .select(circuit)
+                    .into_iter()
+                    .collect(),
+                None,
+            )),
+            SelectorKind::BruteForce => BruteForceSelector::new(self.delta_w)
+                .with_threads(self.threads)
+                .with_kernel_policy(self.kernel_policy)
+                .with_deadline(deadline)
+                .try_select_top_k(circuit, self.objective, k)
+                .map(|s| (s, None)),
+            SelectorKind::Pruned => PrunedSelector::new(self.delta_w)
+                .with_threads(self.threads)
+                .with_kernel_policy(self.kernel_policy)
+                .with_deadline(deadline)
+                .try_select_top_k_with_stats(circuit, self.objective, k)
+                .map(|(s, stats)| (s, Some(stats))),
+            SelectorKind::Heuristic { lookahead } => {
+                HeuristicSelector::new(self.delta_w, lookahead)
+                    .with_threads(self.threads)
+                    .with_kernel_policy(self.kernel_policy)
+                    .with_deadline(deadline)
+                    .try_select(circuit, self.objective)
+                    .map(|s| (s.into_iter().collect(), None))
+            }
+        };
+        let Ok((selections, prune)) = swept else {
+            return OptimizerStep {
+                records,
+                stop: Some(StopReason::DeadlineExpired),
+            };
+        };
+        if selections.is_empty() || selections[0].sensitivity <= self.min_sensitivity {
+            return OptimizerStep {
+                records,
+                stop: Some(StopReason::Converged),
+            };
+        }
+        let mut stopped = None;
+        let mut first_in_batch = true;
+        for selection in selections {
+            if already_committed + records.len() >= self.max_iterations {
+                stopped = Some(StopReason::MaxIterations);
+                break;
+            }
+            if let Some(limit) = self.width_limit {
+                if circuit.total_width() + self.delta_w > limit + 1e-9 {
+                    stopped = Some(StopReason::WidthLimit);
+                    break;
+                }
+            }
+            if selection.sensitivity <= self.min_sensitivity {
+                break; // tail of the batch no longer qualifies
+            }
+            circuit.commit_resize(selection.gate, self.delta_w);
+            records.push(IterationRecord {
+                iteration: already_committed + records.len(),
+                gate: selection.gate,
+                sensitivity: selection.sensitivity,
+                objective_after: circuit.objective_value(self.objective),
+                total_width_after: circuit.total_width(),
+                area_after: circuit.area(),
+                elapsed: if first_in_batch {
+                    t0.elapsed()
+                } else {
+                    Duration::ZERO
+                },
+                prune: if first_in_batch { prune } else { None },
+            });
+            first_in_batch = false;
+        }
+        OptimizerStep {
+            records,
+            stop: stopped,
+        }
+    }
+
+    /// Runs coordinate descent to convergence or budget exhaustion: a
+    /// [`step`](Self::step) loop under one run-wide deadline.
     pub fn run(&self, circuit: &mut TimedCircuit<'_>) -> OptimizationResult {
         let initial_objective = circuit.objective_value(self.objective);
         let initial_width = circuit.total_width();
         let initial_area = circuit.area();
         let deadline = self.deadline.map_or_else(Deadline::none, Deadline::after);
         let mut iterations = Vec::new();
-        let stop;
-
-        loop {
-            if iterations.len() >= self.max_iterations {
-                stop = StopReason::MaxIterations;
-                break;
+        let stop = loop {
+            let round = self.step(circuit, iterations.len(), deadline);
+            iterations.extend(round.records);
+            if let Some(reason) = round.stop {
+                break reason;
             }
-            if deadline.expired() {
-                stop = StopReason::DeadlineExpired;
-                break;
-            }
-            if let Some(limit) = self.width_limit {
-                if circuit.total_width() + self.delta_w > limit + 1e-9 {
-                    stop = StopReason::WidthLimit;
-                    break;
-                }
-            }
-            let t0 = Instant::now();
-            let k = self.moves_per_iteration;
-            // Every statistical sweep runs under the shared deadline; an
-            // expiry mid-sweep discards that sweep's partial results and
-            // stops the run with the committed trajectory intact.
-            let swept: Result<(Vec<Selection>, Option<PruneStats>), _> = match self.selector {
-                SelectorKind::Deterministic => Ok((
-                    DeterministicSelector::new(self.delta_w)
-                        .select(circuit)
-                        .into_iter()
-                        .collect(),
-                    None,
-                )),
-                SelectorKind::BruteForce => BruteForceSelector::new(self.delta_w)
-                    .with_threads(self.threads)
-                    .with_kernel_policy(self.kernel_policy)
-                    .with_deadline(deadline)
-                    .try_select_top_k(circuit, self.objective, k)
-                    .map(|s| (s, None)),
-                SelectorKind::Pruned => PrunedSelector::new(self.delta_w)
-                    .with_threads(self.threads)
-                    .with_kernel_policy(self.kernel_policy)
-                    .with_deadline(deadline)
-                    .try_select_top_k_with_stats(circuit, self.objective, k)
-                    .map(|(s, stats)| (s, Some(stats))),
-                SelectorKind::Heuristic { lookahead } => {
-                    HeuristicSelector::new(self.delta_w, lookahead)
-                        .with_threads(self.threads)
-                        .with_kernel_policy(self.kernel_policy)
-                        .with_deadline(deadline)
-                        .try_select(circuit, self.objective)
-                        .map(|s| (s.into_iter().collect(), None))
-                }
-            };
-            let Ok((selections, prune)) = swept else {
-                stop = StopReason::DeadlineExpired;
-                break;
-            };
-            if selections.is_empty() || selections[0].sensitivity <= self.min_sensitivity {
-                stop = StopReason::Converged;
-                break;
-            }
-            let mut stopped = None;
-            let mut first_in_batch = true;
-            for selection in selections {
-                if iterations.len() >= self.max_iterations {
-                    stopped = Some(StopReason::MaxIterations);
-                    break;
-                }
-                if let Some(limit) = self.width_limit {
-                    if circuit.total_width() + self.delta_w > limit + 1e-9 {
-                        stopped = Some(StopReason::WidthLimit);
-                        break;
-                    }
-                }
-                if selection.sensitivity <= self.min_sensitivity {
-                    break; // tail of the batch no longer qualifies
-                }
-                circuit.commit_resize(selection.gate, self.delta_w);
-                iterations.push(IterationRecord {
-                    iteration: iterations.len(),
-                    gate: selection.gate,
-                    sensitivity: selection.sensitivity,
-                    objective_after: circuit.objective_value(self.objective),
-                    total_width_after: circuit.total_width(),
-                    area_after: circuit.area(),
-                    elapsed: if first_in_batch {
-                        t0.elapsed()
-                    } else {
-                        Duration::ZERO
-                    },
-                    prune: if first_in_batch { prune } else { None },
-                });
-                first_in_batch = false;
-            }
-            if let Some(reason) = stopped {
-                stop = reason;
-                break;
-            }
-        }
+        };
 
         OptimizationResult {
             initial_objective,
@@ -547,6 +599,36 @@ mod tests {
         assert_eq!(plain.final_objective, timed.final_objective);
         assert_eq!(plain.iterations_run(), timed.iterations_run());
         assert_eq!(plain.stop, timed.stop);
+    }
+
+    #[test]
+    fn step_loop_reproduces_run_bit_exactly() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let opt = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_max_iterations(6);
+        let mut a = circuit_of(&nl, &lib);
+        let batch = opt.run(&mut a);
+
+        let mut b = circuit_of(&nl, &lib);
+        let mut records = Vec::new();
+        let stop = loop {
+            let round = opt.step(&mut b, records.len(), Deadline::none());
+            records.extend(round.records);
+            if let Some(reason) = round.stop {
+                break reason;
+            }
+        };
+        assert_eq!(stop, batch.stop);
+        assert_eq!(records.len(), batch.iterations.len());
+        for (s, r) in records.iter().zip(&batch.iterations) {
+            assert_eq!(s.iteration, r.iteration);
+            assert_eq!(s.gate, r.gate);
+            assert_eq!(s.sensitivity.to_bits(), r.sensitivity.to_bits());
+            assert_eq!(s.objective_after.to_bits(), r.objective_after.to_bits());
+            assert_eq!(s.total_width_after.to_bits(), r.total_width_after.to_bits());
+        }
+        assert_eq!(a.ssta(), b.ssta(), "final timing state identical");
     }
 
     #[test]

@@ -130,6 +130,24 @@ impl SstaAnalysis {
         changed_gates: &[GateId],
         policy: statsize_dist::TierPolicy,
     ) {
+        let _ = self.update_after_delay_change_with_undo(graph, delays, changed_gates, policy);
+    }
+
+    /// [`update_after_delay_change_with_policy`](Self::update_after_delay_change_with_policy),
+    /// additionally returning the arrival distributions the update
+    /// overwrote. Handing the returned [`SstaUndo`] to
+    /// [`apply_undo`](Self::apply_undo) restores the analysis to its
+    /// pre-update state **bit-for-bit** — the overwritten `Dist`s are
+    /// moved out and moved back, never recomputed — which is what makes
+    /// speculative what-if queries exact without cloning the whole
+    /// analysis.
+    pub fn update_after_delay_change_with_undo(
+        &mut self,
+        graph: &TimingGraph,
+        delays: &ArcDelays,
+        changed_gates: &[GateId],
+        policy: statsize_dist::TierPolicy,
+    ) -> SstaUndo {
         let seeds: Vec<TimingNode> = changed_gates
             .iter()
             .map(|&g| graph.out_node_of_gate(g))
@@ -137,9 +155,41 @@ impl SstaAnalysis {
         let mut walk = ConeWalk::with_seeds(graph, delays, self, DelayOverrides::none(), &seeds)
             .with_kernel_policy(policy);
         walk.run_to_sink();
+        let mut prior = Vec::new();
         for (node, dist) in walk.into_perturbed() {
+            prior.push((
+                node,
+                std::mem::replace(&mut self.arrivals[node.index()], dist),
+            ));
+        }
+        SstaUndo { prior }
+    }
+
+    /// Reverts one incremental update by moving the captured prior
+    /// arrivals back into place. Must be applied to the same analysis
+    /// the [`SstaUndo`] was taken from, with no other updates in
+    /// between; under that discipline the analysis compares equal (in
+    /// the bit-exact `PartialEq` sense) to its state before the update.
+    pub fn apply_undo(&mut self, undo: SstaUndo) {
+        for (node, dist) in undo.prior {
             self.arrivals[node.index()] = dist;
         }
+    }
+}
+
+/// The inverse record of one incremental SSTA update: the overwritten
+/// arrival distributions, keyed by node. Produced by
+/// [`SstaAnalysis::update_after_delay_change_with_undo`] and consumed by
+/// [`SstaAnalysis::apply_undo`].
+#[derive(Debug, Clone)]
+pub struct SstaUndo {
+    prior: Vec<(TimingNode, Dist)>,
+}
+
+impl SstaUndo {
+    /// Number of nodes the update perturbed (and the undo will restore).
+    pub fn perturbed_nodes(&self) -> usize {
+        self.prior.len()
     }
 }
 
@@ -245,5 +295,52 @@ mod tests {
 
         let full = SstaAnalysis::run(&graph, &delays);
         assert_eq!(ssta, full, "incremental and full SSTA must agree exactly");
+    }
+
+    #[test]
+    fn undoable_update_round_trips_bit_exactly() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let model = DelayModel::new(&lib, &nl);
+        let mut sizes = GateSizes::minimum(&nl);
+        let var = VariationModel::paper_default();
+        let graph = TimingGraph::build(&nl);
+        let mut delays = ArcDelays::compute(&nl, &model, &sizes, &var, 0.5);
+        let mut ssta = SstaAnalysis::run(&graph, &delays);
+        let pristine = ssta.clone();
+
+        let n16 = nl.find_net("16").unwrap();
+        let g16 = nl.net(n16).driver().unwrap();
+        // Capture the delay entries the resize will clobber, then resize.
+        let affected = ArcDelays::affected_by_resize(&nl, g16);
+        let captured: Vec<_> = affected
+            .iter()
+            .map(|&g| (g, delays.nominal(g), delays.dist(g).clone()))
+            .collect();
+        sizes.resize(g16, 1.0);
+        delays.update_gates(&nl, &model, &sizes, &var, affected.iter().copied());
+        let undo = ssta.update_after_delay_change_with_undo(
+            &graph,
+            &delays,
+            &affected,
+            statsize_dist::TierPolicy::exact(),
+        );
+        assert!(undo.perturbed_nodes() > 0);
+        assert_ne!(ssta, pristine, "the update must actually change arrivals");
+
+        // Undo both layers: arrivals via SstaUndo, delays via restore.
+        ssta.apply_undo(undo);
+        for (g, nominal, dist) in captured {
+            delays.restore(g, nominal, dist);
+        }
+        assert_eq!(ssta, pristine, "undo must restore arrivals bit-exactly");
+        let recomputed = {
+            sizes.resize(g16, -1.0);
+            ArcDelays::compute(&nl, &model, &sizes, &var, 0.5)
+        };
+        assert_eq!(
+            delays, recomputed,
+            "restored delays match the original sizing"
+        );
     }
 }

@@ -91,6 +91,19 @@ impl ArcDelays {
         self.dists.is_empty()
     }
 
+    /// Restores a gate's entry to previously captured values — the
+    /// exact-bits undo path for what-if queries. `update_gates`
+    /// recomputes a delay from the current sizing, which is correct but
+    /// not guaranteed to reproduce the *bits* of the entry it replaced
+    /// (the delay model is not an involution under resize/undo); a
+    /// caller that captured `(nominal(g), dist(g).clone())` before an
+    /// update can hand them back here and get the original entry
+    /// bit-for-bit.
+    pub fn restore(&mut self, gate: GateId, nominal: f64, dist: Dist) {
+        self.nominal[gate.index()] = nominal;
+        self.dists[gate.index()] = dist;
+    }
+
     /// The gates whose delays change when `gate` is resized: the gate
     /// itself (its `Ccell` changes) and every gate driving one of its
     /// inputs (their `Cload` includes this gate's input-pin capacitance).

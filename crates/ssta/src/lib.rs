@@ -60,7 +60,7 @@ mod propagate;
 mod slack;
 mod sta;
 
-pub use analysis::SstaAnalysis;
+pub use analysis::{SstaAnalysis, SstaUndo};
 pub use delays::ArcDelays;
 pub use graph::{InEdge, TimingGraph};
 pub use monte_carlo::{MonteCarlo, SamplingMode};

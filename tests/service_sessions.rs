@@ -1,0 +1,213 @@
+//! Session-layer integration tests: the serve-mode acceptance bar.
+//!
+//! * Every [`Session::what_if`] answer must be **bit-identical** to a
+//!   from-scratch [`SstaAnalysis::run`] over the mutated circuit — the
+//!   speculative path (incremental update + exact undo) is an
+//!   optimization, never an approximation.
+//! * Branching: `fork` → diverge → `rollback` restores byte-identical
+//!   state, both through the core API and through the JSONL front-end.
+//! * Replay: a forked session's committed result is bit-identical to a
+//!   fresh session replaying the same commit log.
+
+use statsize::{Deadline, Design, Objective, Optimizer, SelectorKind, Session};
+use statsize_bench::serve::Server;
+use statsize_cells::{CellLibrary, DelayModel, GateSizes};
+use statsize_netlist::{bench, GateId, Netlist};
+use statsize_ssta::{ArcDelays, SstaAnalysis, TimingGraph};
+use std::sync::Arc;
+
+fn design(name: &str, netlist: Netlist) -> Design {
+    Design::new(name, netlist, CellLibrary::synthetic_180nm())
+}
+
+fn optimizer() -> Optimizer {
+    Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned).with_max_iterations(3)
+}
+
+/// Output net names of every gate in the design, in gate-id order.
+fn gate_names(design: &Design) -> Vec<String> {
+    let netlist = design.netlist();
+    netlist
+        .gate_ids()
+        .map(|g| netlist.net(netlist.gate(g).output()).name().to_string())
+        .collect()
+}
+
+/// Times the design from scratch — fresh sizes, fresh delays, fresh
+/// [`SstaAnalysis::run`] — after applying `resizes`, and returns
+/// `(objective, total_width, area)`.
+fn from_scratch(
+    design: &Design,
+    resizes: &[(GateId, f64)],
+    objective: Objective,
+) -> (f64, f64, f64) {
+    let netlist = design.netlist();
+    let model = DelayModel::new(design.library(), netlist);
+    let mut sizes = GateSizes::minimum(netlist);
+    for &(gate, delta_w) in resizes {
+        sizes.resize(gate, delta_w);
+    }
+    let graph = TimingGraph::build(netlist);
+    let delays = ArcDelays::compute(netlist, &model, &sizes, design.variation(), design.dt());
+    let ssta = SstaAnalysis::run(&graph, &delays);
+    (
+        objective.value(ssta.sink_arrival()),
+        sizes.total_width(),
+        model.area(netlist, &sizes),
+    )
+}
+
+/// The acceptance criterion: for every gate of c17 (exhaustively) and a
+/// spread of c499 gates, `what_if` — served off a warm session that
+/// already carries committed resizes — returns exactly the bits a full
+/// re-analysis of the mutated circuit produces.
+#[test]
+fn what_if_matches_from_scratch_analysis_bit_for_bit() {
+    let cases: &[(&str, Netlist, usize)] = &[
+        ("c17", bench::c17(), 1),    // every gate
+        ("c499", bench::c499(), 37), // every 37th gate (5 probes)
+    ];
+    for (name, netlist, stride) in cases {
+        let design = Arc::new(design(name, netlist.clone()));
+        let mut session = Session::open(Arc::clone(&design), optimizer());
+
+        // Warm the session: commit a couple of resizes first, so the
+        // speculative path runs over a non-trivial incremental state.
+        let names = gate_names(&design);
+        session.commit(&names[0], 1.0).unwrap();
+        session.commit(&names[names.len() / 2], 0.5).unwrap();
+        let committed: Vec<(GateId, f64)> = session.committed().to_vec();
+
+        for probe in names.iter().step_by(*stride) {
+            let delta_w = 0.75;
+            let report = session.what_if(probe, delta_w).unwrap();
+
+            let gate = design.gate_by_output(probe).unwrap();
+            let mut resizes = committed.clone();
+            resizes.push((gate, delta_w));
+            let (objective, total_width, area) =
+                from_scratch(&design, &resizes, session.optimizer().objective());
+
+            assert_eq!(
+                report.objective.to_bits(),
+                objective.to_bits(),
+                "{name}: what_if({probe}) objective drifted from a from-scratch analysis"
+            );
+            assert_eq!(report.total_width.to_bits(), total_width.to_bits());
+            assert_eq!(report.area.to_bits(), area.to_bits());
+
+            // And the speculation left no trace: the session still
+            // reports the pre-probe state from scratch.
+            let info = session.info().unwrap();
+            let (objective, ..) =
+                from_scratch(&design, &committed, session.optimizer().objective());
+            assert_eq!(info.objective.to_bits(), objective.to_bits());
+        }
+    }
+}
+
+/// Satellite: fork → diverge → rollback restores byte-identical state.
+/// The probe is a `what_if` report compared bit-for-bit, which can only
+/// agree if the full timing state (not just the summary) was restored.
+#[test]
+fn fork_diverge_rollback_restores_identical_state() {
+    let design = Arc::new(design("c499", bench::c499()));
+    let mut main = Session::open(Arc::clone(&design), optimizer());
+    let names = gate_names(&design);
+
+    main.commit(&names[3], 1.0).unwrap();
+    main.snapshot("base").unwrap();
+    let probe_before = main.what_if(&names[10], 0.5).unwrap();
+    let info_before = main.info().unwrap();
+
+    // Diverge on both sides of the fork.
+    let mut fork = main.fork().unwrap();
+    fork.commit(&names[20], 2.0).unwrap();
+    main.commit(&names[40], 1.5).unwrap();
+    main.step(Deadline::none()).unwrap();
+    assert_ne!(
+        main.info().unwrap(),
+        info_before,
+        "divergence should be visible"
+    );
+
+    // Rollback restores the snapshot bits; the fork is untouched.
+    main.rollback("base").unwrap();
+    assert_eq!(main.info().unwrap(), info_before);
+    let probe_after = main.what_if(&names[10], 0.5).unwrap();
+    assert_eq!(probe_before, probe_after);
+    assert_eq!(fork.committed().len(), 2, "fork keeps its own trajectory");
+}
+
+/// Satellite: a forked session that keeps optimizing commits the same
+/// bits as a fresh session replaying its commit log move by move.
+#[test]
+fn forked_session_matches_fresh_replay_of_its_commits() {
+    let design = Arc::new(design("c1355", bench::c1355()));
+    let mut main = Session::open(Arc::clone(&design), optimizer());
+    let names = gate_names(&design);
+
+    main.commit(&names[7], 1.0).unwrap();
+    let mut fork = main.fork().unwrap();
+    fork.step(Deadline::none()).unwrap();
+    fork.commit(&names[100], 0.5).unwrap();
+
+    let mut replay = Session::open(Arc::clone(&design), optimizer());
+    for &(gate, delta_w) in fork.committed() {
+        let netlist = design.netlist();
+        let name = netlist.net(netlist.gate(gate).output()).name().to_string();
+        replay.commit_gate(gate, &name, delta_w).unwrap();
+    }
+
+    let forked = fork.info().unwrap();
+    let replayed = replay.info().unwrap();
+    assert_eq!(forked.objective.to_bits(), replayed.objective.to_bits());
+    assert_eq!(forked.total_width.to_bits(), replayed.total_width.to_bits());
+    assert_eq!(forked.area.to_bits(), replayed.area.to_bits());
+    let probe = &names[60];
+    assert_eq!(
+        fork.what_if(probe, 0.25).unwrap(),
+        replay.what_if(probe, 0.25).unwrap()
+    );
+}
+
+/// The same branching contract through the JSONL front-end: after
+/// fork + divergence + rollback, a `query` response is byte-identical
+/// to the one captured at the snapshot, across thread budgets.
+#[test]
+fn serve_rollback_query_is_byte_identical_across_thread_budgets() {
+    let script = [
+        r#"{"id":1,"op":"load","design":"c17"}"#,
+        r#"{"id":2,"op":"open","session":"main","design":"c17","iters":3}"#,
+        r#"{"id":3,"op":"commit","session":"main","gate":"10","delta_w":1.0}"#,
+        r#"{"id":4,"op":"snapshot","session":"main","name":"base"}"#,
+        r#"{"id":99,"op":"query","session":"main"}"#,
+        r#"{"id":5,"op":"fork","session":"alt","from":"main"}"#,
+        r#"{"id":6,"op":"commit","session":"alt","gate":"16","delta_w":2.0}"#,
+        r#"{"id":7,"op":"step","session":"main"}"#,
+        r#"{"id":8,"op":"rollback","session":"main","name":"base"}"#,
+        r#"{"id":99,"op":"query","session":"main"}"#,
+    ];
+    let mut transcripts = Vec::new();
+    for threads in [0usize, 1, 4] {
+        let mut server = Server::new().with_total_threads(threads);
+        let responses: Vec<String> = script
+            .iter()
+            .filter_map(|line| server.handle_line(line))
+            .collect();
+        let queries: Vec<&String> = responses
+            .iter()
+            .filter(|r| r.contains(r#""op":"query""#))
+            .collect();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(
+            queries[0], queries[1],
+            "rollback must restore the exact pre-divergence query bytes (threads={threads})"
+        );
+        transcripts.push(responses.join("\n"));
+    }
+    assert!(
+        transcripts.windows(2).all(|w| w[0] == w[1]),
+        "serve transcripts must be byte-identical for every thread budget"
+    );
+}
