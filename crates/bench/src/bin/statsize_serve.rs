@@ -3,26 +3,44 @@
 //!
 //! ```text
 //! cargo run --release -p statsize-bench --bin statsize-serve -- \
-//!     [--threads=N] [--timing]
+//!     [--threads=N] [--timing] [--wal=PATH] [--recover=PATH] \
+//!     [--max-sessions=N] [--max-batch=N] [--deadline-ms=N]
 //! ```
 //!
 //! * One JSON request per stdin line, one JSON response per stdout line,
 //!   in order; blank lines and `#` comments are ignored. The protocol —
 //!   `load`/`open`/`fork`/`close` plus the per-session
-//!   `what_if`/`commit`/`step`/`snapshot`/`rollback`/`query` ops and
-//!   concurrent `batch` requests — is documented on
-//!   [`statsize_bench::serve`].
+//!   `what_if`/`commit`/`step`/`snapshot`/`rollback`/`query` ops,
+//!   concurrent `batch` requests, and the `stats`/`shutdown` admin ops —
+//!   is documented on [`statsize_bench::serve`].
 //! * `--threads=N` — total worker budget for `batch` requests, shared
 //!   across sessions campaign-style. Responses are bit-identical for
 //!   every budget, so replaying a transcript under different `--threads`
 //!   values must produce byte-identical output (CI holds it to that).
 //! * `--timing` — include wall-clock fields on `step` responses
 //!   (forfeits byte-determinism).
+//! * `--wal=PATH` — write-ahead-log every durable mutation (fsynced
+//!   before the response goes out) so a crashed server can be restarted
+//!   with `--recover`.
+//! * `--recover=PATH` — before serving, replay a WAL's durable prefix,
+//!   restoring every session bit-identically. A summary (and any
+//!   quarantined torn tail) is reported on **stderr** — stdout carries
+//!   only response lines, so recovered transcripts stay
+//!   byte-deterministic. `--recover` and `--wal` may name the same
+//!   file: the old log is read in full before the new one truncates
+//!   it, and the restored history is re-checkpointed into the new log.
+//! * `--max-sessions=N` / `--max-batch=N` / `--deadline-ms=N` —
+//!   admission control: session-table cap, per-batch size cap, and a
+//!   default per-query deadline budget (typed `session_limit` /
+//!   `batch_limit` / `deadline_expired` errors; see the protocol docs).
 //!
 //! Malformed input never kills the loop: a bad line is answered with a
 //! structured `{"ok":false,...}` response. Exit status `2` is reserved
-//! for unusable arguments or a broken stdout pipe.
+//! for unusable arguments or a broken stdout pipe; exit status `3`
+//! means recovery (or WAL creation) failed and the server refused to
+//! start from unknown state.
 
+use statsize::wal::{self, Wal};
 use statsize_bench::serve::Server;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -30,6 +48,11 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut threads = 0usize;
     let mut timing = false;
+    let mut wal_path: Option<String> = None;
+    let mut recover_path: Option<String> = None;
+    let mut max_sessions: Option<usize> = None;
+    let mut max_batch: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--threads=") {
             match v.parse() {
@@ -38,14 +61,94 @@ fn main() -> ExitCode {
             }
         } else if arg == "--timing" {
             timing = true;
+        } else if let Some(v) = arg.strip_prefix("--wal=") {
+            wal_path = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--recover=") {
+            recover_path = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--max-sessions=") {
+            match v.parse() {
+                Ok(n) => max_sessions = Some(n),
+                Err(_) => return usage(&arg),
+            }
+        } else if let Some(v) = arg.strip_prefix("--max-batch=") {
+            match v.parse() {
+                Ok(n) => max_batch = Some(n),
+                Err(_) => return usage(&arg),
+            }
+        } else if let Some(v) = arg.strip_prefix("--deadline-ms=") {
+            match v.parse() {
+                Ok(n) => deadline_ms = Some(n),
+                Err(_) => return usage(&arg),
+            }
         } else {
             return usage(&arg);
         }
     }
 
+    // Read the old WAL in full before `--wal` (possibly the same path)
+    // truncates it.
+    let recovered = match recover_path {
+        Some(path) => match wal::read(&path) {
+            Ok(contents) => Some((path, contents)),
+            Err(e) => {
+                eprintln!("error: recovery failed: {e}");
+                return ExitCode::from(3);
+            }
+        },
+        None => None,
+    };
+
     let mut server = Server::new()
         .with_total_threads(threads)
         .with_timing(timing);
+    if let Some(limit) = max_sessions {
+        server = server.with_max_sessions(limit);
+    }
+    if let Some(limit) = max_batch {
+        server = server.with_max_batch(limit);
+    }
+    if let Some(ms) = deadline_ms {
+        server = server.with_query_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(path) = wal_path {
+        match Wal::create(&path) {
+            Ok(wal) => server = server.with_wal(wal),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    if let Some((path, contents)) = recovered {
+        match server.restore(&contents) {
+            Ok(stats) => {
+                eprintln!(
+                    "recovered {}: {} records ({} designs, {} sessions opened, \
+                     {} commits, {} snapshots), {} quarantined line(s), {}",
+                    path,
+                    stats.records,
+                    stats.designs,
+                    stats.sessions,
+                    stats.commits,
+                    stats.snapshots,
+                    contents.quarantined.len(),
+                    if contents.sealed {
+                        "sealed (clean shutdown)"
+                    } else {
+                        "unsealed (previous process crashed)"
+                    }
+                );
+                for (line, message) in &contents.quarantined {
+                    eprintln!("  quarantined line {line}: {message}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: recovery failed: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -66,13 +169,19 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        if server.should_shutdown() {
+            break;
+        }
     }
+    server.finish();
     ExitCode::SUCCESS
 }
 
 fn usage(arg: &str) -> ExitCode {
     eprintln!(
-        "error: unrecognized argument `{arg}`\nusage: statsize-serve [--threads=N] [--timing]"
+        "error: unrecognized argument `{arg}`\n\
+         usage: statsize-serve [--threads=N] [--timing] [--wal=PATH] \
+         [--recover=PATH] [--max-sessions=N] [--max-batch=N] [--deadline-ms=N]"
     );
     ExitCode::from(2)
 }

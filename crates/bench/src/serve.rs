@@ -20,12 +20,32 @@
 //! | `close`    | `session`                                                     |
 //! | `what_if`  | `session`, `gate`, `delta_w`                                  |
 //! | `commit`   | `session`, `gate`, `delta_w`                                  |
-//! | `step`     | `session`, optional `deadline_ms`                             |
+//! | `step`     | `session`                                                     |
 //! | `snapshot` | `session`, `name`                                             |
 //! | `rollback` | `session`, `name`                                             |
 //! | `query`    | `session`                                                     |
 //! | `batch`    | `requests`: array of session-op objects (the ops above minus  |
 //! |            | the structural four), scheduled concurrently per session      |
+//! | `stats`    | none — admission counters, per-session rows, batch shape      |
+//! | `shutdown` | none — seal the WAL and stop the serve loop after responding  |
+//!
+//! Every per-session op (alone or inside a `batch` entry) accepts an
+//! optional `deadline_ms`: a cooperative per-query deadline budget.
+//! Overruns answer the typed `deadline_expired` error and leave the
+//! session healthy; `deadline_ms: 0` always expires before the query
+//! runs, making it the deterministic way to exercise the path.
+//!
+//! # Durability
+//!
+//! [`with_wal`](Server::with_wal) attaches a write-ahead log
+//! ([`statsize::wal`]): every durable mutation — loads, opens, forks,
+//! closes, committed resizes, the moves a `step` committed, snapshots,
+//! rollbacks — is appended and fsynced before the response line goes
+//! out. Speculative `what_if`s and reads are never logged. After a
+//! crash, [`restore`](Server::restore) replays a WAL's durable prefix
+//! through the live entry points, rebuilding every session
+//! bit-identically — and re-appends the restored history to the fresh
+//! WAL so a second crash loses nothing either.
 //!
 //! Designs are resolved like every other harness binary
 //! ([`crate::suite::build_circuit`]): `c17`, the embedded
@@ -45,9 +65,11 @@
 //! responses (and breaks that guarantee, as do `deadline_ms` steps,
 //! which may truncate at a wall-clock-dependent iteration).
 
+use statsize::wal::{self, RecoveryStats, Wal, WalContents, WalError, WalRecord};
 use statsize::wire::{self, escape, get, get_f64, get_str, Json};
 use statsize::{
-    Design, Objective, OpReport, Optimizer, QueryError, SelectorKind, SessionOp, SessionStore,
+    Design, Objective, OpReport, Optimizer, QueryError, QueryRequest, SelectorKind, SessionOp,
+    SessionStore,
 };
 use statsize_cells::CellLibrary;
 use std::fmt::Write as _;
@@ -63,6 +85,8 @@ use crate::suite;
 pub struct Server {
     store: SessionStore,
     timing: bool,
+    wal: Option<Wal>,
+    shutdown: bool,
 }
 
 /// A front-end-level request fault (before the session core is
@@ -112,9 +136,152 @@ impl Server {
         self
     }
 
+    /// Caps the session table ([`SessionStore::with_max_sessions`]):
+    /// opens and forks beyond the cap answer the typed `session_limit`
+    /// error.
+    #[must_use]
+    pub fn with_max_sessions(mut self, limit: usize) -> Self {
+        self.store = std::mem::take(&mut self.store).with_max_sessions(limit);
+        self
+    }
+
+    /// Caps a single `batch` request ([`SessionStore::with_max_batch`]):
+    /// larger batches are refused wholesale with `batch_limit` on every
+    /// entry.
+    #[must_use]
+    pub fn with_max_batch(mut self, limit: usize) -> Self {
+        self.store = std::mem::take(&mut self.store).with_max_batch(limit);
+        self
+    }
+
+    /// Sets a default per-query deadline budget for requests that carry
+    /// no `deadline_ms` ([`SessionStore::with_query_deadline`]).
+    #[must_use]
+    pub fn with_query_deadline(mut self, budget: Duration) -> Self {
+        self.store = std::mem::take(&mut self.store).with_query_deadline(budget);
+        self
+    }
+
+    /// Attaches a write-ahead log: every durable mutation is appended
+    /// (and fsynced) before its response line is returned.
+    #[must_use]
+    pub fn with_wal(mut self, wal: Wal) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
     /// The underlying session store.
     pub fn store(&self) -> &SessionStore {
         &self.store
+    }
+
+    /// True once a `shutdown` request has been handled — the serve loop
+    /// should stop reading after writing the response.
+    pub fn should_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Seals the WAL for a clean stop (end of input or `shutdown`).
+    /// Idempotent; a no-op without a WAL.
+    pub fn finish(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            wal.seal();
+        }
+    }
+
+    /// Replays a recovered WAL's durable prefix into this server's
+    /// store, restoring every session bit-identically, then re-appends
+    /// the restored history to the attached WAL (if any) as a
+    /// checkpoint prefix — a crash after recovery still recovers
+    /// everything.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Replay`] when a record is refused (see
+    /// [`wal::apply`]); the caller should treat recovery as failed
+    /// rather than serve from half-restored state.
+    pub fn restore(&mut self, contents: &WalContents) -> Result<RecoveryStats, WalError> {
+        let stats = wal::apply(&contents.records, &mut self.store, |name, seed, dt| {
+            suite::try_build_circuit(name, seed)
+                .map(|netlist| {
+                    Design::new(name, netlist, CellLibrary::synthetic_180nm()).with_dt(dt)
+                })
+                .map_err(|e| e.to_string())
+        })?;
+        if let Some(w) = &mut self.wal {
+            for record in &contents.records {
+                w.append(record);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Appends one record to the attached WAL, if any.
+    fn wal_append(&mut self, record: WalRecord) {
+        if let Some(wal) = &mut self.wal {
+            wal.append(&record);
+        }
+    }
+
+    /// Logs the durable effects of a slice of answered session ops, in
+    /// request order: committed resizes, non-empty step rounds (their
+    /// moves re-addressed by output net name, exactly as responses
+    /// render them), snapshots, and rollbacks. Speculative and read-only
+    /// ops — and failed ones — leave no trace.
+    fn log_session_results(
+        &mut self,
+        requests: &[QueryRequest],
+        results: &[Result<OpReport, QueryError>],
+    ) {
+        if self.wal.is_none() {
+            return;
+        }
+        let mut records = Vec::new();
+        for (request, result) in requests.iter().zip(results) {
+            let Ok(report) = result else { continue };
+            let session = &request.session;
+            match report {
+                OpReport::Commit(r) => records.push(WalRecord::Commit {
+                    session: session.clone(),
+                    gate: r.gate.clone(),
+                    delta_w: r.delta_w,
+                }),
+                OpReport::Step(step) if !step.records.is_empty() => {
+                    // A successful step implies the session is live.
+                    let Some(live) = self.store.session(session) else {
+                        continue;
+                    };
+                    let netlist = live.design().netlist();
+                    let delta_w = live.optimizer().delta_w();
+                    let moves = step
+                        .records
+                        .iter()
+                        .map(|r| {
+                            let net = netlist.net(netlist.gate(r.gate).output());
+                            (net.name().to_string(), delta_w)
+                        })
+                        .collect();
+                    records.push(WalRecord::Step {
+                        session: session.clone(),
+                        moves,
+                    });
+                }
+                OpReport::Snapshot { name } => records.push(WalRecord::Snapshot {
+                    session: session.clone(),
+                    name: name.clone(),
+                }),
+                OpReport::Rollback { name } => records.push(WalRecord::Rollback {
+                    session: session.clone(),
+                    name: name.clone(),
+                }),
+                OpReport::WhatIf(_) | OpReport::Query(_) | OpReport::Step(_) => {}
+            }
+        }
+        if let Some(wal) = &mut self.wal {
+            for record in &records {
+                wal.append(record);
+            }
+        }
     }
 
     /// Handles one transcript line: `None` for blank and `#`-comment
@@ -166,13 +333,20 @@ impl Server {
             "fork" => self.fork(obj),
             "close" => self.close(obj),
             "batch" => self.batch(obj),
+            "stats" => self.stats(),
+            "shutdown" => {
+                self.shutdown = true;
+                self.finish();
+                Ok("\"op\":\"shutdown\"".to_string())
+            }
             _ => {
-                let (session, session_op) = parse_session_op(obj)?;
-                let results = self.store.batch(&[(session.clone(), session_op)]);
+                let requests = [parse_session_op(obj)?];
+                let results = self.store.batch(&requests);
+                self.log_session_results(&requests, &results);
                 let result = results.into_iter().next().expect("one result per request");
                 let report = result.map_err(query_error)?;
                 let mut body = format!("\"op\":\"{}\",", escape(op));
-                self.render_report(&session, &report, &mut body);
+                self.render_report(&requests[0].session, &report, &mut body);
                 Ok(body)
             }
         }
@@ -206,6 +380,11 @@ impl Server {
         let stats = netlist.stats();
         let design = Design::new(name, netlist, CellLibrary::synthetic_180nm()).with_dt(dt);
         self.store.add_design(design).map_err(query_error)?;
+        self.wal_append(WalRecord::Load {
+            design: name.to_string(),
+            seed,
+            dt,
+        });
         Ok(format!(
             "\"op\":\"load\",\"design\":\"{}\",\"gates\":{},\"nodes\":{}",
             escape(name),
@@ -221,6 +400,14 @@ impl Server {
         self.store
             .open(session, design, optimizer)
             .map_err(query_error)?;
+        self.wal_append(WalRecord::Open {
+            session: session.to_string(),
+            design: design.to_string(),
+            selector: optimizer.selector().wire_name(),
+            objective: optimizer.objective().wire_name(),
+            max_iterations: optimizer.max_iterations(),
+            delta_w: optimizer.delta_w(),
+        });
         Ok(format!(
             "\"op\":\"open\",\"session\":\"{}\",\"design\":\"{}\"",
             escape(session),
@@ -232,6 +419,10 @@ impl Server {
         let session = get_str(obj, "session")?;
         let from = get_str(obj, "from")?;
         self.store.fork(session, from).map_err(query_error)?;
+        self.wal_append(WalRecord::Fork {
+            session: session.to_string(),
+            from: from.to_string(),
+        });
         Ok(format!(
             "\"op\":\"fork\",\"session\":\"{}\",\"from\":\"{}\"",
             escape(session),
@@ -242,6 +433,9 @@ impl Server {
     fn close(&mut self, obj: &[(String, Json)]) -> Result<String, BadRequest> {
         let session = get_str(obj, "session")?;
         self.store.close(session).map_err(query_error)?;
+        self.wal_append(WalRecord::Close {
+            session: session.to_string(),
+        });
         Ok(format!(
             "\"op\":\"close\",\"session\":\"{}\"",
             escape(session)
@@ -265,8 +459,10 @@ impl Server {
             );
         }
         let results = self.store.batch(&parsed);
+        self.log_session_results(&parsed, &results);
         let mut body = String::from("\"op\":\"batch\",\"results\":[");
-        for (i, ((session, _), result)) in parsed.iter().zip(results).enumerate() {
+        for (i, (request, result)) in parsed.iter().zip(results).enumerate() {
+            let session = &request.session;
             if i > 0 {
                 body.push(',');
             }
@@ -285,6 +481,66 @@ impl Server {
                     );
                 }
             }
+        }
+        body.push(']');
+        Ok(body)
+    }
+
+    /// Renders the store's deterministic health snapshot
+    /// ([`SessionStore::stats`]): configuration, admission counters,
+    /// the last batch's scheduling shape, and one row per session. No
+    /// wall clocks — identical request histories render identical
+    /// `stats` responses.
+    fn stats(&self) -> Result<String, BadRequest> {
+        let stats = self.store.stats();
+        let opt = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
+        let mut body = format!(
+            "\"op\":\"stats\",\"designs\":{},\"total_threads\":{},\
+             \"max_sessions\":{},\"max_batch\":{},\"deadline_ms\":{},",
+            stats.designs,
+            stats.total_threads,
+            opt(stats.max_sessions),
+            opt(stats.max_batch),
+            stats
+                .query_deadline
+                .map_or("null".to_string(), |d| format!("{}", d.as_secs_f64() * 1e3)),
+        );
+        let c = stats.counters;
+        let _ = write!(
+            body,
+            "\"queries\":{},\"batches\":{},\"rejected_sessions\":{},\
+             \"rejected_batches\":{},\"deadline_expired\":{},",
+            c.queries, c.batches, c.rejected_sessions, c.rejected_batches, c.deadline_expired
+        );
+        match stats.last_batch {
+            Some(b) => {
+                let _ = write!(
+                    body,
+                    "\"last_batch\":{{\"requests\":{},\"groups\":{},\"workers\":{}}},",
+                    b.requests, b.groups, b.workers
+                );
+            }
+            None => body.push_str("\"last_batch\":null,"),
+        }
+        body.push_str("\"sessions\":[");
+        for (i, s) in stats.sessions.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(
+                body,
+                "{{\"session\":\"{}\",\"design\":\"{}\",\"nodes\":{},\
+                 \"thread_grant\":{},\"commits\":{},\"steps\":{},\
+                 \"snapshots\":{},\"poisoned\":{}}}",
+                escape(&s.session),
+                escape(&s.design),
+                s.nodes,
+                s.thread_grant,
+                s.commits,
+                s.steps,
+                s.snapshots,
+                s.poisoned
+            );
         }
         body.push(']');
         Ok(body)
@@ -420,9 +676,9 @@ fn render_query_error(err: &QueryError) -> String {
 }
 
 /// Parses the per-session ops shared by single requests and `batch`
-/// entries: `what_if`, `commit`, `step`, `snapshot`, `rollback`,
-/// `query`.
-fn parse_session_op(obj: &[(String, Json)]) -> Result<(String, SessionOp), BadRequest> {
+/// entries — `what_if`, `commit`, `step`, `snapshot`, `rollback`,
+/// `query` — plus the optional `deadline_ms` every one of them accepts.
+fn parse_session_op(obj: &[(String, Json)]) -> Result<QueryRequest, BadRequest> {
     let session = get_str(obj, "session")?.to_string();
     let op = match get_str(obj, "op")? {
         "what_if" => SessionOp::WhatIf {
@@ -433,20 +689,7 @@ fn parse_session_op(obj: &[(String, Json)]) -> Result<(String, SessionOp), BadRe
             gate: get_str(obj, "gate")?.to_string(),
             delta_w: get_f64(obj, "delta_w")?,
         },
-        "step" => SessionOp::Step {
-            deadline: match get(obj, "deadline_ms").ok() {
-                Some(v) => {
-                    let ms = v
-                        .as_f64()
-                        .ok_or_else(|| BadRequest::new("deadline_ms must be a number"))?;
-                    if !(ms.is_finite() && ms >= 0.0) {
-                        return Err(BadRequest::new("deadline_ms must be non-negative"));
-                    }
-                    Some(Duration::from_secs_f64(ms / 1e3))
-                }
-                None => None,
-            },
-        },
+        "step" => SessionOp::Step,
         "snapshot" => SessionOp::Snapshot {
             name: get_str(obj, "name")?.to_string(),
         },
@@ -456,7 +699,17 @@ fn parse_session_op(obj: &[(String, Json)]) -> Result<(String, SessionOp), BadRe
         "query" => SessionOp::Query,
         other => return Err(BadRequest::new(format!("unknown op `{other}`"))),
     };
-    Ok((session, op))
+    let mut request = QueryRequest::new(session, op);
+    if let Ok(v) = get(obj, "deadline_ms") {
+        let ms = v
+            .as_f64()
+            .ok_or_else(|| BadRequest::new("deadline_ms must be a number"))?;
+        if !(ms.is_finite() && ms >= 0.0) {
+            return Err(BadRequest::new("deadline_ms must be non-negative"));
+        }
+        request.deadline = Some(Duration::from_secs_f64(ms / 1e3));
+    }
+    Ok(request)
 }
 
 /// Builds the session's optimizer from the optional `open` fields,
@@ -499,16 +752,9 @@ fn parse_optimizer(obj: &[(String, Json)]) -> Result<Optimizer, BadRequest> {
 }
 
 fn parse_selector(v: &str) -> Result<SelectorKind, BadRequest> {
-    match v {
-        "pruned" => Ok(SelectorKind::Pruned),
-        "brute" => Ok(SelectorKind::BruteForce),
-        "deterministic" => Ok(SelectorKind::Deterministic),
-        _ => v
-            .strip_prefix("heuristic:")
-            .and_then(|k| k.parse().ok())
-            .map(|lookahead| SelectorKind::Heuristic { lookahead })
-            .ok_or_else(|| BadRequest::new(format!("unknown selector `{v}`"))),
-    }
+    // The protocol's selector names are exactly the WAL's stable wire
+    // vocabulary — one parser serves both.
+    SelectorKind::from_wire(v).map_err(BadRequest::new)
 }
 
 #[cfg(test)]
@@ -605,5 +851,136 @@ mod tests {
         assert_eq!(server.handle_line(""), None);
         assert_eq!(server.handle_line("   "), None);
         assert_eq!(server.handle_line("# commentary"), None);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_typed_error_on_any_op_and_session_stays_healthy() {
+        let mut server = Server::new();
+        server.handle_line("{\"op\":\"load\",\"design\":\"c17\"}");
+        server.handle_line("{\"op\":\"open\",\"session\":\"s\",\"design\":\"c17\"}");
+        for op in [
+            "{\"op\":\"step\",\"session\":\"s\",\"deadline_ms\":0}",
+            "{\"op\":\"query\",\"session\":\"s\",\"deadline_ms\":0}",
+            "{\"op\":\"commit\",\"session\":\"s\",\"gate\":\"22\",\"delta_w\":1,\"deadline_ms\":0}",
+        ] {
+            let response = server.handle_line(op).expect("a response");
+            assert!(response.contains("deadline_expired"), "{response}");
+        }
+        // Inside a batch entry too.
+        let response = server
+            .handle_line(
+                "{\"op\":\"batch\",\"requests\":[{\"op\":\"query\",\"session\":\"s\",\
+                 \"deadline_ms\":0},{\"op\":\"query\",\"session\":\"s\"}]}",
+            )
+            .expect("a response");
+        assert!(response.contains("deadline_expired"), "{response}");
+        assert!(response.contains("\"ok\":true"), "{response}");
+        // The session survived every expiry, unperturbed.
+        let response = server
+            .handle_line("{\"op\":\"query\",\"session\":\"s\"}")
+            .expect("a response");
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert!(response.contains("\"commits\":0"), "{response}");
+        // Bad deadlines are parse errors.
+        let response = server
+            .handle_line("{\"op\":\"query\",\"session\":\"s\",\"deadline_ms\":-1}")
+            .expect("a response");
+        assert!(response.contains("bad_request"), "{response}");
+    }
+
+    #[test]
+    fn admission_caps_answer_typed_errors_and_stats_counts_them() {
+        let mut server = Server::new().with_max_sessions(1).with_max_batch(2);
+        server.handle_line("{\"op\":\"load\",\"design\":\"c17\"}");
+        server.handle_line("{\"op\":\"open\",\"session\":\"a\",\"design\":\"c17\"}");
+        let response = server
+            .handle_line("{\"op\":\"open\",\"session\":\"b\",\"design\":\"c17\"}")
+            .expect("a response");
+        assert!(response.contains("session_limit"), "{response}");
+        let response = server
+            .handle_line("{\"op\":\"fork\",\"session\":\"b\",\"from\":\"a\"}")
+            .expect("a response");
+        assert!(response.contains("session_limit"), "{response}");
+        let response = server
+            .handle_line(
+                "{\"op\":\"batch\",\"requests\":[{\"op\":\"query\",\"session\":\"a\"},\
+                 {\"op\":\"query\",\"session\":\"a\"},{\"op\":\"query\",\"session\":\"a\"}]}",
+            )
+            .expect("a response");
+        assert!(response.contains("batch_limit"), "{response}");
+        assert!(
+            !response.contains("{\"ok\":true"),
+            "no entry ran: {response}"
+        );
+
+        let stats = server
+            .handle_line("{\"id\":9,\"op\":\"stats\"}")
+            .expect("a response");
+        wire::parse(&stats).expect("stats is valid JSON");
+        assert!(stats.contains("\"max_sessions\":1"), "{stats}");
+        assert!(stats.contains("\"max_batch\":2"), "{stats}");
+        assert!(stats.contains("\"rejected_sessions\":2"), "{stats}");
+        assert!(stats.contains("\"rejected_batches\":1"), "{stats}");
+        assert!(stats.contains("\"session\":\"a\""), "{stats}");
+        // Stats are deterministic: ask twice (different id), same body.
+        let again = server
+            .handle_line("{\"id\":9,\"op\":\"stats\"}")
+            .expect("a response");
+        assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn shutdown_responds_then_stops_the_loop() {
+        let mut server = Server::new();
+        assert!(!server.should_shutdown());
+        let response = server
+            .handle_line("{\"id\":1,\"op\":\"shutdown\"}")
+            .expect("a response");
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert!(server.should_shutdown());
+    }
+
+    #[test]
+    fn wal_round_trip_restores_sessions_bit_identically() {
+        let dir = std::env::temp_dir().join("statsize-serve-test-wal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.jsonl");
+
+        // Reference: the full script on a WAL-less server, then probes.
+        let probes = "{\"id\":90,\"op\":\"query\",\"session\":\"main\"}\n\
+                      {\"id\":91,\"op\":\"what_if\",\"session\":\"main\",\"gate\":\"19\",\"delta_w\":1}\n\
+                      {\"id\":92,\"op\":\"step\",\"session\":\"main\"}";
+        let mut reference_server = Server::new();
+        drive(&mut reference_server, SCRIPT);
+        let reference = drive(&mut reference_server, probes);
+
+        // Same script on a WAL-attached server that is then dropped
+        // without sealing — the crash case.
+        let mut server = Server::new().with_wal(Wal::create(&path).expect("create"));
+        drive(&mut server, SCRIPT);
+        drop(server);
+
+        let contents = wal::read(&path).expect("read");
+        assert!(!contents.sealed, "no seal without finish()");
+        let mut recovered = Server::new();
+        let stats = recovered.restore(&contents).expect("restore");
+        assert_eq!(stats.designs, 1);
+        assert_eq!(stats.sessions, 2, "main opened, alt forked");
+        assert_eq!(stats.closed, 1, "alt closed again");
+        assert!(stats.commits >= 1);
+        let replies = drive(&mut recovered, probes);
+        assert_eq!(replies, reference, "recovery must be bit-identical");
+
+        // finish() seals; sealed WALs recover identically.
+        let mut server = Server::new().with_wal(Wal::create(&path).expect("create"));
+        drive(&mut server, SCRIPT);
+        server.finish();
+        let contents = wal::read(&path).expect("read sealed");
+        assert!(contents.sealed);
+        let mut recovered = Server::new();
+        recovered.restore(&contents).expect("restore sealed");
+        assert_eq!(drive(&mut recovered, probes), reference);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

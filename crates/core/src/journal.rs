@@ -29,10 +29,11 @@
 //!
 //! The format is hand-rolled (this workspace vendors no serde): a
 //! header line, then one `{"key":"...","outcome":{...}}` object per
-//! line, parsed with the shared [`wire`](crate::wire) JSON reader.
+//! line, read with the shared [`wire::read_line_log`] reader (strict
+//! header, per-line quarantine) that the serve-mode session WAL
+//! ([`wal`](crate::wal)) also builds on.
 
 use crate::campaign::CircuitOutcome;
-use crate::failpoint;
 use crate::optimizer::StopReason;
 use crate::wire::{self, escape, get, get_bool, get_f64, get_str, get_usize};
 use std::collections::HashMap;
@@ -138,44 +139,30 @@ impl Journal {
             path: path.clone(),
             source,
         })?;
-        let mut lines = text.lines().enumerate();
-        match lines.next() {
-            Some((_, first)) if first.trim() == HEADER => {}
-            _ => {
-                return Err(JournalError::Corrupt {
-                    path,
-                    line: 1,
-                    message: format!("missing or unrecognized header (expected `{HEADER}`)"),
-                })
-            }
-        }
+        // The shared line-log reader does the strict header check and
+        // per-line quarantine (with the `journal::read` failpoint
+        // tearing lines); the journal's policy on top is keyed
+        // last-write-wins over the surviving entries.
+        let log = wire::read_line_log(&text, HEADER, "journal::read", parse_entry).map_err(
+            |message| JournalError::Corrupt {
+                path: path.clone(),
+                line: 1,
+                message,
+            },
+        )?;
         let mut completed = HashMap::new();
-        let mut corrupt = Vec::new();
-        for (idx, raw) in lines {
-            let line_no = idx + 1;
-            if raw.trim().is_empty() {
-                continue;
-            }
-            // Failpoint `journal::read` (detail: the 1-based line
-            // number): simulates a torn/garbled line by truncating it
-            // before parsing.
-            let line = if failpoint::fire("journal::read", &line_no.to_string()) {
-                &raw[..raw.len() / 2]
-            } else {
-                raw
-            };
-            match parse_entry(line) {
-                Ok((key, outcome)) => {
-                    // Last write wins: a re-recorded key supersedes.
-                    completed.insert(key, outcome);
-                }
-                Err(message) => corrupt.push(JournalError::Corrupt {
-                    path: path.clone(),
-                    line: line_no,
-                    message,
-                }),
-            }
+        for (_, (key, outcome)) in log.entries {
+            completed.insert(key, outcome);
         }
+        let corrupt = log
+            .corrupt
+            .into_iter()
+            .map(|(line, message)| JournalError::Corrupt {
+                path: path.clone(),
+                line,
+                message,
+            })
+            .collect();
         Ok(Self {
             path,
             completed,

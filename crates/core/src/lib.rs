@@ -48,6 +48,13 @@
 //! [`failpoint`] harness injects faults at the same sites the tests
 //! prove are survivable.
 //!
+//! Serve-mode sessions ([`service`]) get the same treatment from the
+//! [`wal`] module: an append-only write-ahead log of committed session
+//! mutations that a restarted server replays to restore every session
+//! bit-identically, plus admission control (session/batch caps,
+//! per-query [`Deadline`]s) so overload is refused with typed errors
+//! instead of absorbed.
+//!
 //! # Example
 //!
 //! ```
@@ -83,6 +90,7 @@ mod parallel;
 mod pruned;
 mod selection;
 pub mod service;
+pub mod wal;
 pub mod wire;
 
 pub use brute::BruteForceSelector;
@@ -103,6 +111,7 @@ pub use parallel::THREADS_ENV;
 pub use pruned::{PruneStats, PrunedSelector};
 pub use selection::Selection;
 pub use service::{
-    CommitReport, Design, OpReport, QueryError, Session, SessionInfo, SessionOp, SessionStore,
-    WhatIfReport,
+    BatchStats, CommitReport, Counters, Design, OpReport, QueryError, QueryRequest, Session,
+    SessionInfo, SessionOp, SessionStats, SessionStore, StoreStats, WhatIfReport,
 };
+pub use wal::{RecoveryStats, Wal, WalContents, WalError, WalRecord};

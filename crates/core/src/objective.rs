@@ -66,6 +66,51 @@ impl Objective {
     pub fn shift_bounded(&self) -> bool {
         matches!(self, Objective::Percentile(_) | Objective::Mean)
     }
+
+    /// The objective's stable wire name (`percentile:<p>`, `mean`,
+    /// `mean_plus_sigma:<k>`, `yield_at:<t>`), with parameters rendered
+    /// through Rust's shortest-round-trip `Display` so
+    /// [`from_wire`](Self::from_wire) inverts it **bit-exactly** — the
+    /// session WAL records optimizer configurations in this vocabulary.
+    pub fn wire_name(&self) -> String {
+        match *self {
+            Objective::Percentile(p) => format!("percentile:{p}"),
+            Objective::Mean => "mean".to_string(),
+            Objective::MeanPlusSigma(k) => format!("mean_plus_sigma:{k}"),
+            Objective::YieldAt(t) => format!("yield_at:{t}"),
+        }
+    }
+
+    /// Parses a [`wire_name`](Self::wire_name) rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown names and out-of-range parameters.
+    pub fn from_wire(name: &str) -> Result<Self, String> {
+        if name == "mean" {
+            return Ok(Objective::Mean);
+        }
+        let param = |v: &str| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|p| p.is_finite())
+                .ok_or_else(|| format!("bad objective parameter `{v}`"))
+        };
+        if let Some(v) = name.strip_prefix("percentile:") {
+            let p = param(v)?;
+            if !(p > 0.0 && p < 1.0) {
+                return Err(format!("percentile must lie in (0, 1), got {p}"));
+            }
+            return Ok(Objective::Percentile(p));
+        }
+        if let Some(v) = name.strip_prefix("mean_plus_sigma:") {
+            return Ok(Objective::MeanPlusSigma(param(v)?));
+        }
+        if let Some(v) = name.strip_prefix("yield_at:") {
+            return Ok(Objective::YieldAt(param(v)?));
+        }
+        Err(format!("unknown objective `{name}`"))
+    }
 }
 
 impl fmt::Display for Objective {
@@ -120,5 +165,22 @@ mod tests {
     #[should_panic(expected = "probability must lie in (0, 1)")]
     fn percentile_validates() {
         Objective::percentile(1.0);
+    }
+
+    #[test]
+    fn wire_names_round_trip_bit_exactly() {
+        for objective in [
+            Objective::Percentile(0.99),
+            Objective::Percentile(0.1 + 0.2), // non-representable decimal
+            Objective::Mean,
+            Objective::MeanPlusSigma(3.0),
+            Objective::YieldAt(123.456_789_012_345_67),
+        ] {
+            let back = Objective::from_wire(&objective.wire_name()).expect("round trip");
+            assert_eq!(back, objective, "{}", objective.wire_name());
+        }
+        assert!(Objective::from_wire("percentile:1.5").is_err());
+        assert!(Objective::from_wire("percentile:NaN").is_err());
+        assert!(Objective::from_wire("frobnicate").is_err());
     }
 }

@@ -28,6 +28,39 @@ pub enum SelectorKind {
     },
 }
 
+impl SelectorKind {
+    /// The selector's stable wire name (`pruned`, `brute`,
+    /// `deterministic`, `heuristic:<lookahead>`) — the vocabulary of the
+    /// serve protocol's `open` request and the session WAL, inverted
+    /// exactly by [`from_wire`](Self::from_wire).
+    pub fn wire_name(&self) -> String {
+        match self {
+            SelectorKind::Pruned => "pruned".to_string(),
+            SelectorKind::BruteForce => "brute".to_string(),
+            SelectorKind::Deterministic => "deterministic".to_string(),
+            SelectorKind::Heuristic { lookahead } => format!("heuristic:{lookahead}"),
+        }
+    }
+
+    /// Parses a [`wire_name`](Self::wire_name) rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown selector.
+    pub fn from_wire(name: &str) -> Result<Self, String> {
+        match name {
+            "pruned" => Ok(SelectorKind::Pruned),
+            "brute" => Ok(SelectorKind::BruteForce),
+            "deterministic" => Ok(SelectorKind::Deterministic),
+            _ => name
+                .strip_prefix("heuristic:")
+                .and_then(|k| k.parse().ok())
+                .map(|lookahead| SelectorKind::Heuristic { lookahead })
+                .ok_or_else(|| format!("unknown selector `{name}`")),
+        }
+    }
+}
+
 /// Why an optimization run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -296,6 +329,11 @@ impl Optimizer {
     /// The width increment per move.
     pub fn delta_w(&self) -> f64 {
         self.delta_w
+    }
+
+    /// The configured iteration budget.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
     }
 
     /// Executes **one** selection round of the coordinate descent: budget
@@ -629,6 +667,20 @@ mod tests {
             assert_eq!(s.total_width_after.to_bits(), r.total_width_after.to_bits());
         }
         assert_eq!(a.ssta(), b.ssta(), "final timing state identical");
+    }
+
+    #[test]
+    fn selector_wire_names_round_trip() {
+        for kind in [
+            SelectorKind::Pruned,
+            SelectorKind::BruteForce,
+            SelectorKind::Deterministic,
+            SelectorKind::Heuristic { lookahead: 3 },
+        ] {
+            assert_eq!(SelectorKind::from_wire(&kind.wire_name()), Ok(kind));
+        }
+        assert!(SelectorKind::from_wire("frobnicate").is_err());
+        assert!(SelectorKind::from_wire("heuristic:-1").is_err());
     }
 
     #[test]

@@ -25,12 +25,24 @@
 //!   branch the exploration without reloading the design.
 //! * [`SessionStore`] — the multi-session front: named designs and
 //!   sessions, plus [`batch`](SessionStore::batch), which schedules
-//!   queries for *different* sessions onto the same work-stealing
-//!   machinery the campaign layer uses, under a
+//!   [`QueryRequest`]s for *different* sessions onto the same
+//!   work-stealing machinery the campaign layer uses, under a
 //!   [total-thread budget](SessionStore::with_total_threads) as
 //!   admission control. Queries for the same session run in request
 //!   order; responses always come back in request order, so a batch's
 //!   results are bit-identical for every thread count.
+//!
+//! The store is also where overload is refused instead of absorbed:
+//! [`with_max_sessions`](SessionStore::with_max_sessions) caps the
+//! session table (open/fork answer [`QueryError::SessionLimit`] at
+//! capacity), [`with_max_batch`](SessionStore::with_max_batch) bounds a
+//! single batch ([`QueryError::BatchLimit`]), and every request may
+//! carry a per-query cooperative [`Deadline`] budget — an overrun is the
+//! typed [`QueryError::DeadlineExpired`], after which the session is
+//! still healthy (nothing was committed past the cut-off). Admission
+//! counters, queue depth, and per-session thread grants are surfaced by
+//! [`stats`](SessionStore::stats) without reading any wall clock, so a
+//! `stats` answer is deterministic for a fixed request history.
 //!
 //! Faults follow the campaign's taxonomy instead of unwinding into the
 //! caller: every query returns a typed [`QueryError`] for expected
@@ -46,7 +58,7 @@ use crate::campaign::adaptive_thread_budgets;
 use crate::circuit::{TimedCircuit, TimingState};
 use crate::deadline::Deadline;
 use crate::failpoint;
-use crate::optimizer::{Optimizer, OptimizerStep};
+use crate::optimizer::{Optimizer, OptimizerStep, StopReason};
 use crate::parallel;
 use statsize_cells::{CellLibrary, DelayModel, VariationModel};
 use statsize_dist::TierPolicy;
@@ -188,6 +200,26 @@ pub enum QueryError {
     },
     /// The session has no snapshot of this name.
     UnknownSnapshot(String),
+    /// The query's cooperative deadline expired before (or while) the
+    /// query ran. Nothing past the cut-off was committed and the session
+    /// is still healthy — re-issue the query with a larger budget.
+    DeadlineExpired,
+    /// Opening or forking was refused because the session table is at
+    /// its configured capacity
+    /// ([`SessionStore::with_max_sessions`]). Close a session and retry.
+    SessionLimit {
+        /// The configured cap the table is at.
+        limit: usize,
+    },
+    /// The batch was refused wholesale for exceeding the configured
+    /// per-batch size cap ([`SessionStore::with_max_batch`]); no request
+    /// in it was executed. Split the batch and retry.
+    BatchLimit {
+        /// The configured cap.
+        limit: usize,
+        /// The size of the refused batch.
+        requested: usize,
+    },
     /// This query panicked; the panic was caught and the session is now
     /// poisoned.
     Panicked(String),
@@ -208,6 +240,9 @@ impl QueryError {
             QueryError::UnknownGate(_) => "unknown_gate",
             QueryError::InvalidResize { .. } => "invalid_resize",
             QueryError::UnknownSnapshot(_) => "unknown_snapshot",
+            QueryError::DeadlineExpired => "deadline_expired",
+            QueryError::SessionLimit { .. } => "session_limit",
+            QueryError::BatchLimit { .. } => "batch_limit",
             QueryError::Panicked(_) => "panicked",
             QueryError::Poisoned(_) => "poisoned",
         }
@@ -228,6 +263,16 @@ impl fmt::Display for QueryError {
                 message,
             } => write!(f, "resize of `{gate}` by {delta_w} rejected: {message}"),
             QueryError::UnknownSnapshot(name) => write!(f, "unknown snapshot `{name}`"),
+            QueryError::DeadlineExpired => write!(f, "per-query deadline expired"),
+            QueryError::SessionLimit { limit } => {
+                write!(f, "session table is at its capacity of {limit}")
+            }
+            QueryError::BatchLimit { limit, requested } => {
+                write!(
+                    f,
+                    "batch of {requested} requests exceeds the cap of {limit}"
+                )
+            }
             QueryError::Panicked(message) => write!(f, "query panicked: {message}"),
             QueryError::Poisoned(message) => {
                 write!(f, "session poisoned by an earlier fault: {message}")
@@ -530,6 +575,28 @@ impl Session {
         Ok(round)
     }
 
+    /// Replays the committed moves of one recorded optimizer `step`
+    /// round — the WAL's recovery entry point for
+    /// [`wal::WalRecord::Step`](crate::wal::WalRecord::Step). Each move
+    /// is committed through [`commit`](Self::commit) (gates addressed by
+    /// output net name, exactly as the record renders them) and the step
+    /// counter advances by the round's move count, so a later live
+    /// `step` resumes the descent at the same iteration the original
+    /// process would have — bit-identically, because a step's committed
+    /// moves *are* plain commits (the fork ≡ fresh-replay invariant).
+    ///
+    /// # Errors
+    ///
+    /// Fails like the equivalent `commit` calls would (unknown gate,
+    /// inadmissible resize); moves before the failure stay committed.
+    pub fn replay_step_moves(&mut self, moves: &[(String, f64)]) -> Result<(), QueryError> {
+        for (gate, delta_w) in moves {
+            self.commit(gate, *delta_w)?;
+        }
+        self.steps_committed += moves.len();
+        Ok(())
+    }
+
     /// Saves the current state (timing, commit log, step counter) under
     /// `name`, replacing any previous snapshot of that name.
     pub fn snapshot(&mut self, name: &str) -> Result<(), QueryError> {
@@ -594,8 +661,23 @@ impl Session {
         })
     }
 
-    /// Executes one protocol-level operation (the `batch` dispatch).
-    fn execute(&mut self, op: &SessionOp, thread_grant: usize) -> Result<OpReport, QueryError> {
+    /// Executes one protocol-level operation (the `batch` dispatch)
+    /// under the request's cooperative deadline. The deadline is checked
+    /// up front — an already-expired budget answers
+    /// [`QueryError::DeadlineExpired`] without touching the session —
+    /// and threaded into a `step`'s selector sweep, where a mid-sweep
+    /// expiry that committed nothing is reported the same way. In every
+    /// deadline outcome the session stays healthy: either the query ran
+    /// to completion, or nothing past the cut-off was committed.
+    fn execute(
+        &mut self,
+        op: &SessionOp,
+        thread_grant: usize,
+        deadline: Deadline,
+    ) -> Result<OpReport, QueryError> {
+        if deadline.expired() {
+            return Err(QueryError::DeadlineExpired);
+        }
         match op {
             SessionOp::WhatIf { gate, delta_w } => {
                 self.what_if(gate, *delta_w).map(OpReport::WhatIf)
@@ -603,10 +685,12 @@ impl Session {
             SessionOp::Commit { gate, delta_w } => {
                 self.commit(gate, *delta_w).map(OpReport::Commit)
             }
-            SessionOp::Step { deadline } => {
-                let deadline = deadline.map_or_else(Deadline::none, Deadline::after);
-                self.step_granted(deadline, Some(thread_grant))
-                    .map(OpReport::Step)
+            SessionOp::Step => {
+                let round = self.step_granted(deadline, Some(thread_grant))?;
+                if round.records.is_empty() && round.stop == Some(StopReason::DeadlineExpired) {
+                    return Err(QueryError::DeadlineExpired);
+                }
+                Ok(OpReport::Step(round))
             }
             SessionOp::Snapshot { name } => self
                 .snapshot(name)
@@ -639,14 +723,9 @@ pub enum SessionOp {
         /// Width change to commit.
         delta_w: f64,
     },
-    /// One optimizer selection round.
-    Step {
-        /// Per-query cooperative deadline (`None` = unlimited). A
-        /// deadline makes the stop point wall-clock dependent, so
-        /// deadline-bearing steps are excluded from the byte-replay
-        /// determinism contract.
-        deadline: Option<Duration>,
-    },
+    /// One optimizer selection round. The per-query deadline (if any)
+    /// rides on the enclosing [`QueryRequest`], like every other op's.
+    Step,
     /// Save the current state under a name.
     Snapshot {
         /// Snapshot name.
@@ -659,6 +738,39 @@ pub enum SessionOp {
     },
     /// Summarize the session.
     Query,
+}
+
+/// One request of a [`SessionStore::batch`]: the target session, the
+/// operation, and an optional per-query cooperative deadline budget.
+///
+/// The deadline starts counting when the query begins executing on its
+/// worker (not when the batch is submitted) and is polled at the
+/// selector sweeps' natural boundaries — see [`Deadline`]. `None` defers
+/// to the store-wide default
+/// ([`SessionStore::with_query_deadline`]), which itself defaults to
+/// unlimited. A deadline makes a `step`'s stop point wall-clock
+/// dependent, so deadline-bearing steps are excluded from the
+/// byte-replay determinism contract (a `Duration::ZERO` budget is the
+/// deterministic exception: it always expires before anything runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The session the op targets.
+    pub session: String,
+    /// The operation.
+    pub op: SessionOp,
+    /// Per-query deadline budget (`None` = the store default).
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A request without a per-query deadline.
+    pub fn new(session: impl Into<String>, op: SessionOp) -> Self {
+        Self {
+            session: session.into(),
+            op,
+            deadline: None,
+        }
+    }
 }
 
 /// The successful answer to one [`SessionOp`].
@@ -709,12 +821,126 @@ pub struct SessionStore {
     designs: Vec<(String, Arc<Design>)>,
     sessions: Vec<(String, Slot)>,
     total_threads: usize,
+    max_sessions: Option<usize>,
+    max_batch: Option<usize>,
+    query_deadline: Option<Duration>,
+    counters: Counters,
+    last_batch: Option<BatchStats>,
+}
+
+/// Monotonic admission/served counters ([`SessionStore::stats`]). All
+/// counts, no clocks: the values are deterministic for a fixed request
+/// history, independent of thread budgets and wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Session-op queries executed (admitted batch requests).
+    pub queries: u64,
+    /// Batches executed (a single protocol-level op counts as a batch of
+    /// one).
+    pub batches: u64,
+    /// Opens/forks refused by the session cap or the `service::admit`
+    /// failpoint.
+    pub rejected_sessions: u64,
+    /// Batches refused wholesale by the batch-size cap.
+    pub rejected_batches: u64,
+    /// Queries answered [`QueryError::DeadlineExpired`].
+    pub deadline_expired: u64,
+}
+
+/// Scheduling shape of the most recent admitted batch — the queue-depth
+/// half of the [`stats`](SessionStore::stats) metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Distinct sessions those requests grouped into (the scheduler's
+    /// queue depth: groups beyond the worker count wait their turn).
+    pub groups: usize,
+    /// Work-stealing workers the batch ran on: the thread budget clamped
+    /// to the groups that resolved to a live session, minimum one.
+    pub workers: usize,
+}
+
+/// One session's row in [`SessionStore::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Session name.
+    pub session: String,
+    /// Design the session is over (empty for a session lost to a
+    /// worker-escape fault, whose slot keeps only the fault message).
+    pub design: String,
+    /// Timing-node count of that design — the weight behind the
+    /// session's thread grant.
+    pub nodes: usize,
+    /// Selector threads a full-store batch would grant this session
+    /// (node-count-proportional share of the total budget; zero for a
+    /// lost session).
+    pub thread_grant: usize,
+    /// Commit-log length (explicit commits + step-committed moves).
+    pub commits: usize,
+    /// Optimizer iterations committed via `step`.
+    pub steps: usize,
+    /// Named snapshots held.
+    pub snapshots: usize,
+    /// Whether the session is poisoned (or lost) by an earlier fault.
+    pub poisoned: bool,
+}
+
+/// The full [`SessionStore::stats`] answer: configuration, per-session
+/// rows, admission counters, and the last batch's scheduling shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStats {
+    /// Loaded designs.
+    pub designs: usize,
+    /// Per-session rows, in open order.
+    pub sessions: Vec<SessionStats>,
+    /// Configured total worker-thread budget.
+    pub total_threads: usize,
+    /// Configured session-table cap (`None` = unbounded).
+    pub max_sessions: Option<usize>,
+    /// Configured per-batch size cap (`None` = unbounded).
+    pub max_batch: Option<usize>,
+    /// Store-wide default per-query deadline (`None` = unlimited).
+    pub query_deadline: Option<Duration>,
+    /// Admission/served counters.
+    pub counters: Counters,
+    /// Scheduling shape of the most recent admitted batch.
+    pub last_batch: Option<BatchStats>,
 }
 
 impl SessionStore {
-    /// An empty store with a single-threaded batch schedule.
+    /// An empty store with a single-threaded batch schedule and no
+    /// admission caps.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Caps the session table: once `limit` sessions are open (poisoned
+    /// slots included — they hold their name until closed),
+    /// [`open`](Self::open) and [`fork`](Self::fork) answer
+    /// [`QueryError::SessionLimit`] instead of growing the table.
+    #[must_use]
+    pub fn with_max_sessions(mut self, limit: usize) -> Self {
+        self.max_sessions = Some(limit);
+        self
+    }
+
+    /// Caps a single [`batch`](Self::batch): larger batches are refused
+    /// wholesale with [`QueryError::BatchLimit`] on every request,
+    /// executing none of them.
+    #[must_use]
+    pub fn with_max_batch(mut self, limit: usize) -> Self {
+        self.max_batch = Some(limit);
+        self
+    }
+
+    /// Sets a store-wide default per-query deadline budget, applied to
+    /// every request that does not carry its own
+    /// ([`QueryRequest::deadline`] wins when present).
+    #[must_use]
+    pub fn with_query_deadline(mut self, budget: Duration) -> Self {
+        self.query_deadline = Some(budget);
+        self
     }
 
     /// Sets the total worker-thread budget for [`batch`](Self::batch)
@@ -748,6 +974,23 @@ impl SessionStore {
         self.designs.iter().find(|(n, _)| n == name).map(|(_, d)| d)
     }
 
+    /// Admission check for a new session named `session`: the table must
+    /// have a free slot under `max_sessions`, and the `service::admit`
+    /// failpoint (detail: session name) can force a rejection to exercise
+    /// callers' capacity-fault handling. Runs *after* the duplicate-name
+    /// and source checks so a rejection is always a pure capacity answer.
+    fn admit(&mut self, session: &str) -> Result<(), QueryError> {
+        let live = self.sessions.len();
+        let over_cap = self.max_sessions.is_some_and(|limit| live >= limit);
+        if over_cap || failpoint::fire("service::admit", session) {
+            self.counters.rejected_sessions += 1;
+            return Err(QueryError::SessionLimit {
+                limit: self.max_sessions.unwrap_or(live),
+            });
+        }
+        Ok(())
+    }
+
     /// Opens a named session over a loaded design.
     pub fn open(
         &mut self,
@@ -762,6 +1005,7 @@ impl SessionStore {
             .design(design)
             .cloned()
             .ok_or_else(|| QueryError::UnknownDesign(design.to_string()))?;
+        self.admit(session)?;
         self.sessions.push((
             session.to_string(),
             Slot::Live(Box::new(Session::open(design, optimizer))),
@@ -783,6 +1027,7 @@ impl SessionStore {
             }
             Some((_, Slot::InFlight)) => unreachable!("batch holds &mut self"),
         };
+        self.admit(new_session)?;
         self.sessions
             .push((new_session.to_string(), Slot::Live(Box::new(forked))));
         Ok(())
@@ -832,22 +1077,47 @@ impl SessionStore {
     /// per-session order is fixed, responses are bit-identical for
     /// every thread budget.
     ///
+    /// Admission: a batch larger than the configured cap is refused
+    /// wholesale — every request answers [`QueryError::BatchLimit`] and
+    /// none executes. Each admitted request runs under its own deadline
+    /// ([`QueryRequest::deadline`], falling back to the store-wide
+    /// default); overruns answer [`QueryError::DeadlineExpired`] and
+    /// leave the session healthy at its last committed state.
+    ///
     /// Faults: a query that panics is caught and answered
     /// [`QueryError::Panicked`]; the session is poisoned, its remaining
     /// queries in the batch answer [`QueryError::Poisoned`], and all
     /// other sessions are unaffected.
-    pub fn batch(&mut self, requests: &[(String, SessionOp)]) -> Vec<Result<OpReport, QueryError>> {
+    pub fn batch(&mut self, requests: &[QueryRequest]) -> Vec<Result<OpReport, QueryError>> {
+        if let Some(limit) = self.max_batch {
+            if requests.len() > limit {
+                self.counters.rejected_batches += 1;
+                return requests
+                    .iter()
+                    .map(|_| {
+                        Err(QueryError::BatchLimit {
+                            limit,
+                            requested: requests.len(),
+                        })
+                    })
+                    .collect();
+            }
+        }
+        self.counters.batches += 1;
+        self.counters.queries += requests.len() as u64;
+
         let mut results: Vec<Option<Result<OpReport, QueryError>>> =
             requests.iter().map(|_| None).collect();
 
         // Group request indices by session, first-appearance order.
         let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
-        for (i, (name, _)) in requests.iter().enumerate() {
-            match groups.iter_mut().find(|(n, _)| n == name) {
+        for (i, request) in requests.iter().enumerate() {
+            match groups.iter_mut().find(|(n, _)| *n == request.session) {
                 Some((_, idxs)) => idxs.push(i),
-                None => groups.push((name.clone(), vec![i])),
+                None => groups.push((request.session.clone(), vec![i])),
             }
         }
+        let group_count = groups.len();
 
         // Pull each group's session out of the store; groups whose
         // session is unknown or already poisoned are answered here.
@@ -881,6 +1151,12 @@ impl SessionStore {
         // split over the admitted sessions' selector sweeps by design
         // size — the campaign's adaptive split, reused verbatim.
         let workers = parallel::normalize_threads(self.total_threads.max(1), work.len());
+        self.last_batch = Some(BatchStats {
+            requests: requests.len(),
+            groups: group_count,
+            workers,
+        });
+        let default_deadline = self.query_deadline;
         let node_counts: Vec<usize> = work
             .iter()
             .map(|(_, _, session, _)| session.design.netlist.stats().timing_nodes)
@@ -918,14 +1194,18 @@ impl SessionStore {
                         out.push((i, Err(QueryError::Poisoned(message.clone()))));
                         continue;
                     }
-                    let op = &requests[i].1;
+                    let request = &requests[i];
+                    let deadline = request
+                        .deadline
+                        .or(default_deadline)
+                        .map_or_else(Deadline::none, Deadline::after);
                     // Failpoint `service::query` (detail: session name):
                     // panics inside the per-query isolation boundary.
                     let attempt = catch_unwind(AssertUnwindSafe(|| {
                         if failpoint::fire("service::query", name) {
                             panic!("failpoint service::query fired for `{name}`");
                         }
-                        session.execute(op, *grant)
+                        session.execute(&request.op, *grant, deadline)
                     }));
                     match attempt {
                         Ok(result) => out.push((i, result)),
@@ -988,10 +1268,80 @@ impl SessionStore {
             entry.1 = slot;
         }
 
-        results
+        let results: Vec<Result<OpReport, QueryError>> = results
             .into_iter()
             .map(|r| r.expect("every request index is answered exactly once"))
-            .collect()
+            .collect();
+        self.counters.deadline_expired += results
+            .iter()
+            .filter(|r| matches!(r, Err(QueryError::DeadlineExpired)))
+            .count() as u64;
+        results
+    }
+
+    /// A deterministic snapshot of the store's health: configuration,
+    /// per-session rows (in open order), admission counters, and the
+    /// most recent batch's scheduling shape. Contains counts only — no
+    /// wall clocks — so identical request histories report identical
+    /// stats. The thread grants are what a batch touching *every* live
+    /// session would receive; smaller batches split the same budget over
+    /// fewer sessions.
+    pub fn stats(&self) -> StoreStats {
+        let live: Vec<(usize, usize)> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, slot))| match slot {
+                Slot::Live(s) => Some((i, s.design.netlist.stats().timing_nodes)),
+                _ => None,
+            })
+            .collect();
+        let workers = parallel::normalize_threads(self.total_threads.max(1), live.len());
+        let node_counts: Vec<usize> = live.iter().map(|&(_, n)| n).collect();
+        let grants = adaptive_thread_budgets(&node_counts, workers, self.total_threads);
+        let mut grant_by_index = vec![0usize; self.sessions.len()];
+        for (&(i, _), &grant) in live.iter().zip(&grants) {
+            grant_by_index[i] = grant;
+        }
+
+        let sessions = self
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, (name, slot))| match slot {
+                Slot::Live(s) => SessionStats {
+                    session: name.clone(),
+                    design: s.design.name.clone(),
+                    nodes: s.design.netlist.stats().timing_nodes,
+                    thread_grant: grant_by_index[i],
+                    commits: s.committed.len(),
+                    steps: s.steps_committed,
+                    snapshots: s.snapshots.len(),
+                    poisoned: s.is_poisoned(),
+                },
+                _ => SessionStats {
+                    session: name.clone(),
+                    design: String::new(),
+                    nodes: 0,
+                    thread_grant: 0,
+                    commits: 0,
+                    steps: 0,
+                    snapshots: 0,
+                    poisoned: true,
+                },
+            })
+            .collect();
+
+        StoreStats {
+            designs: self.designs.len(),
+            sessions,
+            total_threads: self.total_threads,
+            max_sessions: self.max_sessions,
+            max_batch: self.max_batch,
+            query_deadline: self.query_deadline,
+            counters: self.counters,
+            last_batch: self.last_batch,
+        }
     }
 }
 
@@ -1143,37 +1493,40 @@ mod tests {
         store
     }
 
-    fn script() -> Vec<(String, SessionOp)> {
-        let commit = |gate: &str, delta_w: f64| SessionOp::Commit {
+    fn commit_op(gate: &str, delta_w: f64) -> SessionOp {
+        SessionOp::Commit {
             gate: gate.to_string(),
             delta_w,
-        };
+        }
+    }
+
+    fn script() -> Vec<QueryRequest> {
         vec![
-            ("a".to_string(), commit("22", 1.0)),
-            ("b".to_string(), SessionOp::Step { deadline: None }),
-            (
-                "c".to_string(),
+            QueryRequest::new("a", commit_op("22", 1.0)),
+            QueryRequest::new("b", SessionOp::Step),
+            QueryRequest::new(
+                "c",
                 SessionOp::WhatIf {
                     gate: "16".to_string(),
                     delta_w: 2.0,
                 },
             ),
-            (
-                "a".to_string(),
+            QueryRequest::new(
+                "a",
                 SessionOp::Snapshot {
                     name: "m".to_string(),
                 },
             ),
-            ("b".to_string(), SessionOp::Query),
-            ("a".to_string(), commit("19", 1.0)),
-            (
-                "a".to_string(),
+            QueryRequest::new("b", SessionOp::Query),
+            QueryRequest::new("a", commit_op("19", 1.0)),
+            QueryRequest::new(
+                "a",
                 SessionOp::Rollback {
                     name: "m".to_string(),
                 },
             ),
-            ("ghost".to_string(), SessionOp::Query),
-            ("c".to_string(), SessionOp::Query),
+            QueryRequest::new("ghost", SessionOp::Query),
+            QueryRequest::new("c", SessionOp::Query),
         ]
     }
 
@@ -1218,8 +1571,8 @@ mod tests {
     #[test]
     fn a_panicking_query_poisons_only_its_session_and_rollback_revives() {
         let mut store = seeded_store(2);
-        let prep = store.batch(&[(
-            "b".to_string(),
+        let prep = store.batch(&[QueryRequest::new(
+            "b",
             SessionOp::Snapshot {
                 name: "safe".to_string(),
             },
@@ -1228,16 +1581,10 @@ mod tests {
 
         let guard = arm("service::query", Some("b"), FaultAction::Panic);
         let got = store.batch(&[
-            (
-                "a".to_string(),
-                SessionOp::Commit {
-                    gate: "22".to_string(),
-                    delta_w: 1.0,
-                },
-            ),
-            ("b".to_string(), SessionOp::Query),
-            ("b".to_string(), SessionOp::Query),
-            ("c".to_string(), SessionOp::Query),
+            QueryRequest::new("a", commit_op("22", 1.0)),
+            QueryRequest::new("b", SessionOp::Query),
+            QueryRequest::new("b", SessionOp::Query),
+            QueryRequest::new("c", SessionOp::Query),
         ]);
         drop(guard);
 
@@ -1249,18 +1596,18 @@ mod tests {
         // The poisoning persists across batches...
         let session_b = store.session("b").expect("b still occupies its name");
         assert!(session_b.is_poisoned());
-        let later = store.batch(&[("b".to_string(), SessionOp::Query)]);
+        let later = store.batch(&[QueryRequest::new("b", SessionOp::Query)]);
         assert!(matches!(&later[0], Err(QueryError::Poisoned(_))));
 
         // ...until a rollback to a pre-fault snapshot revives it.
         let revived = store.batch(&[
-            (
-                "b".to_string(),
+            QueryRequest::new(
+                "b",
                 SessionOp::Rollback {
                     name: "safe".to_string(),
                 },
             ),
-            ("b".to_string(), SessionOp::Query),
+            QueryRequest::new("b", SessionOp::Query),
         ]);
         assert!(revived[0].is_ok(), "rollback failed: {:?}", revived[0]);
         assert!(
@@ -1301,5 +1648,153 @@ mod tests {
             Err(QueryError::UnknownSession(_))
         ));
         assert_eq!(store.session_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn session_cap_refuses_open_and_fork_until_a_close_frees_a_slot() {
+        let mut store = SessionStore::new().with_max_sessions(2);
+        store.add_design(c17_design("c17")).expect("add design");
+        store.open("a", "c17", optimizer()).expect("open a");
+        store.open("b", "c17", optimizer()).expect("open b");
+        assert!(matches!(
+            store.open("c", "c17", optimizer()),
+            Err(QueryError::SessionLimit { limit: 2 })
+        ));
+        assert!(matches!(
+            store.fork("d", "a"),
+            Err(QueryError::SessionLimit { limit: 2 })
+        ));
+        // Structural errors still win over the capacity answer.
+        assert!(matches!(
+            store.open("a", "c17", optimizer()),
+            Err(QueryError::DuplicateSession(_))
+        ));
+        assert!(matches!(
+            store.fork("d", "ghost"),
+            Err(QueryError::UnknownSession(_))
+        ));
+        store.close("b").expect("close");
+        store.fork("d", "a").expect("fork after a slot freed");
+        assert_eq!(store.session_names(), vec!["a", "d"]);
+        assert_eq!(store.stats().counters.rejected_sessions, 2);
+    }
+
+    #[test]
+    fn oversize_batches_are_refused_wholesale() {
+        let mut store = seeded_store(0);
+        store = store.with_max_batch(2);
+        let requests = vec![
+            QueryRequest::new("a", SessionOp::Query),
+            QueryRequest::new("b", SessionOp::Query),
+            QueryRequest::new("c", SessionOp::Query),
+        ];
+        let got = store.batch(&requests);
+        assert_eq!(got.len(), 3);
+        for result in &got {
+            assert!(matches!(
+                result,
+                Err(QueryError::BatchLimit {
+                    limit: 2,
+                    requested: 3
+                })
+            ));
+        }
+        // Nothing executed: the same queries still succeed afterwards.
+        let ok = store.batch(&requests[..2]);
+        assert!(ok.iter().all(|r| r.is_ok()));
+        let stats = store.stats();
+        assert_eq!(stats.counters.rejected_batches, 1);
+        assert_eq!(stats.counters.batches, 1);
+        assert_eq!(stats.counters.queries, 2);
+    }
+
+    #[test]
+    fn an_expired_deadline_is_typed_and_leaves_the_session_healthy() {
+        let mut store = seeded_store(0);
+        let mut request = QueryRequest::new("a", SessionOp::Step);
+        request.deadline = Some(Duration::ZERO);
+        let got = store.batch(&[
+            request,
+            QueryRequest::new("a", commit_op("22", 1.0)),
+            QueryRequest::new("a", SessionOp::Query),
+        ]);
+        assert!(matches!(&got[0], Err(QueryError::DeadlineExpired)));
+        assert!(got[1].is_ok(), "session poisoned by deadline: {:?}", got[1]);
+        assert!(got[2].is_ok());
+        let session = store.session("a").expect("a");
+        assert!(!session.is_poisoned());
+        assert_eq!(session.committed().len(), 1, "only the commit landed");
+        assert_eq!(store.stats().counters.deadline_expired, 1);
+
+        // The store-wide default applies when the request carries none,
+        // and a per-request deadline overrides it.
+        let mut store = seeded_store(0);
+        store = store.with_query_deadline(Duration::ZERO);
+        let got = store.batch(&[QueryRequest::new("a", SessionOp::Query)]);
+        assert!(matches!(&got[0], Err(QueryError::DeadlineExpired)));
+        let mut roomy = QueryRequest::new("a", SessionOp::Query);
+        roomy.deadline = Some(Duration::from_secs(3600));
+        let got = store.batch(&[roomy]);
+        assert!(got[0].is_ok(), "override lost to default: {:?}", got[0]);
+    }
+
+    #[test]
+    fn stats_reports_sessions_counters_and_batch_shape() {
+        let mut store = seeded_store(4);
+        store = store.with_max_sessions(8).with_max_batch(16);
+        store.batch(&script());
+        let stats = store.stats();
+        assert_eq!(stats.designs, 1);
+        assert_eq!(stats.total_threads, 4);
+        assert_eq!(stats.max_sessions, Some(8));
+        assert_eq!(stats.max_batch, Some(16));
+        assert_eq!(stats.counters.batches, 1);
+        assert_eq!(stats.counters.queries, 9);
+        let shape = stats.last_batch.expect("a batch ran");
+        assert_eq!(shape.requests, 9);
+        assert_eq!(shape.groups, 4, "a, b, c, ghost");
+        assert_eq!(shape.workers, 3, "only three sessions resolved");
+
+        let names: Vec<&str> = stats.sessions.iter().map(|s| s.session.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        let a = &stats.sessions[0];
+        assert_eq!(a.design, "c17");
+        assert!(a.nodes > 0);
+        assert!(a.thread_grant >= 1);
+        assert_eq!(a.commits, 1, "second commit was rolled back");
+        assert_eq!(a.snapshots, 1);
+        assert!(!a.poisoned);
+        let b = &stats.sessions[1];
+        assert_eq!(b.steps, 1);
+        assert!(b.commits >= 1, "the step committed its records");
+
+        // Stats are deterministic: same history, same answer.
+        let mut again = seeded_store(4);
+        again = again.with_max_sessions(8).with_max_batch(16);
+        again.batch(&script());
+        assert_eq!(again.stats(), stats);
+    }
+
+    #[test]
+    fn admit_failpoint_forces_a_typed_capacity_rejection() {
+        let mut store = SessionStore::new();
+        store.add_design(c17_design("c17")).expect("add design");
+        store.open("a", "c17", optimizer()).expect("open a");
+        let guard = arm("service::admit", Some("b"), FaultAction::Trigger);
+        assert!(matches!(
+            store.open("b", "c17", optimizer()),
+            Err(QueryError::SessionLimit { limit: 1 })
+        ));
+        assert!(matches!(
+            store.fork("b", "a"),
+            Err(QueryError::SessionLimit { limit: 1 })
+        ));
+        // Other session names are unaffected by the armed detail.
+        store.open("c", "c17", optimizer()).expect("open c");
+        drop(guard);
+        store
+            .open("b", "c17", optimizer())
+            .expect("open b after disarm");
+        assert_eq!(store.stats().counters.rejected_sessions, 2);
     }
 }

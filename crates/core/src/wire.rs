@@ -15,6 +15,7 @@
 //! simply `format!` floats with `Display` and strings through
 //! [`escape`]; there is no writer object to misuse.
 
+use crate::failpoint;
 use std::fmt;
 
 /// FNV-1a over a byte string — the content hash behind journal keys and
@@ -167,6 +168,74 @@ pub fn get_bool(obj: &[(String, Json)], name: &str) -> Result<bool, String> {
         Json::Bool(b) => Ok(*b),
         _ => Err(format!("field `{name}` is not a boolean")),
     }
+}
+
+/// The parsed contents of one line-oriented record log (see
+/// [`read_line_log`]): successfully parsed entries and quarantined
+/// corrupt lines, both tagged with their 1-based line numbers.
+#[derive(Debug, Clone)]
+pub struct LineLog<T> {
+    /// Parsed entries in file order, each with its 1-based line number.
+    pub entries: Vec<(usize, T)>,
+    /// Lines that failed to parse (torn appends, garbled bytes), each
+    /// with its 1-based line number and the parse failure.
+    pub corrupt: Vec<(usize, String)>,
+}
+
+/// Reads a line-oriented record log: a mandatory header line followed by
+/// one record per line, in the hand-rolled single-line JSON style shared
+/// by the campaign [`Journal`](crate::Journal) and the serve-mode
+/// session WAL.
+///
+/// The two surfaces share the same robustness posture, implemented once
+/// here: the *header* is checked strictly (an unrecognized header means
+/// the whole file is of unknown provenance — a hard error), while
+/// *entry* corruption is quarantined per line so a torn tail from a
+/// crash mid-append never takes the readable prefix down with it. Blank
+/// lines are skipped. How quarantined lines are treated — keyed
+/// last-write-wins for the journal, durable-prefix truncation for the
+/// WAL — is the caller's policy, applied to the returned [`LineLog`].
+///
+/// `failpoint_site` names the fault-injection site fired per entry line
+/// (with the 1-based line number as detail); a triggered fault truncates
+/// the line to half its length before parsing, simulating a torn append.
+///
+/// # Errors
+///
+/// Returns a message when the header line is missing or mismatched.
+pub fn read_line_log<T>(
+    text: &str,
+    header: &str,
+    failpoint_site: &str,
+    mut parse_entry: impl FnMut(&str) -> Result<T, String>,
+) -> Result<LineLog<T>, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == header => {}
+        _ => {
+            return Err(format!(
+                "missing or unrecognized header (expected `{header}`)"
+            ))
+        }
+    }
+    let mut entries = Vec::new();
+    let mut corrupt = Vec::new();
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = if failpoint::fire(failpoint_site, &line_no.to_string()) {
+            &raw[..raw.len() / 2]
+        } else {
+            raw
+        };
+        match parse_entry(line) {
+            Ok(entry) => entries.push((line_no, entry)),
+            Err(message) => corrupt.push((line_no, message)),
+        }
+    }
+    Ok(LineLog { entries, corrupt })
 }
 
 /// Parses one complete JSON document (trailing bytes are an error, so a
@@ -433,6 +502,43 @@ mod tests {
         let original = "weird \"name\"\\with\tescapes\u{2}";
         let line = format!("\"{}\"", escape(original));
         assert_eq!(parse(&line).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn line_log_reader_checks_header_and_quarantines_entries() {
+        let parse = |line: &str| {
+            let v = parse(line)?;
+            let obj = v.as_object().ok_or("not an object")?;
+            get_usize(obj, "n")
+        };
+        let log = read_line_log(
+            "{\"h\":1}\n{\"n\":1}\n\n{\"n\":tor\n{\"n\":3}\n",
+            "{\"h\":1}",
+            "wire_test::read",
+            parse,
+        )
+        .expect("valid header");
+        assert_eq!(log.entries, vec![(2, 1), (5, 3)]);
+        assert_eq!(log.corrupt.len(), 1);
+        assert_eq!(log.corrupt[0].0, 4);
+        // A wrong (or absent) header is a hard error, not quarantine.
+        assert!(read_line_log("{\"other\":2}\n{\"n\":1}\n", "{\"h\":1}", "s", parse).is_err());
+        assert!(read_line_log("", "{\"h\":1}", "s", parse).is_err());
+        // An armed failpoint tears the matching line before parsing.
+        let _fp = crate::failpoint::arm(
+            "wire_test::read",
+            Some("2"),
+            crate::failpoint::FaultAction::Trigger,
+        );
+        let log = read_line_log(
+            "{\"h\":1}\n{\"n\":1}\n{\"n\":2}\n",
+            "{\"h\":1}",
+            "wire_test::read",
+            parse,
+        )
+        .expect("header fine");
+        assert_eq!(log.entries, vec![(3, 2)]);
+        assert_eq!(log.corrupt.len(), 1);
     }
 
     #[test]

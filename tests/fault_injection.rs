@@ -14,8 +14,10 @@
 #![cfg(feature = "failpoints")]
 
 use statsize::failpoint::{arm, FaultAction};
+use statsize::wal::{self, Wal};
 use statsize::{Campaign, CampaignJob, JobOutcome, JobStage, Journal, Objective, SelectorKind};
 use statsize_bench::campaign::render_report;
+use statsize_bench::serve::Server;
 use statsize_cells::CellLibrary;
 use statsize_netlist::bench;
 use std::path::PathBuf;
@@ -184,4 +186,119 @@ fn injected_journal_corruption_quarantines_and_reruns() {
     assert_eq!(report.counts().completed, 2);
     assert_eq!(render_report(&report, "T(99%)", false), uninterrupted);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The serve-mode transcript behind the WAL fault tests. The armed
+/// record kind (`step`) arrives only at line 5, so four durable records
+/// land before the injected tear.
+const WAL_SCRIPT: [&str; 6] = [
+    r#"{"id":1,"op":"load","design":"c17"}"#,
+    r#"{"id":2,"op":"open","session":"main","design":"c17","iters":4}"#,
+    r#"{"id":3,"op":"commit","session":"main","gate":"22","delta_w":1}"#,
+    r#"{"id":4,"op":"snapshot","session":"main","name":"base"}"#,
+    r#"{"id":5,"op":"step","session":"main"}"#,
+    r#"{"id":6,"op":"commit","session":"main","gate":"16","delta_w":1}"#,
+];
+
+fn drive(server: &mut Server, lines: &[&str]) -> Vec<String> {
+    lines
+        .iter()
+        .filter_map(|line| server.handle_line(line))
+        .collect()
+}
+
+#[test]
+fn injected_torn_wal_append_recovers_to_the_durable_prefix() {
+    // Rig the WAL writer to crash mid-write on the first `step` record:
+    // half the line's bytes land (no newline) and the writer goes
+    // permanently quiet, exactly like a process killed inside `write`.
+    let dir = scratch_dir("wal-append");
+    let path = dir.join("serve.wal");
+    let _fp = arm("wal::append", Some("step"), FaultAction::Trigger);
+    let mut server = Server::new().with_wal(Wal::create(&path).expect("create WAL"));
+    drive(&mut server, &WAL_SCRIPT);
+    drop(server);
+
+    // Recovery is not a hard error: the torn tail is quarantined and
+    // the four records before the tear replay.
+    let contents = wal::read(&path).expect("a torn tail is quarantined, not fatal");
+    assert_eq!(contents.records.len(), 4, "load/open/commit/snapshot");
+    assert_eq!(contents.quarantined.len(), 1, "the half-written step line");
+    assert!(!contents.sealed);
+    let mut recovered = Server::new();
+    recovered.restore(&contents).expect("prefix replays");
+
+    // The recovered state equals a fresh server fed only the requests
+    // whose records became durable — later mutations are honestly lost.
+    let probe = r#"{"id":9,"op":"query","session":"main"}"#;
+    let mut reference = Server::new();
+    drive(&mut reference, &WAL_SCRIPT[..4]);
+    assert_eq!(
+        drive(&mut recovered, &[probe]),
+        drive(&mut reference, &[probe])
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_read_time_corruption_truncates_the_wal_history() {
+    // Write a healthy WAL, then rig the *reader* to tear line 4 (the
+    // commit record — the header is line 1). Everything from the tear on
+    // is quarantined: history cannot be trusted past a torn line.
+    let dir = scratch_dir("wal-replay");
+    let path = dir.join("serve.wal");
+    let mut server = Server::new().with_wal(Wal::create(&path).expect("create WAL"));
+    drive(&mut server, &WAL_SCRIPT);
+    drop(server);
+
+    let _fp = arm("wal::replay", Some("4"), FaultAction::Trigger);
+    let contents = wal::read(&path).expect("read-time corruption is quarantined");
+    assert_eq!(
+        contents.records.len(),
+        2,
+        "only load + open precede the tear"
+    );
+    assert!(
+        contents.quarantined.len() >= 2,
+        "the torn line and everything after it: {:?}",
+        contents.quarantined
+    );
+    let mut recovered = Server::new();
+    recovered
+        .restore(&contents)
+        .expect("the short prefix replays");
+    let response = drive(
+        &mut recovered,
+        &[r#"{"id":9,"op":"query","session":"main"}"#],
+    );
+    assert!(
+        response[0].contains("\"commits\":0"),
+        "the torn-away commit must not resurface: {}",
+        response[0]
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_admission_refusal_is_typed_and_scoped_to_its_session() {
+    // `service::admit` forces the capacity check to fail for one session
+    // name, with no cap configured — proving the rejection path is typed
+    // and leaves the rest of the table untouched.
+    let _fp = arm("service::admit", Some("fi-victim"), FaultAction::Trigger);
+    let mut server = Server::new();
+    drive(&mut server, &[r#"{"id":1,"op":"load","design":"c17"}"#]);
+    let refused = drive(
+        &mut server,
+        &[r#"{"id":2,"op":"open","session":"fi-victim","design":"c17"}"#],
+    );
+    assert!(
+        refused[0].contains("\"ok\":false") && refused[0].contains("\"code\":\"session_limit\""),
+        "{}",
+        refused[0]
+    );
+    let admitted = drive(
+        &mut server,
+        &[r#"{"id":3,"op":"open","session":"fi-other","design":"c17"}"#],
+    );
+    assert!(admitted[0].contains("\"ok\":true"), "{}", admitted[0]);
 }

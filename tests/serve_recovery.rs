@@ -1,0 +1,133 @@
+//! Crash-recovery byte-identity for the serve-mode WAL: kill the server
+//! at **every** request boundary, restart from the write-ahead log, and
+//! the concatenated responses (pre-crash + post-recovery) must be
+//! byte-for-byte what an uninterrupted run produces — the acceptance
+//! bar for durable serve mode. The session core's fork ≡ fresh-replay
+//! invariant is what makes WAL replay a proof rather than a best
+//! effort; these tests pin it end to end through the JSONL front-end.
+
+use statsize::wal::{self, Wal};
+use statsize_bench::serve::Server;
+use std::path::PathBuf;
+
+/// A transcript touching every durable record kind: load, open, commit,
+/// snapshot, fork, step (committed moves), rollback (discards commits),
+/// close — plus speculative/read-only ops that must leave no WAL trace.
+/// No `stats` lines: admission counters are serving-process state, not
+/// session state, and are deliberately not durable.
+fn script() -> Vec<&'static str> {
+    vec![
+        r#"{"id":1,"op":"load","design":"c17"}"#,
+        r#"{"id":2,"op":"open","session":"main","design":"c17","iters":6}"#,
+        r#"{"id":3,"op":"commit","session":"main","gate":"22","delta_w":1}"#,
+        r#"{"id":4,"op":"snapshot","session":"main","name":"base"}"#,
+        r#"{"id":5,"op":"fork","session":"alt","from":"main"}"#,
+        r#"{"id":6,"op":"step","session":"alt"}"#,
+        r#"{"id":7,"op":"batch","requests":[{"op":"what_if","session":"main","gate":"16","delta_w":2},{"op":"commit","session":"alt","gate":"19","delta_w":1},{"op":"query","session":"main"}]}"#,
+        r#"{"id":8,"op":"rollback","session":"main","name":"base"}"#,
+        r#"{"id":9,"op":"step","session":"main"}"#,
+        r#"{"id":10,"op":"query","session":"alt"}"#,
+        r#"{"id":11,"op":"close","session":"alt"}"#,
+        r#"{"id":12,"op":"query","session":"main"}"#,
+    ]
+}
+
+fn drive(server: &mut Server, lines: &[&str]) -> Vec<String> {
+    lines
+        .iter()
+        .filter_map(|line| server.handle_line(line))
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("statsize-serve-recovery-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn crash_at_every_line_boundary_recovers_byte_identically() {
+    let lines = script();
+    for budget in [0usize, 4] {
+        let reference = drive(&mut Server::new().with_total_threads(budget), &lines);
+        assert!(
+            reference.iter().all(|r| r.contains("\"ok\":true")),
+            "{reference:?}"
+        );
+        let dir = temp_dir(&format!("split-{budget}"));
+        let path = dir.join("wal.jsonl");
+        for split in 0..=lines.len() {
+            let mut before = Server::new()
+                .with_total_threads(budget)
+                .with_wal(Wal::create(&path).unwrap());
+            let mut responses = drive(&mut before, &lines[..split]);
+            drop(before); // crash: the WAL is never sealed
+
+            let contents = wal::read(&path).unwrap();
+            assert!(
+                contents.quarantined.is_empty(),
+                "whole-line appends never tear: {:?}",
+                contents.quarantined
+            );
+            assert!(!contents.sealed, "a crash leaves no seal");
+            let mut after = Server::new().with_total_threads(budget);
+            after.restore(&contents).unwrap();
+            responses.extend(drive(&mut after, &lines[split..]));
+            assert_eq!(
+                responses, reference,
+                "split at {split} under budget {budget} diverged"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn double_crash_recovers_through_the_recovered_wal() {
+    let lines = script();
+    let reference = drive(&mut Server::new(), &lines);
+    let dir = temp_dir("double");
+    let first = dir.join("wal-1.jsonl");
+    let second = dir.join("wal-2.jsonl");
+
+    let mut a = Server::new().with_wal(Wal::create(&first).unwrap());
+    let mut responses = drive(&mut a, &lines[..5]);
+    drop(a); // first crash
+
+    // The recovering server re-checkpoints the restored history into
+    // its own WAL, so a second crash loses nothing either.
+    let contents = wal::read(&first).unwrap();
+    let mut b = Server::new().with_wal(Wal::create(&second).unwrap());
+    b.restore(&contents).unwrap();
+    responses.extend(drive(&mut b, &lines[5..9]));
+    drop(b); // second crash
+
+    let contents = wal::read(&second).unwrap();
+    let mut c = Server::new();
+    c.restore(&contents).unwrap();
+    responses.extend(drive(&mut c, &lines[9..]));
+    assert_eq!(responses, reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_shutdown_seals_and_recovers_identically() {
+    let lines = script();
+    let reference = drive(&mut Server::new(), &lines);
+    let dir = temp_dir("sealed");
+    let path = dir.join("wal.jsonl");
+
+    let mut server = Server::new().with_wal(Wal::create(&path).unwrap());
+    let head = drive(&mut server, &lines[..8]);
+    server.finish(); // clean stop
+    drop(server);
+
+    let contents = wal::read(&path).unwrap();
+    assert!(contents.sealed, "finish() must seal the WAL");
+    let mut recovered = Server::new();
+    recovered.restore(&contents).unwrap();
+    let mut responses = head;
+    responses.extend(drive(&mut recovered, &lines[8..]));
+    assert_eq!(responses, reference);
+    std::fs::remove_dir_all(&dir).ok();
+}

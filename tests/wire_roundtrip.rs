@@ -1,0 +1,149 @@
+//! Property test: `wire::parse` inverts a canonical JSON renderer over
+//! generated [`Json`] values — objects in document order, strings full
+//! of escape-worthy characters, numbers including negative zero and
+//! exact integers. Two laws are pinned per case:
+//!
+//! 1. **value identity** — `parse(render(j)) == j`;
+//! 2. **byte stability** — re-rendering the parsed value reproduces the
+//!    original line byte-for-byte (this is the stronger claim: it
+//!    catches `-0.0` sign loss and float-formatting drift that `==` on
+//!    `f64` forgives).
+//!
+//! The vendored proptest stub has no recursive strategies, so trees are
+//! folded from flat token vectors inside `prop_map` with a bounded
+//! nesting depth.
+
+use proptest::collection;
+use proptest::prelude::*;
+use statsize::wire::{self, Json};
+
+/// Fragments chosen to stress every escaping path: quotes, backslashes,
+/// the named control escapes, raw control characters (`\u` escapes),
+/// whitespace, and multi-byte UTF-8.
+const PALETTE: [&str; 16] = [
+    "", "a", "Z9", "\"", "\\", "\n", "\t", "\r", "\u{8}", "\u{c}", "\u{1}", "\u{1f}", " ", "π",
+    "日本", "😀",
+];
+
+fn string_from(seed: u64) -> String {
+    (0..4)
+        .map(|i| PALETTE[((seed >> (4 * i)) & 0xf) as usize])
+        .collect()
+}
+
+/// One generated token per top-level field: a value-kind discriminant, a
+/// number, a string seed, and a truncate-to-integer flag.
+type Token = (u32, f64, u64, bool);
+
+/// Folds flat tokens into a bounded-depth tree — every `Json` variant is
+/// reachable, containers nest at most three levels.
+fn build(tokens: &[Token]) -> Json {
+    let fields = tokens
+        .iter()
+        .enumerate()
+        .map(|(i, &(kind, raw, seed, int))| {
+            // `trunc()` of a small negative number is `-0.0`, so the
+            // negative-zero path is exercised naturally.
+            let num = if int { raw.trunc() } else { raw };
+            let value = match kind % 8 {
+                0 => Json::Num(num),
+                1 => Json::Str(string_from(seed)),
+                2 => Json::Bool(int),
+                3 => Json::Null,
+                4 => Json::Array(vec![
+                    Json::Num(num),
+                    Json::Str(string_from(seed.rotate_left(8))),
+                    Json::Null,
+                ]),
+                5 => Json::Object(vec![
+                    ("n".to_string(), Json::Num(num)),
+                    (string_from(seed.rotate_left(16)), Json::Bool(!int)),
+                ]),
+                6 => Json::Array(vec![Json::Array(vec![Json::Object(vec![(
+                    "deep".to_string(),
+                    Json::Num(num),
+                )])])]),
+                _ => Json::Object(vec![(
+                    "a".to_string(),
+                    Json::Array(vec![Json::Object(vec![]), Json::Array(vec![])]),
+                )]),
+            };
+            // The index prefix keeps keys unique; the suffix drags
+            // escape-worthy characters through the *key* path too.
+            (
+                format!("k{i}-{}", string_from(seed.rotate_right(24))),
+                value,
+            )
+        })
+        .collect();
+    Json::Object(fields)
+}
+
+/// The canonical renderer under test: insertion-ordered fields, no
+/// whitespace, [`wire::escape`] for strings, `Display` for numbers —
+/// exactly the shape the serve-mode responses and WAL records emit.
+fn render(value: &Json) -> String {
+    match value {
+        Json::Object(fields) => {
+            let body: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", wire::escape(k), render(v)))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+        Json::Array(items) => {
+            let body: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", body.join(","))
+        }
+        Json::Str(s) => format!("\"{}\"", wire::escape(s)),
+        Json::Num(n) => format!("{n}"),
+        Json::Bool(b) => format!("{b}"),
+        Json::Null => "null".to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_inverts_render(
+        tokens in collection::vec((0u32..8, -1e9f64..1e9, any::<u64>(), any::<bool>()), 0..10)
+    ) {
+        let value = build(&tokens);
+        let line = render(&value);
+        let parsed = match wire::parse(&line) {
+            Ok(parsed) => parsed,
+            Err(e) => return Err(TestCaseError::fail(format!("parse failed on {line:?}: {e}"))),
+        };
+        prop_assert_eq!(&parsed, &value, "value identity lost for {}", line);
+        prop_assert_eq!(render(&parsed), line, "re-render drifted");
+    }
+}
+
+#[test]
+fn negative_zero_survives_with_its_sign_bit() {
+    let parsed = wire::parse("-0").unwrap();
+    let Json::Num(n) = parsed else {
+        panic!("expected a number, got {parsed:?}")
+    };
+    assert_eq!(n, 0.0);
+    assert!(n.is_sign_negative(), "-0.0 lost its sign");
+    assert_eq!(render(&Json::Num(n)), "-0");
+}
+
+#[test]
+fn non_finite_renderings_are_rejected_not_absorbed() {
+    // `Display` for f64 produces `NaN` / `inf` / `-inf`; none of these
+    // are JSON, and the parser must refuse rather than guess.
+    for bad in ["NaN", "inf", "-inf", "[NaN]", "{\"a\":inf}", "1e999x"] {
+        assert!(wire::parse(bad).is_err(), "{bad:?} should not parse");
+    }
+    // ...which is why every number the serve layer renders is finite by
+    // construction (deadlines, widths, and delays are all validated).
+    assert!(
+        format!("{}", f64::NAN).parse::<f64>().is_ok(),
+        "sanity: Display really emits NaN"
+    );
+    assert!(wire::parse(&format!("{}", f64::NAN)).is_err());
+    assert!(wire::parse(&format!("{}", f64::INFINITY)).is_err());
+}
