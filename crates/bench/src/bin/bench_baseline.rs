@@ -11,10 +11,12 @@
 //! once per process, so one run can cover every tier), an end-to-end
 //! `cone_walk` over generated benchmark circuits, whole pruned
 //! selection sweeps at 1/2/4/8 worker threads (`pruned_parallel/*`),
-//! a 3-circuit sharded campaign (`campaign/*`), and serve-mode query
-//! latency (`service_query/*`: cold from-scratch re-analysis vs a warm
-//! session's incremental `what_if`), with a deterministic sample loop,
-//! and emits one JSON object per operation/size pair.
+//! a 3-circuit sharded campaign (`campaign/*`), result-store campaign
+//! paths (`campaign_store/*`: cold vs cache-replayed vs warm-started
+//! delta run), and serve-mode query latency (`service_query/*`: cold
+//! from-scratch re-analysis vs a warm session's incremental `what_if`),
+//! with a deterministic sample loop, and emits one JSON object per
+//! operation/size pair.
 //!
 //! Usage: `cargo run --release -p statsize-bench --bin bench_baseline
 //! [--out=PATH] [--quick] [--compare=PATH]`
@@ -28,8 +30,8 @@
 //!   Purely informational: no thresholds, never fails.
 
 use statsize::{
-    Campaign, CampaignJob, Design, Objective, Optimizer, PrunedSelector, SelectorKind, Session,
-    TimedCircuit,
+    Campaign, CampaignJob, Design, Objective, Optimizer, PrunedSelector, ResultStore, SelectorKind,
+    Session, TimedCircuit,
 };
 use statsize_bench::emit::JsonObject;
 use statsize_bench::suite;
@@ -359,6 +361,48 @@ fn main() {
                 }),
             );
         }
+    }
+
+    // Result-store campaign paths over one mid-size circuit: `cold` is
+    // the storeless reference, `cached` replays the identical scenario
+    // from a pre-populated store (zero optimizer sweeps — the price is
+    // store open + outcome clone), and `warm` runs a delta scenario
+    // (different `dt`) warm-started from the stored sizing vector.
+    {
+        let jobs = vec![CampaignJob::new("c432", suite::build_circuit("c432", 1))];
+        let lib = CellLibrary::synthetic_180nm();
+        let campaign =
+            Campaign::new(Objective::percentile(0.99), SelectorKind::Pruned).with_max_iterations(2);
+        record(
+            "campaign_store/c432/cold".to_string(),
+            measure(effort, || {
+                black_box(campaign.run(black_box(&jobs), &lib));
+            }),
+        );
+        let dir = std::env::temp_dir().join(format!("statsize-bench-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create store scratch dir");
+        let path = dir.join("store.jsonl");
+        let mut seed_store = ResultStore::create(&path).expect("create result store");
+        campaign.run_with_store(&jobs, &lib, None, Some(&mut seed_store));
+        drop(seed_store);
+        record(
+            "campaign_store/c432/cached".to_string(),
+            measure(effort, || {
+                let mut store = ResultStore::open_read_only(&path).expect("open result store");
+                black_box(campaign.run_with_store(black_box(&jobs), &lib, None, Some(&mut store)));
+            }),
+        );
+        let delta = Campaign::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_max_iterations(2)
+            .with_dt(2.5);
+        record(
+            "campaign_store/c432/warm".to_string(),
+            measure(effort, || {
+                let mut store = ResultStore::open_read_only(&path).expect("open result store");
+                black_box(delta.run_with_store(black_box(&jobs), &lib, None, Some(&mut store)));
+            }),
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     // Serve-mode query latency: what a warm session saves. `cold` is the

@@ -9,7 +9,8 @@
 //!     [--out=PATH] [--iters=N] [--dt=PS] [--seed=N] [--threads=N] \
 //!     [--selector=pruned|brute|deterministic|heuristic:K] [--timing] \
 //!     [--journal=PATH | --resume=PATH] [--deadline-ms=N] \
-//!     [--fallback=SELECTOR] [--fail-fast]
+//!     [--fallback=SELECTOR] [--fail-fast] \
+//!     [--store=PATH | --store-readonly=PATH] [--no-store]
 //! ```
 //!
 //! * `--corpus-dir=DIR` — load every `*.bench` file in `DIR` (sorted by
@@ -40,6 +41,19 @@
 //!   completion is marked `degraded`.
 //! * `--fail-fast` — stop scheduling new jobs after the first fault and
 //!   refuse quarantined corpus files up front.
+//! * `--store=PATH` — consult and grow a cross-campaign result store at
+//!   `PATH` (created if absent). A job whose full scenario key — netlist
+//!   content, library and variation fingerprints, `--dt`, objective,
+//!   selector configuration, corpus seed — is already on record is
+//!   served from the store (`cached` status) without running the
+//!   optimizer; a job matching a stored scenario except for the
+//!   objective or `--dt` warm-starts from the stored sizing vector
+//!   (`warm_started` in the report). Torn trailing lines are
+//!   quarantined; their scenarios re-run and re-record.
+//! * `--store-readonly=PATH` — consult an existing store (hard error if
+//!   missing) without recording new results.
+//! * `--no-store` — ignore any `--store`/`--store-readonly` earlier on
+//!   the command line; run every job cold.
 //!
 //! Exit status: `2` for hard errors (bad arguments, unreadable corpus
 //! directory or journal, unwritable report), `1` when any job failed,
@@ -47,7 +61,7 @@
 //! otherwise. Quarantined (`skipped`) jobs alone do not fail the run
 //! unless `--fail-fast` is set.
 
-use statsize::{Campaign, CampaignJob, JobOutcome, Journal, Objective, SelectorKind};
+use statsize::{Campaign, CampaignJob, JobOutcome, Journal, Objective, ResultStore, SelectorKind};
 use statsize_bench::emit::{ps_as_ns, Table};
 use statsize_bench::{campaign, suite};
 use statsize_cells::CellLibrary;
@@ -71,6 +85,9 @@ struct Args {
     deadline_ms: Option<u64>,
     fallback: Option<SelectorKind>,
     fail_fast: bool,
+    store: Option<String>,
+    store_readonly: Option<String>,
+    no_store: bool,
 }
 
 fn usage(arg: &str) -> ! {
@@ -80,7 +97,7 @@ fn usage(arg: &str) -> ! {
          --out=PATH --iters=N --dt=PS --seed=N --threads=N \
          --selector=pruned|brute|deterministic|heuristic:K --timing \
          --journal=PATH --resume=PATH --deadline-ms=N --fallback=SELECTOR \
-         --fail-fast"
+         --fail-fast --store=PATH --store-readonly=PATH --no-store"
     );
     std::process::exit(2);
 }
@@ -114,6 +131,9 @@ fn parse_args() -> Args {
         deadline_ms: None,
         fallback: None,
         fail_fast: false,
+        store: None,
+        store_readonly: None,
+        no_store: false,
     };
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--corpus-dir=") {
@@ -146,6 +166,12 @@ fn parse_args() -> Args {
             args.fallback = Some(parse_selector(v));
         } else if arg == "--fail-fast" {
             args.fail_fast = true;
+        } else if let Some(v) = arg.strip_prefix("--store=") {
+            args.store = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--store-readonly=") {
+            args.store_readonly = Some(v.to_string());
+        } else if arg == "--no-store" {
+            args.no_store = true;
         } else {
             usage(&arg);
         }
@@ -153,6 +179,14 @@ fn parse_args() -> Args {
     if args.journal.is_some() && args.resume.is_some() {
         eprintln!("error: pass either --journal (fresh) or --resume (existing), not both");
         std::process::exit(2);
+    }
+    if args.store.is_some() && args.store_readonly.is_some() {
+        eprintln!("error: pass either --store (read-write) or --store-readonly, not both");
+        std::process::exit(2);
+    }
+    if args.no_store {
+        args.store = None;
+        args.store_readonly = None;
     }
     args
 }
@@ -248,6 +282,37 @@ fn main() -> ExitCode {
         _ => None,
     };
 
+    // Cross-campaign result store: read-write (--store, created if
+    // absent) or read-only (--store-readonly, must exist).
+    let mut store = match (&args.store, &args.store_readonly) {
+        (Some(path), None) => match ResultStore::open_or_create(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        (None, Some(path)) => match ResultStore::open_read_only(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => None,
+    };
+    if let Some(s) = &store {
+        for err in s.corrupt_entries() {
+            eprintln!("warning: {err}; the affected scenario will re-run");
+        }
+        println!(
+            "consulting result store {} ({} scenarios on record{})",
+            s.path().display(),
+            s.len(),
+            if s.read_only() { ", read-only" } else { "" }
+        );
+    }
+
     let objective = Objective::percentile(0.99);
     let mut campaign_cfg = Campaign::new(objective, args.selector)
         .with_max_iterations(args.iters)
@@ -265,8 +330,12 @@ fn main() -> ExitCode {
     if let Some(fallback) = args.fallback {
         campaign_cfg = campaign_cfg.with_deadline_fallback(fallback);
     }
-    let report =
-        campaign_cfg.run_resumable(&jobs, &CellLibrary::synthetic_180nm(), journal.as_mut());
+    let report = campaign_cfg.run_with_store(
+        &jobs,
+        &CellLibrary::synthetic_180nm(),
+        journal.as_mut(),
+        store.as_mut(),
+    );
 
     // Human-readable summary (always includes wall clocks).
     let mut table = Table::new([
@@ -284,7 +353,16 @@ fn main() -> ExitCode {
             JobOutcome::Completed(o) => {
                 table.row([
                     o.name.clone(),
-                    if o.degraded { "degraded" } else { "completed" }.to_string(),
+                    if o.cached {
+                        "cached"
+                    } else if o.degraded {
+                        "degraded"
+                    } else if o.warm_started {
+                        "warm"
+                    } else {
+                        "completed"
+                    }
+                    .to_string(),
                     o.nodes.to_string(),
                     o.iterations.to_string(),
                     ps_as_ns(o.initial_objective),
@@ -351,8 +429,8 @@ fn main() -> ExitCode {
     print!("{}", table.render());
     let counts = report.counts();
     println!(
-        "{} jobs ({} completed, {} degraded, {} failed, {} timed out, {} skipped, {} resumed), \
-         {} shards x {} selector threads, total {:.1} ms",
+        "{} jobs ({} completed, {} degraded, {} failed, {} timed out, {} skipped, {} resumed, \
+         {} cached), {} shards x {} selector threads, total {:.1} ms",
         report.outcomes.len(),
         counts.completed,
         counts.degraded,
@@ -360,6 +438,7 @@ fn main() -> ExitCode {
         counts.timed_out,
         counts.skipped,
         report.resumed,
+        report.cached,
         report.shards,
         report.threads_per_shard,
         report.wall.as_secs_f64() * 1e3

@@ -44,6 +44,14 @@ fn render_outcome(outcome: &JobOutcome, objective: &str, include_timing: bool) -
                 // against this schema addition.
                 o.boolean("degraded", true);
             }
+            if c.warm_started {
+                // Part of the deterministic core: a warm start changes
+                // the optimization trajectory, so the flag is outcome
+                // identity, not schedule metadata. Rendered only when
+                // true (like `degraded`) so store-free reports keep
+                // their historical bytes.
+                o.boolean("warm_started", true);
+            }
             if include_timing {
                 // The pruned/completed *split* is schedule-dependent
                 // (only the sum, `candidates`, is deterministic — see
@@ -52,6 +60,12 @@ fn render_outcome(outcome: &JobOutcome, objective: &str, include_timing: bool) -
                 o.integer("pruned", c.pruned as u64)
                     .integer("completed", c.completed as u64)
                     .number("wall_ms", c.wall.as_secs_f64() * 1e3);
+                if c.cached {
+                    // Cache provenance is runtime-only: a cache hit
+                    // produces byte-identical deterministic-core output,
+                    // so the marker rides with the timing extras.
+                    o.boolean("cached", true);
+                }
             }
         }
         JobOutcome::Failed(e) => {
@@ -103,7 +117,8 @@ pub fn render_report(report: &CampaignReport, objective: &str, include_timing: b
         // across-resume) contract.
         doc.integer("shards", report.shards as u64)
             .integer("threads_per_shard", report.threads_per_shard as u64)
-            .integer("resumed", report.resumed as u64);
+            .integer("resumed", report.resumed as u64)
+            .integer("cached", report.cached as u64);
     }
     doc.array("results", &results);
     if include_timing {
@@ -148,6 +163,14 @@ mod tests {
             !json.contains("degraded\":true"),
             "deadline-free outcomes never carry the degraded marker"
         );
+        assert!(
+            !json.contains("warm_started"),
+            "cold runs never carry the warm-start marker"
+        );
+        assert!(
+            !json.contains("cached"),
+            "cache provenance is timing-only and absent on cold runs"
+        );
         // Two renders of the same report are byte-identical.
         assert_eq!(json, render_report(&report, "T(99%)", false));
     }
@@ -159,6 +182,7 @@ mod tests {
         assert!(json.contains("\"wall_ms\":"));
         assert!(json.contains("\"shards\":1"));
         assert!(json.contains("\"resumed\":0"));
+        assert!(json.contains("\"cached\":0"));
         assert!(json.contains("\"pruned\":"));
     }
 

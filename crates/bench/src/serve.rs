@@ -398,7 +398,7 @@ impl Server {
         let design = get_str(obj, "design")?;
         let optimizer = parse_optimizer(obj)?;
         self.store
-            .open(session, design, optimizer)
+            .open(session, design, optimizer.clone())
             .map_err(query_error)?;
         self.wal_append(WalRecord::Open {
             session: session.to_string(),

@@ -65,10 +65,12 @@
 
 use crate::circuit::TimedCircuit;
 use crate::failpoint;
+use crate::fingerprint;
 use crate::journal::{self, Journal};
 use crate::objective::Objective;
 use crate::optimizer::{OptimizationResult, Optimizer, SelectorKind, StopReason};
 use crate::parallel;
+use crate::store::{ResultStore, ScenarioKey};
 use statsize_cells::{CellLibrary, VariationModel};
 use statsize_dist::TierPolicy;
 use statsize_netlist::Netlist;
@@ -175,6 +177,20 @@ pub struct CircuitOutcome {
     ///-clock timing and are excluded from determinism comparisons and
     /// from the checkpoint journal.
     pub degraded: bool,
+    /// Whether the optimizer was warm-started from a sizing vector found
+    /// in the result store ([`Campaign::run_with_store`]) instead of
+    /// starting at minimum sizes. Part of the outcome's identity — a
+    /// warm start changes the descent trajectory — and therefore
+    /// serialized with it; deterministic across shard and thread counts
+    /// because store lookups are frozen at open.
+    pub warm_started: bool,
+    /// Whether this outcome was served from the result store's exact-key
+    /// cache instead of being computed by this run. Pure runtime
+    /// provenance: never serialized, excluded from
+    /// [`deterministic_key`](Self::deterministic_key), and reported only
+    /// alongside the other timing metadata — the same scenario yields a
+    /// byte-identical default report whether computed or replayed.
+    pub cached: bool,
     /// Wall-clock time of this circuit's optimization (schedule
     /// dependent — excluded from determinism comparisons).
     pub wall: Duration,
@@ -202,6 +218,10 @@ pub struct OutcomeKey {
     pub run: (usize, StopReason),
     /// Total candidate gates examined.
     pub candidates: usize,
+    /// Whether the descent was warm-started from the result store (a
+    /// different seed point is a different trajectory, so two runs only
+    /// compare equal when they started from the same place).
+    pub warm_started: bool,
 }
 
 impl CircuitOutcome {
@@ -218,6 +238,7 @@ impl CircuitOutcome {
             ),
             run: (self.iterations, self.stop),
             candidates: self.candidates,
+            warm_started: self.warm_started,
         }
     }
 }
@@ -371,6 +392,9 @@ pub struct CampaignReport {
     /// Jobs whose outcome was restored from a checkpoint journal instead
     /// of being re-run (see [`Campaign::run_resumable`]).
     pub resumed: usize,
+    /// Jobs served from the result store's exact-key cache without an
+    /// optimizer sweep (see [`Campaign::run_with_store`]).
+    pub cached: usize,
     /// Wall-clock time of the whole campaign.
     pub wall: Duration,
 }
@@ -688,8 +712,45 @@ impl Campaign {
     /// library must never resume a campaign run under another — even
     /// when every pure-campaign knob matches.
     pub fn journal_fingerprint(&self, library: &CellLibrary) -> u64 {
-        let repr = format!("{:016x}|{library:?}", self.fingerprint());
+        let repr = format!(
+            "{:016x}|{:016x}",
+            self.fingerprint(),
+            fingerprint::library_fingerprint(library)
+        );
         crate::wire::fnv1a(repr.as_bytes())
+    }
+
+    /// The full content address of one job under this campaign — the
+    /// [`ResultStore`] key. Unlike the journal's
+    /// per-job key, it does **not** embed the job
+    /// *name*: the store is content-addressed, so renaming a corpus file
+    /// still hits. The campaign's outcome-affecting knobs are split into
+    /// the components partial (warm-start) matching needs — `dt` and the
+    /// objective stand alone; the rest fold into one stable
+    /// configuration string (selector, `Δw`, iteration budget,
+    /// sensitivity floor, kernel policy, deadline, fallback). Scheduling
+    /// knobs (shards, thread budget, fail-fast) are excluded, exactly as
+    /// in [`fingerprint`](Self::fingerprint).
+    pub fn scenario_key(&self, library: &CellLibrary, netlist: &Netlist) -> ScenarioKey {
+        ScenarioKey {
+            netlist: fingerprint::netlist_content_hash(netlist),
+            library: fingerprint::library_fingerprint(library),
+            variation: fingerprint::variation_fingerprint(&self.variation),
+            dt: self.dt,
+            objective: self.objective.wire_name(),
+            optimizer: format!(
+                "{}|dw:{}|it:{}|ms:{}|kp:{:?}|dl:{:?}|fb:{}",
+                self.selector.wire_name(),
+                self.delta_w,
+                self.max_iterations,
+                self.min_sensitivity,
+                self.kernel_policy,
+                self.job_deadline,
+                self.fallback
+                    .map_or_else(|| "none".to_string(), |s| s.wire_name()),
+            ),
+            corpus_seed: self.corpus_seed,
+        }
     }
 
     /// Optimizes every job, stealing circuits across `shards` workers.
@@ -716,6 +777,36 @@ impl Campaign {
         library: &CellLibrary,
         journal: Option<&mut Journal>,
     ) -> CampaignReport {
+        self.run_with_store(jobs, library, journal, None)
+    }
+
+    /// [`run_resumable`](Self::run_resumable), additionally consulting a
+    /// cross-campaign [`ResultStore`] before running each job:
+    ///
+    /// * an **exact** [`scenario_key`](Self::scenario_key) hit replays
+    ///   the stored outcome without any optimizer sweep, marked
+    ///   [`cached`](CircuitOutcome::cached) and counted in
+    ///   [`CampaignReport::cached`];
+    /// * otherwise a **warm-class** hit (same netlist, library,
+    ///   variation, and seed under different objective/`dt`/knobs) seeds
+    ///   the optimizer with the stored sizing vector
+    ///   ([`Optimizer::with_initial_sizes`]), marked
+    ///   [`warm_started`](CircuitOutcome::warm_started);
+    /// * each non-degraded completed job is appended to the store with
+    ///   its final sizing vector (no-op for a read-only store).
+    ///
+    /// Lookups see the store **as it was opened** — same-run appends are
+    /// invisible until the next open — so hits never depend on the shard
+    /// schedule and the bit-identity contract extends to store-assisted
+    /// runs. The journal (within-run resume) takes precedence over the
+    /// store for a job present in both.
+    pub fn run_with_store(
+        &self,
+        jobs: &[CampaignJob],
+        library: &CellLibrary,
+        journal: Option<&mut Journal>,
+        store: Option<&mut ResultStore>,
+    ) -> CampaignReport {
         let t0 = Instant::now();
         let shards = parallel::normalize_threads(self.shards, jobs.len());
         // Divide the budget over the shards that actually spawn, not the
@@ -737,9 +828,18 @@ impl Campaign {
                     .map(|n| journal::job_key(fingerprint, &j.name, n))
             })
             .collect();
+        let scenarios: Vec<Option<ScenarioKey>> = if store.is_some() {
+            jobs.iter()
+                .map(|j| j.netlist().map(|n| self.scenario_key(library, n)))
+                .collect()
+        } else {
+            vec![None; jobs.len()]
+        };
         let journal = journal.map(Mutex::new);
+        let store = store.map(Mutex::new);
         let halt = AtomicBool::new(false);
         let resumed = AtomicUsize::new(0);
+        let cached = AtomicUsize::new(0);
         // Shards steal whole circuits; outcomes come back in job order,
         // so the report never depends on which shard ran which circuit.
         // Each job is panic-isolated twice over: `run_one_isolated`
@@ -765,7 +865,47 @@ impl Campaign {
                         return JobOutcome::Completed(outcome.clone());
                     }
                 }
-                let outcome = self.run_one_isolated(job, library, budgets[idx]);
+                // Store consultation: an exact hit replays the record
+                // (renamed to this job — the store is content-addressed,
+                // so the recording job may have used another name); a
+                // warm-class hit seeds the optimizer. Both read the
+                // frozen at-open view, so neither depends on the shard
+                // schedule.
+                let mut warm_sizes: Option<Vec<f64>> = None;
+                if let (Some(store), Some(scenario)) = (&store, &scenarios[idx]) {
+                    let guard = store.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(entry) = guard.lookup_exact(scenario) {
+                        let mut outcome = entry.outcome.clone();
+                        outcome.name.clone_from(&job.name);
+                        outcome.cached = true;
+                        cached.fetch_add(1, Ordering::Relaxed);
+                        drop(guard);
+                        if let (Some(journal), Some(key)) = (&journal, &keys[idx]) {
+                            // Journal the replay so a resumed run skips
+                            // it too — without the runtime-only flag.
+                            let mut on_record = outcome.clone();
+                            on_record.cached = false;
+                            journal
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .record(key, &on_record);
+                        }
+                        return JobOutcome::Completed(outcome);
+                    }
+                    if let Some(entry) = guard.lookup_warm(scenario) {
+                        // A content-hash collision could pair us with a
+                        // different-sized circuit; the gate count check
+                        // keeps that from panicking the job.
+                        if job
+                            .netlist()
+                            .is_some_and(|n| n.gate_count() == entry.sizes.len())
+                        {
+                            warm_sizes = Some(entry.sizes.clone());
+                        }
+                    }
+                }
+                let (outcome, final_sizes) =
+                    self.run_one_isolated(job, library, budgets[idx], warm_sizes.as_deref());
                 match &outcome {
                     JobOutcome::Completed(o) if !o.degraded => {
                         if let (Some(journal), Some(key)) = (&journal, &keys[idx]) {
@@ -773,6 +913,14 @@ impl Campaign {
                                 .lock()
                                 .unwrap_or_else(|e| e.into_inner())
                                 .record(key, o);
+                        }
+                        if let (Some(store), Some(scenario), Some(sizes)) =
+                            (&store, &scenarios[idx], &final_sizes)
+                        {
+                            store
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .record(scenario, sizes, o);
                         }
                     }
                     _ if outcome.is_fault() && self.fail_fast => {
@@ -804,6 +952,7 @@ impl Campaign {
             shards,
             threads_per_shard,
             resumed: resumed.load(Ordering::Relaxed),
+            cached: cached.load(Ordering::Relaxed),
             wall: t0.elapsed(),
         }
     }
@@ -812,21 +961,30 @@ impl Campaign {
     /// structured [`JobOutcome`]: quarantined inputs skip, setup and
     /// optimizer panics are caught, and deadline overruns degrade to the
     /// fallback selector (if configured) before timing out.
+    ///
+    /// `warm_sizes`, when present, seeds the primary optimizer attempt
+    /// (fallback attempts always start cold — degradation must not
+    /// depend on store contents). Returns the final sizing vector
+    /// alongside completed outcomes so the caller can persist it.
     fn run_one_isolated(
         &self,
         job: &CampaignJob,
         library: &CellLibrary,
         threads: usize,
-    ) -> JobOutcome {
+        warm_sizes: Option<&[f64]>,
+    ) -> (JobOutcome, Option<Vec<f64>>) {
         let name = &job.name;
         let Some(netlist) = job.netlist() else {
-            return JobOutcome::Skipped(JobSkip {
-                name: name.clone(),
-                reason: job
-                    .quarantine_reason()
-                    .unwrap_or("quarantined input")
-                    .to_string(),
-            });
+            return (
+                JobOutcome::Skipped(JobSkip {
+                    name: name.clone(),
+                    reason: job
+                        .quarantine_reason()
+                        .unwrap_or("quarantined input")
+                        .to_string(),
+                }),
+                None,
+            );
         };
         let t0 = Instant::now();
         let stats = netlist.stats();
@@ -845,14 +1003,17 @@ impl Campaign {
         let mut circuit = match built {
             Ok(circuit) => circuit,
             Err(payload) => {
-                return JobOutcome::Failed(JobError {
-                    name: name.clone(),
-                    stage: JobStage::Ssta,
-                    message: format!(
-                        "panic while building the timed circuit: {}",
-                        parallel::panic_message(payload.as_ref())
-                    ),
-                })
+                return (
+                    JobOutcome::Failed(JobError {
+                        name: name.clone(),
+                        stage: JobStage::Ssta,
+                        message: format!(
+                            "panic while building the timed circuit: {}",
+                            parallel::panic_message(payload.as_ref())
+                        ),
+                    }),
+                    None,
+                )
             }
         };
         // Failpoint `campaign::deadline` (detail: job name, `trigger`
@@ -863,28 +1024,53 @@ impl Campaign {
         } else {
             self.job_deadline
         };
-        let attempt = self.optimize_attempt(name, &mut circuit, self.selector, deadline, threads);
+        let attempt = self.optimize_attempt(
+            name,
+            &mut circuit,
+            self.selector,
+            deadline,
+            threads,
+            warm_sizes,
+        );
         let result = match attempt {
             Attempt::Panicked(message) => {
-                return JobOutcome::Failed(JobError {
-                    name: name.clone(),
-                    stage: JobStage::Selector,
-                    message: format!("panic during optimization: {message}"),
-                })
+                return (
+                    JobOutcome::Failed(JobError {
+                        name: name.clone(),
+                        stage: JobStage::Selector,
+                        message: format!("panic during optimization: {message}"),
+                    }),
+                    None,
+                )
             }
             Attempt::Finished(result) => result,
         };
         if result.stop != StopReason::DeadlineExpired {
-            return JobOutcome::Completed(self.outcome_of(name, stats, &result, false, t0));
+            let warm_started = warm_sizes.is_some();
+            let sizes = result.final_sizes.clone();
+            return (
+                JobOutcome::Completed(self.outcome_of(
+                    name,
+                    stats,
+                    &result,
+                    false,
+                    warm_started,
+                    t0,
+                )),
+                Some(sizes),
+            );
         }
         let iterations_committed = result.iterations_run();
         let Some(fallback) = self.fallback else {
-            return JobOutcome::TimedOut(JobTimeout {
-                name: name.clone(),
-                deadline: deadline.unwrap_or_default(),
-                iterations_committed,
-                fallback_attempted: false,
-            });
+            return (
+                JobOutcome::TimedOut(JobTimeout {
+                    name: name.clone(),
+                    deadline: deadline.unwrap_or_default(),
+                    iterations_committed,
+                    fallback_attempted: false,
+                }),
+                None,
+            );
         };
         // Graceful degradation: one-shot rerun from scratch with the
         // cheap fallback selector, under a fresh deadline of the
@@ -897,22 +1083,30 @@ impl Campaign {
             self.dt,
             self.kernel_policy,
         );
-        match self.optimize_attempt(name, &mut fresh, fallback, self.job_deadline, threads) {
-            Attempt::Panicked(message) => JobOutcome::Failed(JobError {
-                name: name.clone(),
-                stage: JobStage::Selector,
-                message: format!("panic during fallback optimization: {message}"),
-            }),
-            Attempt::Finished(fb) if fb.stop == StopReason::DeadlineExpired => {
+        match self.optimize_attempt(name, &mut fresh, fallback, self.job_deadline, threads, None) {
+            Attempt::Panicked(message) => (
+                JobOutcome::Failed(JobError {
+                    name: name.clone(),
+                    stage: JobStage::Selector,
+                    message: format!("panic during fallback optimization: {message}"),
+                }),
+                None,
+            ),
+            Attempt::Finished(fb) if fb.stop == StopReason::DeadlineExpired => (
                 JobOutcome::TimedOut(JobTimeout {
                     name: name.clone(),
                     deadline: deadline.unwrap_or_default(),
                     iterations_committed,
                     fallback_attempted: true,
-                })
-            }
+                }),
+                None,
+            ),
             Attempt::Finished(fb) => {
-                JobOutcome::Completed(self.outcome_of(name, stats, &fb, true, t0))
+                let sizes = fb.final_sizes.clone();
+                (
+                    JobOutcome::Completed(self.outcome_of(name, stats, &fb, true, false, t0)),
+                    Some(sizes),
+                )
             }
         }
     }
@@ -926,6 +1120,7 @@ impl Campaign {
         selector: SelectorKind,
         deadline: Option<Duration>,
         threads: usize,
+        warm_sizes: Option<&[f64]>,
     ) -> Attempt {
         catch_unwind(AssertUnwindSafe(|| {
             failpoint::fire("campaign::job", name);
@@ -935,6 +1130,9 @@ impl Campaign {
                 .with_min_sensitivity(self.min_sensitivity)
                 .with_threads(threads)
                 .with_kernel_policy(self.kernel_policy);
+            if let Some(sizes) = warm_sizes {
+                optimizer = optimizer.with_initial_sizes(sizes.to_vec());
+            }
             if let Some(budget) = deadline {
                 optimizer = optimizer.with_deadline(budget);
             }
@@ -953,6 +1151,7 @@ impl Campaign {
         stats: statsize_netlist::NetlistStats,
         result: &OptimizationResult,
         degraded: bool,
+        warm_started: bool,
         t0: Instant,
     ) -> CircuitOutcome {
         let (mut candidates, mut pruned, mut completed) = (0usize, 0usize, 0usize);
@@ -978,6 +1177,8 @@ impl Campaign {
             pruned,
             completed,
             degraded,
+            warm_started,
+            cached: false,
             wall: t0.elapsed(),
         }
     }

@@ -359,6 +359,28 @@ impl<'a> TimedCircuit<'a> {
         self.ssta.apply_undo(undo.ssta);
     }
 
+    /// Replaces the full sizing vector (one width per gate, indexed by
+    /// gate id) and recomputes delays and arrivals from scratch — the
+    /// optimizer's warm-start entry
+    /// ([`Optimizer::with_initial_sizes`](crate::Optimizer::with_initial_sizes)).
+    /// A from-scratch re-analysis is bit-identical to having committed
+    /// the same widths incrementally (the incremental-equals-full
+    /// contract), so a warm start introduces no new numerical path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` does not match the gate count or contains a
+    /// non-finite or below-minimum width.
+    pub fn set_sizes(&mut self, widths: &[f64]) {
+        assert_eq!(
+            widths.len(),
+            self.netlist.gate_count(),
+            "sizing vector must match the gate count"
+        );
+        self.sizes = GateSizes::from_widths(widths.to_vec());
+        self.recompute_from_scratch();
+    }
+
     /// Recomputes everything from scratch (used by tests to validate the
     /// incremental path).
     pub fn recompute_from_scratch(&mut self) {

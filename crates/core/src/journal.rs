@@ -34,8 +34,9 @@
 //! ([`wal`](crate::wal)) also builds on.
 
 use crate::campaign::CircuitOutcome;
+use crate::fingerprint;
 use crate::optimizer::StopReason;
-use crate::wire::{self, escape, get, get_bool, get_f64, get_str, get_usize};
+use crate::wire::{self, escape, get, get_bool, get_bool_or, get_f64, get_str, get_usize};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::Write as _;
@@ -47,10 +48,11 @@ use std::time::Duration;
 const HEADER: &str = "{\"journal\":\"statsize-campaign\",\"version\":1}";
 
 /// The journal key of one campaign job: name, netlist content hash
-/// (canonical `.bench` form, so generator seeds are captured), and the
-/// campaign's outcome-affecting configuration hash.
+/// (canonical `.bench` form, so generator seeds are captured — see
+/// [`fingerprint::netlist_content_hash`]), and the campaign's
+/// outcome-affecting configuration hash.
 pub(crate) fn job_key(config_hash: u64, name: &str, netlist: &statsize_netlist::Netlist) -> String {
-    let netlist_hash = wire::fnv1a(statsize_netlist::bench::write(netlist).as_bytes());
+    let netlist_hash = fingerprint::netlist_content_hash(netlist);
     format!("{name}:{netlist_hash:016x}:{config_hash:016x}")
 }
 
@@ -229,15 +231,19 @@ impl Journal {
 
 /// Serializes an outcome. Floats use Rust's shortest-round-trip
 /// `Display`, so parsing them back yields the exact same bits — the
-/// foundation of the byte-identical resume contract.
-fn outcome_to_json(o: &CircuitOutcome) -> String {
+/// foundation of the byte-identical resume contract. Shared with the
+/// [`ResultStore`](crate::ResultStore), whose records replay outcomes
+/// under the same contract. The runtime-only
+/// [`cached`](CircuitOutcome::cached) flag is deliberately absent: it
+/// records how *this run* obtained the outcome, not what the outcome is.
+pub(crate) fn outcome_to_json(o: &CircuitOutcome) -> String {
     format!(
         "{{\"name\":\"{}\",\"nodes\":{},\"edges\":{},\"depth\":{},\
          \"initial_objective\":{},\"final_objective\":{},\
          \"initial_width\":{},\"final_width\":{},\
          \"iterations\":{},\"stop\":\"{:?}\",\
          \"candidates\":{},\"pruned\":{},\"completed\":{},\
-         \"degraded\":{},\"wall_ms\":{}}}",
+         \"degraded\":{},\"warm_started\":{},\"wall_ms\":{}}}",
         escape(&o.name),
         o.nodes,
         o.edges,
@@ -252,17 +258,15 @@ fn outcome_to_json(o: &CircuitOutcome) -> String {
         o.pruned,
         o.completed,
         o.degraded,
+        o.warm_started,
         o.wall.as_secs_f64() * 1e3,
     )
 }
 
-fn parse_entry(line: &str) -> Result<(String, CircuitOutcome), String> {
-    let value = wire::parse(line)?;
-    let obj = value.as_object().ok_or("entry is not a JSON object")?;
-    let key = get_str(obj, "key")?.to_string();
-    let outcome = get(obj, "outcome")?
-        .as_object()
-        .ok_or("`outcome` is not an object")?;
+/// Parses the object form [`outcome_to_json`] writes. `warm_started`
+/// defaults to `false` when absent (records written before the field
+/// existed); `cached` is never on the wire and parses as `false`.
+pub(crate) fn parse_outcome(outcome: &[(String, wire::Json)]) -> Result<CircuitOutcome, String> {
     let stop = match get_str(outcome, "stop")? {
         "Converged" => StopReason::Converged,
         "MaxIterations" => StopReason::MaxIterations,
@@ -270,26 +274,37 @@ fn parse_entry(line: &str) -> Result<(String, CircuitOutcome), String> {
         "DeadlineExpired" => StopReason::DeadlineExpired,
         other => return Err(format!("unknown stop reason `{other}`")),
     };
-    Ok((
-        key,
-        CircuitOutcome {
-            name: get_str(outcome, "name")?.to_string(),
-            nodes: get_usize(outcome, "nodes")?,
-            edges: get_usize(outcome, "edges")?,
-            depth: get_usize(outcome, "depth")?,
-            initial_objective: get_f64(outcome, "initial_objective")?,
-            final_objective: get_f64(outcome, "final_objective")?,
-            initial_width: get_f64(outcome, "initial_width")?,
-            final_width: get_f64(outcome, "final_width")?,
-            iterations: get_usize(outcome, "iterations")?,
-            stop,
-            candidates: get_usize(outcome, "candidates")?,
-            pruned: get_usize(outcome, "pruned")?,
-            completed: get_usize(outcome, "completed")?,
-            degraded: get_bool(outcome, "degraded")?,
-            wall: Duration::from_secs_f64(get_f64(outcome, "wall_ms")?.max(0.0) / 1e3),
-        },
-    ))
+    Ok(CircuitOutcome {
+        name: get_str(outcome, "name")?.to_string(),
+        nodes: get_usize(outcome, "nodes")?,
+        edges: get_usize(outcome, "edges")?,
+        depth: get_usize(outcome, "depth")?,
+        initial_objective: get_f64(outcome, "initial_objective")?,
+        final_objective: get_f64(outcome, "final_objective")?,
+        initial_width: get_f64(outcome, "initial_width")?,
+        final_width: get_f64(outcome, "final_width")?,
+        iterations: get_usize(outcome, "iterations")?,
+        stop,
+        candidates: get_usize(outcome, "candidates")?,
+        pruned: get_usize(outcome, "pruned")?,
+        completed: get_usize(outcome, "completed")?,
+        degraded: get_bool(outcome, "degraded")?,
+        warm_started: get_bool_or(outcome, "warm_started", false)?,
+        cached: false,
+        wall: Duration::from_secs_f64(get_f64(outcome, "wall_ms")?.max(0.0) / 1e3),
+    })
+}
+
+fn parse_entry(line: &str) -> Result<(String, CircuitOutcome), String> {
+    let value = wire::parse(line)?;
+    let obj = value.as_object().ok_or("entry is not a JSON object")?;
+    let key = get_str(obj, "key")?.to_string();
+    let outcome = parse_outcome(
+        get(obj, "outcome")?
+            .as_object()
+            .ok_or("`outcome` is not an object")?,
+    )?;
+    Ok((key, outcome))
 }
 
 #[cfg(test)]
@@ -312,6 +327,8 @@ mod tests {
             pruned: 12,
             completed: 6,
             degraded: false,
+            warm_started: false,
+            cached: false,
             wall: Duration::from_micros(1234),
         }
     }
@@ -332,6 +349,23 @@ mod tests {
         assert_eq!(back.deterministic_key(), o.deterministic_key());
         assert_eq!(back.stop, o.stop);
         assert_eq!(back.degraded, o.degraded);
+    }
+
+    #[test]
+    fn warm_started_round_trips_and_defaults_false_when_absent() {
+        let mut o = outcome("w");
+        o.warm_started = true;
+        o.cached = true; // runtime provenance — must NOT survive the wire
+        let line = format!("{{\"key\":\"k\",\"outcome\":{}}}", outcome_to_json(&o));
+        let (_, back) = parse_entry(&line).expect("round trip");
+        assert!(back.warm_started);
+        assert!(!back.cached, "cached is never serialized");
+        // Records written before the field existed parse with the
+        // lenient default instead of quarantining.
+        let stripped = line.replace(",\"warm_started\":true", "");
+        assert_ne!(stripped, line, "field must have been present");
+        let (_, back) = parse_entry(&stripped).expect("lenient parse");
+        assert!(!back.warm_started);
     }
 
     #[test]

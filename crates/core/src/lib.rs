@@ -48,6 +48,14 @@
 //! [`failpoint`] harness injects faults at the same sites the tests
 //! prove are survivable.
 //!
+//! Completed results also persist *across* campaigns: [`ResultStore`] is
+//! a content-addressed, append-only store keyed by the full scenario
+//! (netlist content, library and variation fingerprints, time step,
+//! objective, optimizer configuration, corpus seed). An exact key hit
+//! replays the stored outcome without re-running the optimizer; a
+//! partial hit — same circuit under a different objective or time step —
+//! warm-starts the optimizer from the stored sizing vector.
+//!
 //! Serve-mode sessions ([`service`]) get the same treatment from the
 //! [`wal`] module: an append-only write-ahead log of committed session
 //! mutations that a restarted server replays to restore every session
@@ -82,6 +90,7 @@ mod circuit;
 mod deadline;
 mod det_opt;
 pub mod failpoint;
+pub mod fingerprint;
 mod heuristic;
 mod journal;
 mod objective;
@@ -90,6 +99,7 @@ mod parallel;
 mod pruned;
 mod selection;
 pub mod service;
+mod store;
 pub mod wal;
 pub mod wire;
 
@@ -114,4 +124,5 @@ pub use service::{
     BatchStats, CommitReport, Counters, Design, OpReport, QueryError, QueryRequest, Session,
     SessionInfo, SessionOp, SessionStats, SessionStore, StoreStats, WhatIfReport,
 };
+pub use store::{ResultStore, ScenarioKey, StoreEntry, StoreError};
 pub use wal::{RecoveryStats, Wal, WalContents, WalError, WalRecord};

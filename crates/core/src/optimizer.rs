@@ -119,6 +119,9 @@ pub struct OptimizationResult {
     pub iterations: Vec<IterationRecord>,
     /// Why the run stopped.
     pub stop: StopReason,
+    /// The gate widths after the last commit, indexed by gate id — what
+    /// the result store persists as the warm-start seed for delta runs.
+    pub final_sizes: Vec<f64>,
 }
 
 impl OptimizationResult {
@@ -168,7 +171,7 @@ pub struct OptimizerStep {
 /// The coordinate-descent gate sizer: repeatedly select the most sensitive
 /// gate with the configured selector and size it up by `Δw`, until no gate
 /// improves the objective or a budget is hit.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Optimizer {
     objective: Objective,
     selector: SelectorKind,
@@ -180,6 +183,7 @@ pub struct Optimizer {
     threads: usize,
     kernel_policy: TierPolicy,
     deadline: Option<Duration>,
+    initial_sizes: Option<Vec<f64>>,
 }
 
 impl Optimizer {
@@ -198,7 +202,35 @@ impl Optimizer {
             threads: crate::parallel::default_threads(),
             kernel_policy: TierPolicy::exact(),
             deadline: None,
+            initial_sizes: None,
         }
+    }
+
+    /// Warm-starts the descent from an explicit sizing vector instead of
+    /// minimum sizes: [`run`](Self::run) installs `sizes` on the circuit
+    /// (full re-analysis, exactly as if every width had been committed)
+    /// **before** measuring `initial_objective`, then descends as usual.
+    /// The campaign result store uses this to seed a delta run (same
+    /// circuit, changed objective or `dt`) from the previous optimum —
+    /// coordinate descent only improves from its start, so the warm run's
+    /// final objective is no worse than its warm starting point, and in
+    /// practice no worse than the cold run's final (pinned empirically by
+    /// `tests/result_store.rs`). The trajectory remains bit-identical
+    /// across thread counts; determinism is unaffected because the seed
+    /// vector is part of the configuration, not of the schedule.
+    ///
+    /// `sizes` must have one width per gate, each finite and at least
+    /// the minimum width (1.0) — [`run`](Self::run) panics otherwise,
+    /// exactly like an invalid [`with_delta_w`](Self::with_delta_w).
+    #[must_use]
+    pub fn with_initial_sizes(mut self, sizes: Vec<f64>) -> Self {
+        self.initial_sizes = Some(sizes);
+        self
+    }
+
+    /// The warm-start sizing vector, if one was configured.
+    pub fn initial_sizes(&self) -> Option<&[f64]> {
+        self.initial_sizes.as_deref()
     }
 
     /// Sets a cooperative wall-clock budget for the whole run. The
@@ -461,8 +493,19 @@ impl Optimizer {
     }
 
     /// Runs coordinate descent to convergence or budget exhaustion: a
-    /// [`step`](Self::step) loop under one run-wide deadline.
+    /// [`step`](Self::step) loop under one run-wide deadline. With
+    /// [`with_initial_sizes`](Self::with_initial_sizes) configured, the
+    /// seed vector is installed first and `initial_objective` is measured
+    /// at the warm starting point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured warm-start vector does not match the
+    /// circuit's gate count or contains an invalid width.
     pub fn run(&self, circuit: &mut TimedCircuit<'_>) -> OptimizationResult {
+        if let Some(sizes) = &self.initial_sizes {
+            circuit.set_sizes(sizes);
+        }
         let initial_objective = circuit.objective_value(self.objective);
         let initial_width = circuit.total_width();
         let initial_area = circuit.area();
@@ -487,6 +530,7 @@ impl Optimizer {
             final_area: circuit.area(),
             iterations,
             stop,
+            final_sizes: circuit.sizes().widths().to_vec(),
         }
     }
 }
@@ -667,6 +711,49 @@ mod tests {
             assert_eq!(s.total_width_after.to_bits(), r.total_width_after.to_bits());
         }
         assert_eq!(a.ssta(), b.ssta(), "final timing state identical");
+    }
+
+    #[test]
+    fn warm_start_measures_initial_at_the_seed_point() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let opt = Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_max_iterations(3);
+        assert!(opt.initial_sizes().is_none());
+        let mut cold = circuit_of(&nl, &lib);
+        let cold_result = opt.run(&mut cold);
+        assert_eq!(cold_result.final_sizes, cold.sizes().widths());
+
+        // Seeding a fresh circuit with the cold run's final sizes must
+        // reproduce the cold run's final timing bit-exactly (the
+        // incremental-equals-full contract) before descending further.
+        let warm_opt = opt
+            .clone()
+            .with_initial_sizes(cold_result.final_sizes.clone());
+        assert_eq!(
+            warm_opt.initial_sizes(),
+            Some(cold_result.final_sizes.as_slice())
+        );
+        let mut warm = circuit_of(&nl, &lib);
+        let warm_result = warm_opt.run(&mut warm);
+        assert_eq!(
+            warm_result.initial_objective.to_bits(),
+            cold_result.final_objective.to_bits(),
+            "warm initial is measured at the seed point"
+        );
+        assert!(warm_result.final_objective <= warm_result.initial_objective);
+        assert!(warm_result.final_objective <= cold_result.final_objective);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate count")]
+    fn warm_start_rejects_mismatched_vectors() {
+        let nl = bench::c17();
+        let lib = CellLibrary::synthetic_180nm();
+        let mut c = circuit_of(&nl, &lib);
+        Optimizer::new(Objective::percentile(0.99), SelectorKind::Pruned)
+            .with_initial_sizes(vec![1.0, 2.0])
+            .run(&mut c);
     }
 
     #[test]

@@ -564,7 +564,10 @@ impl Session {
         deadline: Deadline,
         threads: Option<usize>,
     ) -> Result<OptimizerStep, QueryError> {
-        let optimizer = threads.map_or(self.optimizer, |t| self.optimizer.with_threads(t));
+        let optimizer = threads.map_or_else(
+            || self.optimizer.clone(),
+            |t| self.optimizer.clone().with_threads(t),
+        );
         let already = self.steps_committed;
         let round = self.with_circuit(move |circuit| optimizer.step(circuit, already, deadline))?;
         self.steps_committed += round.records.len();
@@ -1417,7 +1420,7 @@ mod tests {
     fn step_sessions_walk_the_batch_trajectory() {
         let design = Arc::new(c17_design("c17"));
         let opt = optimizer();
-        let mut session = Session::open(Arc::clone(&design), opt);
+        let mut session = Session::open(Arc::clone(&design), opt.clone());
         let mut rounds = 0;
         let stop = loop {
             let round = session.step(Deadline::none()).expect("step");

@@ -170,6 +170,22 @@ pub fn get_bool(obj: &[(String, Json)], name: &str) -> Result<bool, String> {
     }
 }
 
+/// [`get_bool`] with a default for an *absent* field — for schema fields
+/// added after records were already on disk (e.g. the campaign outcome's
+/// `warm_started` flag): a present field must still be a boolean, an
+/// absent one means `default`.
+///
+/// # Errors
+///
+/// Returns a message when the field is present but not a boolean.
+pub fn get_bool_or(obj: &[(String, Json)], name: &str, default: bool) -> Result<bool, String> {
+    match obj.iter().find(|(k, _)| k == name) {
+        None => Ok(default),
+        Some((_, Json::Bool(b))) => Ok(*b),
+        Some(_) => Err(format!("field `{name}` is not a boolean")),
+    }
+}
+
 /// The parsed contents of one line-oriented record log (see
 /// [`read_line_log`]): successfully parsed entries and quarantined
 /// corrupt lines, both tagged with their 1-based line numbers.
@@ -474,6 +490,13 @@ mod tests {
         assert!(get_f64(obj, "s").is_err());
         assert!(get_bool(obj, "s").is_err());
         assert!(get(obj, "zzz").is_err());
+        // Defaulted booleans: absent → default, present-but-wrong-type →
+        // error, present boolean → its value.
+        assert_eq!(get_bool_or(obj, "zzz", true), Ok(true));
+        assert_eq!(get_bool_or(obj, "zzz", false), Ok(false));
+        assert!(get_bool_or(obj, "s", false).is_err());
+        let v = parse("{\"b\":true}").unwrap();
+        assert_eq!(get_bool_or(v.as_object().unwrap(), "b", false), Ok(true));
     }
 
     #[test]
